@@ -1,0 +1,160 @@
+//! Memory-access coalescing.
+//!
+//! A GPU wavefront executes one memory instruction across (up to) 32
+//! lanes; the coalescing unit merges the lanes' addresses into the
+//! minimal set of 128-byte block requests. The workload generators emit
+//! pre-coalesced block streams; this module provides the hardware
+//! mechanism itself — for generator authors who want to express lane
+//! addresses directly, and to quantify coalescing efficiency.
+
+use bc_mem::addr::VirtAddr;
+use bc_sim::stats::Counter;
+
+/// Coalesces lane addresses into unique block-aligned addresses,
+/// preserving first-touch order.
+///
+/// # Example
+///
+/// ```
+/// use bc_accel::coalesce::coalesce_lanes;
+/// use bc_mem::VirtAddr;
+///
+/// // 32 consecutive 4-byte lanes: one perfectly coalesced block.
+/// let lanes: Vec<VirtAddr> = (0..32).map(|i| VirtAddr::new(0x1000 + i * 4)).collect();
+/// assert_eq!(coalesce_lanes(&lanes).len(), 1);
+///
+/// // A 128-byte stride scatters every lane to its own block.
+/// let strided: Vec<VirtAddr> = (0..32).map(|i| VirtAddr::new(0x1000 + i * 128)).collect();
+/// assert_eq!(coalesce_lanes(&strided).len(), 32);
+/// ```
+pub fn coalesce_lanes(lanes: &[VirtAddr]) -> Vec<VirtAddr> {
+    let mut blocks = Vec::new();
+    for lane in lanes {
+        let block = lane.block_aligned();
+        if !blocks.contains(&block) {
+            blocks.push(block);
+        }
+    }
+    blocks
+}
+
+/// Running statistics of a coalescing unit.
+#[derive(Debug, Clone, Default)]
+pub struct CoalesceStats {
+    instructions: Counter,
+    lanes: Counter,
+    blocks: Counter,
+}
+
+impl CoalesceStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        CoalesceStats::default()
+    }
+
+    /// Records one coalesced instruction.
+    pub fn record(&mut self, lanes: usize, blocks: usize) {
+        self.instructions.inc();
+        self.lanes.add(lanes as u64);
+        self.blocks.add(blocks as u64);
+    }
+
+    /// Coalesces and records in one step.
+    pub fn coalesce(&mut self, lanes: &[VirtAddr]) -> Vec<VirtAddr> {
+        let blocks = coalesce_lanes(lanes);
+        self.record(lanes.len(), blocks.len());
+        blocks
+    }
+
+    /// Instructions processed.
+    pub fn instructions(&self) -> u64 {
+        self.instructions.get()
+    }
+
+    /// Average block requests per instruction (1.0 = perfect, 32.0 =
+    /// fully divergent).
+    pub fn blocks_per_instruction(&self) -> f64 {
+        if self.instructions.get() == 0 {
+            0.0
+        } else {
+            self.blocks.get() as f64 / self.instructions.get() as f64
+        }
+    }
+
+    /// Fraction of lane requests eliminated by coalescing.
+    pub fn efficiency(&self) -> f64 {
+        if self.lanes.get() == 0 {
+            0.0
+        } else {
+            1.0 - self.blocks.get() as f64 / self.lanes.get() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lanes(f: impl Fn(u64) -> u64) -> Vec<VirtAddr> {
+        (0..32).map(|i| VirtAddr::new(f(i))).collect()
+    }
+
+    #[test]
+    fn consecutive_words_fully_coalesce() {
+        let blocks = coalesce_lanes(&lanes(|i| 0x2000 + i * 4));
+        assert_eq!(blocks, vec![VirtAddr::new(0x2000)]);
+    }
+
+    #[test]
+    fn misaligned_run_takes_two_blocks() {
+        // Starting 64 bytes into a block, 32 words straddle two blocks.
+        let blocks = coalesce_lanes(&lanes(|i| 0x2040 + i * 4));
+        assert_eq!(
+            blocks,
+            vec![VirtAddr::new(0x2000), VirtAddr::new(0x2080)]
+        );
+    }
+
+    #[test]
+    fn stride_of_8_bytes_needs_two_blocks() {
+        let blocks = coalesce_lanes(&lanes(|i| 0x2000 + i * 8));
+        assert_eq!(blocks.len(), 2);
+    }
+
+    #[test]
+    fn fully_divergent_gather() {
+        let blocks = coalesce_lanes(&lanes(|i| i * 4096));
+        assert_eq!(blocks.len(), 32);
+        assert_eq!(blocks[0], VirtAddr::new(0));
+    }
+
+    #[test]
+    fn order_is_first_touch() {
+        let blocks = coalesce_lanes(&[
+            VirtAddr::new(0x500),
+            VirtAddr::new(0x100),
+            VirtAddr::new(0x580),
+            VirtAddr::new(0x104),
+        ]);
+        assert_eq!(
+            blocks,
+            vec![VirtAddr::new(0x500), VirtAddr::new(0x100), VirtAddr::new(0x580)]
+        );
+    }
+
+    #[test]
+    fn stats_track_efficiency() {
+        let mut s = CoalesceStats::new();
+        s.coalesce(&lanes(|i| 0x1000 + i * 4)); // 32 lanes -> 1 block
+        s.coalesce(&lanes(|i| i * 4096)); // 32 lanes -> 32 blocks
+        assert_eq!(s.instructions(), 2);
+        assert!((s.blocks_per_instruction() - 16.5).abs() < 1e-12);
+        assert!((s.efficiency() - (1.0 - 33.0 / 64.0)).abs() < 1e-12);
+        assert_eq!(CoalesceStats::new().efficiency(), 0.0);
+    }
+
+    #[test]
+    fn block_size_constant_matches_memory_system() {
+        assert_eq!(bc_mem::addr::BLOCK_SIZE, 128);
+    }
+}

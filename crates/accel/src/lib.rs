@@ -1,0 +1,30 @@
+//! Accelerator models.
+//!
+//! The paper stresses Border Control with "the GPGPU, a high-performance
+//! accelerator which is capable of high memory traffic rates and irregular
+//! memory reference patterns. A GPGPU is a stress-test for memory safety
+//! mechanisms" (§5.1). This crate supplies that accelerator as a
+//! *structural* model — compute units holding wavefront contexts, private
+//! L1 caches and L1 TLBs, and a shared L2 — whose timing is orchestrated
+//! by `bc-system`.
+//!
+//! It also supplies the *threat models* of §2.1 as [`Behavior`] variants:
+//!
+//! * [`Behavior::Correct`] — honours TLB shootdowns and flush requests.
+//! * [`Behavior::BuggyStaleTlb`] — "an incorrect implementation of TLB
+//!   shootdown could result in memory requests made with stale
+//!   translations": this accelerator silently ignores shootdowns.
+//! * [`Behavior::Malicious`] — "an accelerator that contains malicious
+//!   hardware … can send arbitrary memory requests": this one
+//!   periodically forges physical-address probes it never obtained from
+//!   the ATS, and ignores flush requests too (§3.2.4 shows why that is
+//!   still safe under Border Control).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coalesce;
+mod gpu;
+
+pub use coalesce::{coalesce_lanes, CoalesceStats};
+pub use gpu::{Behavior, ComputeUnit, Gpu, GpuConfig, Wavefront};

@@ -1,0 +1,98 @@
+//! Ablations of the design choices DESIGN.md calls out.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bc_bench::bench_config;
+use bc_core::FlushPolicy;
+use bc_system::{SafetyModel, System};
+
+/// §3.1.1's decoupled check: permission lookup in parallel with the read
+/// data fetch, versus a serialized check-then-fetch.
+fn parallel_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_parallel_check");
+    group.sample_size(10);
+    for parallel in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if parallel { "parallel" } else { "serialized" }),
+            &parallel,
+            |b, &parallel| {
+                let mut config = bench_config(SafetyModel::BorderControlNoBcc, "nn");
+                config.parallel_read_check = parallel;
+                b.iter(|| black_box(System::build(&config).unwrap().run().cycles));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// §3.2.4's downgrade policies: flush everything (the paper's evaluated
+/// implementation) versus selective per-page flush (the optimization).
+fn flush_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_flush_policy");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("full_flush", FlushPolicy::FullFlush),
+        ("selective", FlushPolicy::Selective),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            let mut config = bench_config(SafetyModel::BorderControlBcc, "hotspot");
+            config.flush_policy = policy;
+            config.downgrades_per_second = 200_000;
+            b.iter(|| black_box(System::build(&config).unwrap().run().cycles));
+        });
+    }
+    group.finish();
+}
+
+/// Sensitivity to the Protection Table's memory latency (the paper charges
+/// one 100-cycle DRAM access).
+fn pt_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_pt_latency");
+    group.sample_size(10);
+    for latency in [50u64, 100, 200, 400] {
+        group.bench_with_input(BenchmarkId::from_parameter(latency), &latency, |b, &lat| {
+            let mut config = bench_config(SafetyModel::BorderControlNoBcc, "nn");
+            config.dram.access_latency = lat;
+            b.iter(|| black_box(System::build(&config).unwrap().run().cycles));
+        });
+    }
+    group.finish();
+}
+
+/// BCC geometry: the default 8 KiB versus the 1 KiB the paper says would
+/// already suffice (Figure 6).
+fn bcc_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_bcc_size");
+    group.sample_size(10);
+    for entries in [8usize, 64] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(entries),
+            &entries,
+            |b, &entries| {
+                let mut config = bench_config(SafetyModel::BorderControlBcc, "bfs");
+                config.bcc.entries = entries;
+                config.bcc.ways = entries.min(8);
+                b.iter(|| black_box(System::build(&config).unwrap().run().cycles));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// §3.4.4: 4 KiB base pages vs 2 MiB huge pages (a huge-page insertion
+/// updates 512 Protection Table entries — exactly one table block).
+fn huge_pages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_huge_pages");
+    group.sample_size(10);
+    for (name, huge) in [("base_4k", false), ("huge_2m", true)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &huge, |b, &huge| {
+            let mut config = bench_config(SafetyModel::BorderControlBcc, "nn");
+            config.use_huge_pages = huge;
+            b.iter(|| black_box(System::build(&config).unwrap().run().cycles));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, parallel_check, flush_policy, pt_latency, bcc_size, huge_pages);
+criterion_main!(benches);

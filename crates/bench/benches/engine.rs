@@ -1,0 +1,157 @@
+//! Microbenchmarks of the simulated hardware structures.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use bc_cache::{Access, Cache, CacheConfig, Replacement, Tlb, TlbConfig, TlbEntry, WritePolicy};
+use bc_core::{Bcc, BccConfig, ProtectionTable};
+use bc_mem::{Asid, PagePerms, PageSize, PageTable, PhysAddr, PhysMemStore, Ppn, Vpn};
+use bc_sim::{Cycle, EventQueue, SimRng};
+
+fn protection_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protection_table");
+    let table = ProtectionTable::new(Ppn::new(1000), 1 << 20);
+
+    group.bench_function("merge", |b| {
+        let mut store = PhysMemStore::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            table.merge(&mut store, Ppn::new(i % 100_000), PagePerms::READ_WRITE);
+            i += 1;
+        });
+    });
+    group.bench_function("lookup", |b| {
+        let mut store = PhysMemStore::new();
+        for p in 0..100_000 {
+            table.merge(&mut store, Ppn::new(p), PagePerms::READ_ONLY);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            black_box(table.lookup(&store, Ppn::new(i % 100_000)));
+            i += 1;
+        });
+    });
+    group.bench_function("zero_3GiB_table", |b| {
+        let mut store = PhysMemStore::new();
+        let table = ProtectionTable::new(Ppn::new(1000), (3u64 << 30) / 4096);
+        b.iter(|| black_box(table.zero(&mut store, None)));
+    });
+    group.finish();
+}
+
+fn bcc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bcc");
+    group.bench_function("lookup_hit", |b| {
+        let mut bcc = Bcc::new(BccConfig::default());
+        bcc.fill(Ppn::new(0), &[PagePerms::READ_WRITE; 512]);
+        b.iter(|| black_box(bcc.lookup(Ppn::new(7))));
+    });
+    group.bench_function("fill", |b| {
+        let mut bcc = Bcc::new(BccConfig::default());
+        let block = [PagePerms::READ_WRITE; 512];
+        let mut i = 0u64;
+        b.iter(|| {
+            bcc.fill(Ppn::new((i % 1024) * 512), &block);
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+fn caches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    let config = CacheConfig {
+        size_bytes: 256 << 10,
+        ways: 16,
+        block_bytes: 128,
+        write_policy: WritePolicy::WriteBack,
+        replacement: Replacement::Lru,
+    };
+    group.bench_function("l2_access_streaming", |b| {
+        let mut cache = Cache::new(config);
+        let mut i = 0u64;
+        b.iter(|| {
+            black_box(cache.access(PhysAddr::new((i % 100_000) * 128), Access::Read));
+            i += 1;
+        });
+    });
+    group.bench_function("l2_access_resident", |b| {
+        let mut cache = Cache::new(config);
+        for i in 0..1024u64 {
+            cache.access(PhysAddr::new(i * 128), Access::Read);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            black_box(cache.access(PhysAddr::new((i % 1024) * 128), Access::Read));
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+fn tlbs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tlb");
+    group.bench_function("fully_assoc_64_lookup", |b| {
+        let mut tlb = Tlb::new(TlbConfig { entries: 64, ways: 64 });
+        for i in 0..64u64 {
+            tlb.insert(TlbEntry {
+                asid: Asid::new(1),
+                vpn: Vpn::new(i),
+                ppn: Ppn::new(i + 100),
+                perms: PagePerms::READ_WRITE,
+                size: PageSize::Base4K,
+            });
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            black_box(tlb.lookup(Asid::new(1), Vpn::new(i % 64)));
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+fn page_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("page_table");
+    group.bench_function("translate_4_level", |b| {
+        let mut table = PageTable::new(Asid::new(1));
+        for i in 0..4096u64 {
+            table
+                .map(Vpn::new(i), Ppn::new(i + 10), PagePerms::READ_WRITE, PageSize::Base4K)
+                .unwrap();
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            black_box(table.translate(Vpn::new(i % 4096)).unwrap());
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+fn event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.bench_function("push_pop_1k", |b| {
+        let mut rng = SimRng::seed_from(7);
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.push(Cycle::new(rng.below(100_000)), i);
+            }
+            while let Some(e) = q.pop() {
+                black_box(e);
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    protection_table,
+    bcc,
+    caches,
+    tlbs,
+    page_table,
+    event_queue
+);
+criterion_main!(benches);

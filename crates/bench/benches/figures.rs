@@ -1,0 +1,118 @@
+//! One benchmark group per paper figure/table: each runs the full-system
+//! configuration that regenerates the result (print the actual rows with
+//! the `bc-experiments` binaries: `fig4`, `fig5`, `fig6`, `fig7`,
+//! `table1`–`table3`, `storage`, `attacks`).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bc_bench::bench_config;
+use bc_core::{Bcc, BccConfig};
+use bc_mem::{PagePerms, Ppn};
+use bc_system::{SafetyModel, System};
+
+/// Figure 4: one full run per safety configuration.
+fn fig4_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_overhead");
+    group.sample_size(10);
+    for safety in SafetyModel::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(safety.label().replace(' ', "_")),
+            &safety,
+            |b, &safety| {
+                let config = bench_config(safety, "hotspot");
+                b.iter(|| black_box(System::build(&config).unwrap().run().cycles));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Figure 5: the measurement run that produces checks/cycle.
+fn fig5_check_rate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_check_rate");
+    group.sample_size(10);
+    for workload in ["backprop", "bfs", "nn"] {
+        group.bench_with_input(BenchmarkId::from_parameter(workload), &workload, |b, w| {
+            let config = bench_config(SafetyModel::BorderControlBcc, w);
+            b.iter(|| {
+                let report = System::build(&config).unwrap().run();
+                black_box(report.checks_per_cycle())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Figure 6: replay cost of the BCC sweep at each subblocking factor.
+fn fig6_bcc_sweep(c: &mut Criterion) {
+    // Capture one stream.
+    let mut config = bench_config(SafetyModel::BorderControlBcc, "bfs");
+    config.record_check_stream = true;
+    let mut system = System::build(&config).unwrap();
+    system.run();
+    let stream = system.take_check_stream();
+    assert!(!stream.is_empty());
+
+    let mut group = c.benchmark_group("fig6_bcc_sweep");
+    for ppe in [1u64, 2, 32, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(ppe), &ppe, |b, &ppe| {
+            let cfg = BccConfig {
+                entries: 64,
+                pages_per_entry: ppe,
+                ways: 8,
+                latency: 10,
+            };
+            let block = [PagePerms::READ_WRITE; 512];
+            b.iter(|| {
+                let mut bcc = Bcc::new(cfg);
+                for (ppn, _) in &stream {
+                    if bcc.lookup(*ppn).is_none() {
+                        bcc.fill(*ppn, &block);
+                    }
+                }
+                black_box(bcc.stats().miss_ratio())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Figure 7: a run under downgrade pressure.
+fn fig7_downgrades(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_downgrades");
+    group.sample_size(10);
+    for rate in [0u64, 100_000, 300_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(rate), &rate, |b, &rate| {
+            let mut config = bench_config(SafetyModel::BorderControlBcc, "hotspot");
+            config.downgrades_per_second = rate;
+            b.iter(|| black_box(System::build(&config).unwrap().run().cycles));
+        });
+    }
+    group.finish();
+}
+
+/// Figure-5-adjacent microcheck: a malicious run (attack table).
+fn attacks_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attacks");
+    group.sample_size(10);
+    group.bench_function("malicious_blocked", |b| {
+        let mut config = bench_config(SafetyModel::BorderControlBcc, "nn");
+        config.behavior = bc_accel::Behavior::Malicious {
+            probe_period: 100,
+            probe_writes: true,
+        };
+        config.violation_policy = bc_os::ViolationPolicy::LogOnly;
+        b.iter(|| black_box(System::build(&config).unwrap().run().violation_count));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    fig4_overhead,
+    fig5_check_rate,
+    fig6_bcc_sweep,
+    fig7_downgrades,
+    attacks_run
+);
+criterion_main!(benches);

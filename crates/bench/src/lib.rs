@@ -1,0 +1,51 @@
+//! Criterion benchmark harness for the Border Control reproduction.
+//!
+//! Three bench suites live under `benches/`:
+//!
+//! * `engine` — microbenchmarks of the hardware structures themselves
+//!   (Protection Table, BCC, caches, TLBs, page-table walks, the event
+//!   queue), establishing the simulator's own performance envelope.
+//! * `figures` — one group per paper figure/table: each benchmark runs
+//!   the full-system configuration that regenerates that result (the
+//!   printable rows come from the `bc-experiments` binaries; the benches
+//!   keep regeneration cost measured and regressions visible).
+//! * `ablations` — the design-choice studies DESIGN.md calls out:
+//!   parallel vs serialized read checks, full-flush vs selective
+//!   downgrades, BCC subblocking, and Protection Table latency
+//!   sensitivity.
+//!
+//! Shared helpers for those suites are exported here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bc_system::{GpuClass, SafetyModel, System, SystemConfig};
+use bc_workloads::WorkloadSize;
+
+/// A fast-running full-system configuration for benches.
+pub fn bench_config(safety: SafetyModel, workload: &str) -> SystemConfig {
+    let mut c = SystemConfig::table3_defaults();
+    c.safety = safety;
+    c.gpu_class = GpuClass::ModeratelyThreaded;
+    c.workload = workload.to_string();
+    c.size = WorkloadSize::Tiny;
+    c.max_ops_per_wavefront = Some(500);
+    c
+}
+
+/// Builds and runs one configuration, returning simulated cycles (used as
+/// a sanity check inside benches).
+pub fn run_cycles(config: &SystemConfig) -> u64 {
+    System::build(config).expect("bench config builds").run().cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_config_is_fast_and_valid() {
+        let cycles = run_cycles(&bench_config(SafetyModel::BorderControlBcc, "nn"));
+        assert!(cycles > 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Cache substrate: set-associative caches, MOESI coherence, TLBs and
+//! MSHRs for the Border Control reproduction.
+//!
+//! The paper's accelerator keeps *physically addressed* caches and TLBs —
+//! that is the whole point: Border Control lets an untrusted accelerator
+//! keep these performance structures while the host stays safe. This crate
+//! provides:
+//!
+//! * [`set_assoc`] — a generic set-associative [`Cache`] with write-back
+//!   and write-through policies, per-page flush (the selective-flush
+//!   optimization of §3.2.4), and full-flush support.
+//! * [`coherence`] — a MOESI state machine with the §3.4.3 *border
+//!   ownership invariant*: an untrusted cache is never granted an owning
+//!   state (E/M/O) for a block whose page it cannot write.
+//! * [`tlb`] — a set-associative, ASID-aware [`Tlb`] with shootdown
+//!   support (and the ability to *ignore* shootdowns, which is how the
+//!   buggy-accelerator threat model is exercised).
+//! * [`mshr`] — miss-status holding registers that merge duplicate misses
+//!   and bound outstanding misses per cache.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coherence;
+pub mod mshr;
+pub mod set_assoc;
+pub mod tlb;
+
+pub use coherence::{BusEvent, CoherenceState, CpuEvent, MoesiLine};
+pub use mshr::{MshrOutcome, MshrTable};
+pub use set_assoc::{Access, Cache, CacheConfig, Evicted, LookupResult, Replacement, WritePolicy};
+pub use tlb::{Tlb, TlbConfig, TlbEntry};

@@ -1,0 +1,621 @@
+//! Generic set-associative cache model.
+
+use serde::{Deserialize, Serialize};
+
+use bc_mem::addr::{PhysAddr, Ppn};
+use bc_sim::stats::{Counter, HitMiss};
+use bc_sim::SimRng;
+
+/// Kind of access presented to a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Access {
+    /// A load (or instruction fetch).
+    Read,
+    /// A store.
+    Write,
+}
+
+impl Access {
+    /// Whether this access is a write.
+    pub fn is_write(self) -> bool {
+        matches!(self, Access::Write)
+    }
+}
+
+/// Write handling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WritePolicy {
+    /// Write-back, write-allocate: stores dirty the line; misses allocate.
+    /// Used for the GPU's shared L2 in the paper's system.
+    WriteBack,
+    /// Write-through, no-write-allocate: stores always propagate below and
+    /// never dirty or allocate lines. Used for the GPU-internal L1s
+    /// ("within the GPU, we use a simple write-through protocol", §5.1).
+    WriteThrough,
+}
+
+/// Replacement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Replacement {
+    /// True least-recently-used via a use clock.
+    Lru,
+    /// Uniform random victim (cheap hardware approximation).
+    Random,
+}
+
+/// Static cache geometry and policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (lines per set).
+    pub ways: usize,
+    /// Line (block) size in bytes; 128 in the paper's memory system.
+    pub block_bytes: u64,
+    /// Write policy.
+    pub write_policy: WritePolicy,
+    /// Replacement policy.
+    pub replacement: Replacement,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero ways, non-power-of-two
+    /// set count, or capacity smaller than one way of blocks).
+    pub fn sets(&self) -> usize {
+        assert!(self.ways > 0, "cache needs at least one way");
+        let lines = self.size_bytes / self.block_bytes;
+        assert!(lines >= self.ways as u64, "capacity below one set");
+        let sets = (lines / self.ways as u64) as usize;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets
+    }
+}
+
+/// An evicted line that may require a writeback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// Base physical address of the evicted block.
+    pub addr: PhysAddr,
+    /// Whether the block was dirty (needs writing back below).
+    pub dirty: bool,
+}
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupResult {
+    /// The block was present.
+    Hit,
+    /// The block was absent. If the access allocates, `victim` is the line
+    /// that was displaced (with its dirtiness); `allocated` says whether a
+    /// fill happened at all (write-through caches do not allocate on write
+    /// misses).
+    Miss {
+        /// Displaced line, if an allocation displaced a valid line.
+        victim: Option<Evicted>,
+        /// Whether the missing block was brought into the cache.
+        allocated: bool,
+    },
+}
+
+impl LookupResult {
+    /// Whether this was a hit.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, LookupResult::Hit)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    last_use: u64,
+}
+
+impl Line {
+    const INVALID: Line = Line {
+        tag: 0,
+        valid: false,
+        dirty: false,
+        last_use: 0,
+    };
+}
+
+/// A set-associative cache tracking block presence and dirtiness (data
+/// contents live in [`bc_mem::PhysMemStore`]; the cache is a tag store, as
+/// in most timing simulators).
+///
+/// # Example
+///
+/// ```
+/// use bc_cache::{Cache, CacheConfig, Access, WritePolicy, Replacement};
+/// use bc_mem::addr::PhysAddr;
+///
+/// let mut l2 = Cache::new(CacheConfig {
+///     size_bytes: 256 << 10,
+///     ways: 16,
+///     block_bytes: 128,
+///     write_policy: WritePolicy::WriteBack,
+///     replacement: Replacement::Lru,
+/// });
+/// assert!(!l2.access(PhysAddr::new(0x1000), Access::Read).is_hit());
+/// assert!(l2.access(PhysAddr::new(0x1000), Access::Read).is_hit());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    set_mask: u64,
+    block_shift: u32,
+    clock: u64,
+    rng: SimRng,
+    stats: HitMiss,
+    writebacks: Counter,
+    write_throughs: Counter,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        Cache {
+            sets: vec![vec![Line::INVALID; config.ways]; sets],
+            set_mask: sets as u64 - 1,
+            block_shift: config.block_bytes.trailing_zeros(),
+            clock: 0,
+            rng: SimRng::seed_from(0xCAC4E),
+            config,
+            stats: HitMiss::new(),
+            writebacks: Counter::new(),
+            write_throughs: Counter::new(),
+        }
+    }
+
+    /// The cache geometry and policy.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    fn split(&self, addr: PhysAddr) -> (usize, u64) {
+        let block = addr.as_u64() >> self.block_shift;
+        let bits = self.set_mask.count_ones();
+        // XOR-fold the upper bits into the index (standard GPU cache set
+        // hashing) so power-of-two strides — ubiquitous in HPC grids —
+        // don't collapse onto a handful of sets.
+        let set = (block ^ (block >> bits) ^ (block >> (2 * bits))) & self.set_mask;
+        (set as usize, block >> bits)
+    }
+
+    fn unsplit(&self, set: usize, tag: u64) -> u64 {
+        let bits = self.set_mask.count_ones();
+        // Invert the XOR fold: the stored tag is the block's upper bits,
+        // so recompute the hashed low bits from it.
+        let low = (set as u64 ^ tag ^ (tag >> bits)) & self.set_mask;
+        (tag << bits) | low
+    }
+
+    fn block_addr(&self, set: usize, tag: u64) -> PhysAddr {
+        PhysAddr::new(self.unsplit(set, tag) << self.block_shift)
+    }
+
+    /// Presents an access; updates contents, recency and statistics.
+    pub fn access(&mut self, addr: PhysAddr, access: Access) -> LookupResult {
+        self.clock += 1;
+        let (set_idx, tag) = self.split(addr);
+        let policy = self.config.write_policy;
+        let clock = self.clock;
+        let set = &mut self.sets[set_idx];
+
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.last_use = clock;
+            if access.is_write() {
+                match policy {
+                    WritePolicy::WriteBack => line.dirty = true,
+                    WritePolicy::WriteThrough => self.write_throughs.inc(),
+                }
+            }
+            self.stats.hit();
+            return LookupResult::Hit;
+        }
+
+        self.stats.miss();
+
+        // Write-through caches do not allocate on write misses.
+        if access.is_write() && policy == WritePolicy::WriteThrough {
+            self.write_throughs.inc();
+            return LookupResult::Miss {
+                victim: None,
+                allocated: false,
+            };
+        }
+
+        // Choose a victim way: invalid first, else by replacement policy.
+        let way = match set.iter().position(|l| !l.valid) {
+            Some(w) => w,
+            None => match self.config.replacement {
+                Replacement::Lru => set
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.last_use)
+                    .map(|(i, _)| i)
+                    .expect("non-empty set"),
+                Replacement::Random => self.rng.below(self.config.ways as u64) as usize,
+            },
+        };
+
+        let old_line = set[way];
+        let victim = if old_line.valid {
+            if old_line.dirty {
+                self.writebacks.inc();
+            }
+            Some(Evicted {
+                addr: self.block_addr(set_idx, old_line.tag),
+                dirty: old_line.dirty,
+            })
+        } else {
+            None
+        };
+
+        let set = &mut self.sets[set_idx];
+        set[way] = Line {
+            tag,
+            valid: true,
+            dirty: access.is_write() && policy == WritePolicy::WriteBack,
+            last_use: clock,
+        };
+
+        LookupResult::Miss {
+            victim,
+            allocated: true,
+        }
+    }
+
+    /// Whether a block is currently cached (no state change).
+    pub fn contains(&self, addr: PhysAddr) -> bool {
+        let (set_idx, tag) = self.split(addr);
+        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Whether a block is cached dirty (no state change).
+    pub fn is_dirty(&self, addr: PhysAddr) -> bool {
+        let (set_idx, tag) = self.split(addr);
+        self.sets[set_idx]
+            .iter()
+            .any(|l| l.valid && l.tag == tag && l.dirty)
+    }
+
+    /// Downgrades one block from dirty to clean (a remote GetS observed:
+    /// M/O -> S), returning whether it was present and whether it was
+    /// dirty (the caller writes dirty data back to memory).
+    pub fn downgrade_block(&mut self, addr: PhysAddr) -> Option<bool> {
+        let (set_idx, tag) = self.split(addr);
+        for line in self.sets[set_idx].iter_mut() {
+            if line.valid && line.tag == tag {
+                let was_dirty = line.dirty;
+                line.dirty = false;
+                if was_dirty {
+                    self.writebacks.inc();
+                }
+                return Some(was_dirty);
+            }
+        }
+        None
+    }
+
+    /// Invalidates one block, returning it if it was valid.
+    pub fn invalidate_block(&mut self, addr: PhysAddr) -> Option<Evicted> {
+        let (set_idx, tag) = self.split(addr);
+        let set = &mut self.sets[set_idx];
+        for line in set.iter_mut() {
+            if line.valid && line.tag == tag {
+                let ev = Evicted {
+                    addr,
+                    dirty: line.dirty,
+                };
+                if line.dirty {
+                    self.writebacks.inc();
+                }
+                *line = Line::INVALID;
+                return Some(ev);
+            }
+        }
+        None
+    }
+
+    /// Invalidates every block belonging to physical page `ppn` (the
+    /// selective-flush optimization of §3.2.4), returning the evicted
+    /// blocks. Dirty ones must be written back *before* the permission
+    /// change takes effect.
+    pub fn flush_page(&mut self, ppn: Ppn) -> Vec<Evicted> {
+        let mut out = Vec::new();
+        for set_idx in 0..self.sets.len() {
+            for way in 0..self.config.ways {
+                let line = self.sets[set_idx][way];
+                if line.valid {
+                    let addr = self.block_addr(set_idx, line.tag);
+                    if addr.ppn() == ppn {
+                        if line.dirty {
+                            self.writebacks.inc();
+                        }
+                        out.push(Evicted {
+                            addr,
+                            dirty: line.dirty,
+                        });
+                        self.sets[set_idx][way] = Line::INVALID;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Invalidates the whole cache, returning every valid block (callers
+    /// write back the dirty ones). Used on process completion (§3.2.5) and
+    /// full-flush downgrades.
+    pub fn flush_all(&mut self) -> Vec<Evicted> {
+        let mut out = Vec::new();
+        for set_idx in 0..self.sets.len() {
+            for way in 0..self.config.ways {
+                let line = self.sets[set_idx][way];
+                if line.valid {
+                    if line.dirty {
+                        self.writebacks.inc();
+                    }
+                    out.push(Evicted {
+                        addr: self.block_addr(set_idx, line.tag),
+                        dirty: line.dirty,
+                    });
+                    self.sets[set_idx][way] = Line::INVALID;
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of valid lines (for tests and reports).
+    pub fn valid_lines(&self) -> usize {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter())
+            .filter(|l| l.valid)
+            .count()
+    }
+
+    /// Number of dirty lines.
+    pub fn dirty_lines(&self) -> usize {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter())
+            .filter(|l| l.valid && l.dirty)
+            .count()
+    }
+
+    /// Hit/miss statistics.
+    pub fn stats(&self) -> HitMiss {
+        self.stats
+    }
+
+    /// Dirty evictions counted so far.
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks.get()
+    }
+
+    /// Write-through store count (write-through caches only).
+    pub fn write_throughs(&self) -> u64 {
+        self.write_throughs.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(write_policy: WritePolicy) -> Cache {
+        Cache::new(CacheConfig {
+            size_bytes: 1024, // 8 lines
+            ways: 2,          // 4 sets
+            block_bytes: 128,
+            write_policy,
+            replacement: Replacement::Lru,
+        })
+    }
+
+    fn addr(block: u64) -> PhysAddr {
+        PhysAddr::new(block * 128)
+    }
+
+    #[test]
+    fn geometry() {
+        let c = small(WritePolicy::WriteBack);
+        assert_eq!(c.config().sets(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_rejected() {
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 3 * 128,
+            ways: 1,
+            block_bytes: 128,
+            write_policy: WritePolicy::WriteBack,
+            replacement: Replacement::Lru,
+        });
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small(WritePolicy::WriteBack);
+        assert!(!c.access(addr(0), Access::Read).is_hit());
+        assert!(c.access(addr(0), Access::Read).is_hit());
+        assert_eq!(c.stats().hits(), 1);
+        assert_eq!(c.stats().misses(), 1);
+    }
+
+    /// Returns three distinct block numbers that hash to the same set of
+    /// `c` (the set index is XOR-hashed, so conflicts are found by probe).
+    fn three_conflicting(c: &Cache) -> (u64, u64, u64) {
+        let (target, _) = c.split(addr(0));
+        let mut found = vec![0u64];
+        let mut b = 1;
+        while found.len() < 3 {
+            if c.split(addr(b)).0 == target {
+                found.push(b);
+            }
+            b += 1;
+        }
+        (found[0], found[1], found[2])
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small(WritePolicy::WriteBack);
+        let (a, b, v) = three_conflicting(&c);
+        c.access(addr(a), Access::Read);
+        c.access(addr(b), Access::Read);
+        c.access(addr(a), Access::Read); // touch a again; b is now LRU
+        let res = c.access(addr(v), Access::Read);
+        match res {
+            LookupResult::Miss {
+                victim: Some(ev), ..
+            } => assert_eq!(ev.addr, addr(b)),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert!(c.contains(addr(a)));
+        assert!(!c.contains(addr(b)));
+        assert!(c.contains(addr(v)));
+    }
+
+    #[test]
+    fn writeback_dirty_eviction() {
+        let mut c = small(WritePolicy::WriteBack);
+        let (a, b, v) = three_conflicting(&c);
+        c.access(addr(a), Access::Write);
+        assert!(c.is_dirty(addr(a)));
+        c.access(addr(b), Access::Read);
+        let res = c.access(addr(v), Access::Read); // evicts dirty a
+        match res {
+            LookupResult::Miss {
+                victim: Some(ev), ..
+            } => {
+                assert_eq!(ev.addr, addr(a));
+                assert!(ev.dirty);
+            }
+            other => panic!("expected dirty eviction, got {other:?}"),
+        }
+        assert_eq!(c.writebacks(), 1);
+    }
+
+    #[test]
+    fn unsplit_inverts_split_exactly() {
+        let c = small(WritePolicy::WriteBack);
+        for block in (0..20_000u64).step_by(37) {
+            let a = addr(block);
+            let (set, tag) = c.split(a);
+            assert_eq!(c.block_addr(set, tag), a, "round-trip failed for block {block}");
+        }
+    }
+
+    #[test]
+    fn write_through_never_dirty_never_allocates_on_write() {
+        let mut c = small(WritePolicy::WriteThrough);
+        let res = c.access(addr(0), Access::Write);
+        assert_eq!(
+            res,
+            LookupResult::Miss {
+                victim: None,
+                allocated: false
+            }
+        );
+        assert!(!c.contains(addr(0)));
+        // Read fill, then write hit: stays clean.
+        c.access(addr(0), Access::Read);
+        c.access(addr(0), Access::Write);
+        assert!(c.contains(addr(0)));
+        assert!(!c.is_dirty(addr(0)));
+        assert_eq!(c.write_throughs(), 2);
+        assert_eq!(c.dirty_lines(), 0);
+    }
+
+    #[test]
+    fn downgrade_block_cleans_in_place() {
+        let mut c = small(WritePolicy::WriteBack);
+        c.access(addr(0), Access::Write);
+        assert_eq!(c.downgrade_block(addr(0)), Some(true));
+        assert!(c.contains(addr(0)), "block stays resident");
+        assert!(!c.is_dirty(addr(0)));
+        assert_eq!(c.downgrade_block(addr(0)), Some(false), "second downgrade clean");
+        assert_eq!(c.downgrade_block(addr(99)), None, "absent block");
+        assert_eq!(c.writebacks(), 1);
+    }
+
+    #[test]
+    fn invalidate_block_reports_dirtiness() {
+        let mut c = small(WritePolicy::WriteBack);
+        c.access(addr(0), Access::Write);
+        let ev = c.invalidate_block(addr(0)).unwrap();
+        assert!(ev.dirty);
+        assert!(c.invalidate_block(addr(0)).is_none());
+        assert_eq!(c.valid_lines(), 0);
+    }
+
+    #[test]
+    fn flush_page_selective() {
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 64 << 10,
+            ways: 4,
+            block_bytes: 128,
+            write_policy: WritePolicy::WriteBack,
+            replacement: Replacement::Lru,
+        });
+        // Page 0 has blocks 0..32 (4096/128); page 1 blocks 32..64.
+        c.access(addr(0), Access::Write);
+        c.access(addr(1), Access::Read);
+        c.access(addr(33), Access::Write);
+        let flushed = c.flush_page(Ppn::new(0));
+        assert_eq!(flushed.len(), 2);
+        assert!(flushed.iter().any(|e| e.dirty));
+        assert!(c.contains(addr(33)), "other page untouched");
+        assert!(!c.contains(addr(0)));
+    }
+
+    #[test]
+    fn flush_all_empties() {
+        let mut c = small(WritePolicy::WriteBack);
+        c.access(addr(0), Access::Write);
+        c.access(addr(5), Access::Read);
+        let flushed = c.flush_all();
+        assert_eq!(flushed.len(), 2);
+        assert_eq!(c.valid_lines(), 0);
+        assert_eq!(flushed.iter().filter(|e| e.dirty).count(), 1);
+    }
+
+    #[test]
+    fn random_replacement_runs() {
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 512, // 4 lines
+            ways: 2,
+            block_bytes: 128,
+            write_policy: WritePolicy::WriteBack,
+            replacement: Replacement::Random,
+        });
+        for b in 0..100 {
+            c.access(addr(b), Access::Read);
+        }
+        assert!(c.valid_lines() <= 4);
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = small(WritePolicy::WriteBack);
+        for b in 0..4 {
+            c.access(addr(b), Access::Read);
+        }
+        for b in 0..4 {
+            assert!(c.contains(addr(b)));
+        }
+    }
+}

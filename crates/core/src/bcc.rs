@@ -1,0 +1,443 @@
+//! The Border Control Cache (BCC): a small cache of the Protection Table
+//! (§3.1.2).
+
+use serde::{Deserialize, Serialize};
+
+use bc_mem::addr::Ppn;
+use bc_mem::perms::PagePerms;
+use bc_sim::stats::HitMiss;
+
+use crate::table::PAGES_PER_BLOCK;
+
+/// BCC geometry.
+///
+/// Entries are *subblocked*: one tag covers `pages_per_entry` consecutive
+/// physical pages' permissions, "similar to a subblock TLB" (§3.1.2).
+/// The paper's default — 64 entries × 512 pages/entry — is 8 KiB of
+/// permission bits with a 128 MiB reach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BccConfig {
+    /// Number of entries.
+    pub entries: usize,
+    /// Pages covered per entry (power of two, ≤ 512).
+    pub pages_per_entry: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Lookup latency in cycles (Table 3: 10 cycles).
+    pub latency: u64,
+}
+
+impl Default for BccConfig {
+    fn default() -> Self {
+        BccConfig {
+            entries: 64,
+            pages_per_entry: 512,
+            ways: 8,
+            latency: 10,
+        }
+    }
+}
+
+impl BccConfig {
+    /// Per-entry tag size in bits (the paper charges a 36-bit tag, §5.2.2).
+    pub const TAG_BITS: u64 = 36;
+
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate geometry.
+    pub fn sets(&self) -> usize {
+        assert!(self.ways > 0 && self.entries >= self.ways);
+        assert!(
+            self.pages_per_entry.is_power_of_two() && self.pages_per_entry <= PAGES_PER_BLOCK,
+            "pages_per_entry must be a power of two ≤ 512"
+        );
+        let sets = self.entries / self.ways;
+        assert!(sets.is_power_of_two(), "BCC set count must be a power of two");
+        sets
+    }
+
+    /// Permission-bit storage in bytes (2 bits per covered page).
+    pub fn data_bytes(&self) -> u64 {
+        self.entries as u64 * self.pages_per_entry * 2 / 8
+    }
+
+    /// Total storage in bytes including tags — the x-axis of Figure 6.
+    pub fn total_bytes(&self) -> u64 {
+        (self.entries as u64 * (self.pages_per_entry * 2 + Self::TAG_BITS)).div_ceil(8)
+    }
+
+    /// Physical-memory reach in bytes.
+    pub fn reach_bytes(&self) -> u64 {
+        self.entries as u64 * self.pages_per_entry * bc_mem::PAGE_SIZE
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    /// Group number: `ppn / pages_per_entry`.
+    tag: u64,
+    valid: bool,
+    last_use: u64,
+    /// 2 bits per page, packed 4 pages/byte, `pages_per_entry` pages.
+    bits: Vec<u8>,
+}
+
+impl Entry {
+    fn empty(pages_per_entry: u64) -> Self {
+        Entry {
+            tag: 0,
+            valid: false,
+            last_use: 0,
+            bits: vec![0; (pages_per_entry as usize * 2).div_ceil(8)],
+        }
+    }
+
+    fn perms_of(&self, index: u64) -> PagePerms {
+        let byte = self.bits[(index / 4) as usize];
+        let shift = (index % 4) * 2;
+        let bits = (byte >> shift) & 0b11;
+        PagePerms::new(bits & 0b01 != 0, bits & 0b10 != 0, false)
+    }
+
+    fn set_perms(&mut self, index: u64, perms: PagePerms) {
+        let slot = &mut self.bits[(index / 4) as usize];
+        let shift = (index % 4) * 2;
+        let bits = (perms.readable() as u8) | ((perms.writable() as u8) << 1);
+        *slot = (*slot & !(0b11 << shift)) | (bits << shift);
+    }
+}
+
+/// The Border Control Cache.
+///
+/// Explicitly managed by the Border Control hardware — it "does not
+/// require hardware cache coherence" (§3.1.2); instead every update is
+/// written through to the Protection Table by the engine, so the BCC is
+/// always a subset view of the table.
+///
+/// # Example
+///
+/// ```
+/// use bc_core::{Bcc, BccConfig};
+/// use bc_mem::{Ppn, PagePerms};
+///
+/// let mut bcc = Bcc::new(BccConfig::default());
+/// assert_eq!(bcc.lookup(Ppn::new(7)), None); // cold miss
+/// let block = [PagePerms::READ_ONLY; 512];
+/// bcc.fill(Ppn::new(7), &block);
+/// assert_eq!(bcc.lookup(Ppn::new(7)), Some(PagePerms::READ_ONLY));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bcc {
+    config: BccConfig,
+    sets: Vec<Vec<Entry>>,
+    set_mask: u64,
+    clock: u64,
+    stats: HitMiss,
+}
+
+impl Bcc {
+    /// Creates an empty BCC.
+    pub fn new(config: BccConfig) -> Self {
+        let sets = config.sets();
+        Bcc {
+            sets: vec![
+                vec![Entry::empty(config.pages_per_entry); config.ways];
+                sets
+            ],
+            set_mask: sets as u64 - 1,
+            clock: 0,
+            config,
+            stats: HitMiss::new(),
+        }
+    }
+
+    /// The geometry in use.
+    pub fn config(&self) -> BccConfig {
+        self.config
+    }
+
+    fn group_of(&self, ppn: Ppn) -> u64 {
+        ppn.as_u64() / self.config.pages_per_entry
+    }
+
+    fn set_of(&self, group: u64) -> usize {
+        (group & self.set_mask) as usize
+    }
+
+    /// Looks up one page's permissions; `None` is a BCC miss (the engine
+    /// then reads the Protection Table block and [`Bcc::fill`]s).
+    pub fn lookup(&mut self, ppn: Ppn) -> Option<PagePerms> {
+        self.clock += 1;
+        let clock = self.clock;
+        let group = self.group_of(ppn);
+        let index = ppn.as_u64() % self.config.pages_per_entry;
+        let set = self.set_of(group);
+        for e in &mut self.sets[set] {
+            if e.valid && e.tag == group {
+                e.last_use = clock;
+                self.stats.hit();
+                return Some(e.perms_of(index));
+            }
+        }
+        self.stats.miss();
+        None
+    }
+
+    /// Checks presence without touching LRU/stats.
+    pub fn peek(&self, ppn: Ppn) -> Option<PagePerms> {
+        let group = self.group_of(ppn);
+        let index = ppn.as_u64() % self.config.pages_per_entry;
+        self.sets[self.set_of(group)]
+            .iter()
+            .find(|e| e.valid && e.tag == group)
+            .map(|e| e.perms_of(index))
+    }
+
+    /// Fills the entry covering `ppn` from a Protection Table block (the
+    /// 512-page granule returned by
+    /// [`ProtectionTable::read_block`](crate::table::ProtectionTable::read_block)).
+    /// Evicts LRU on conflict. Eviction needs no writeback: the BCC is
+    /// write-through.
+    pub fn fill(&mut self, ppn: Ppn, block: &[PagePerms; 512]) {
+        self.clock += 1;
+        let clock = self.clock;
+        let ppe = self.config.pages_per_entry;
+        let group = self.group_of(ppn);
+        let set_idx = self.set_of(group);
+        let set = &mut self.sets[set_idx];
+        let way = match set.iter().position(|e| !e.valid) {
+            Some(w) => w,
+            None => set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(i, _)| i)
+                .expect("non-empty set"),
+        };
+        let entry = &mut set[way];
+        entry.tag = group;
+        entry.valid = true;
+        entry.last_use = clock;
+        // Position of this entry's group within the 512-page PT block.
+        let group_base = group * ppe;
+        let offset_in_block = group_base % PAGES_PER_BLOCK;
+        for i in 0..ppe {
+            entry.set_perms(i, block[(offset_in_block + i) as usize]);
+        }
+    }
+
+    /// Merges permissions for one page if its entry is present; returns
+    /// whether an update happened (if not, the engine must fill first).
+    /// The engine writes the same update through to the Protection Table.
+    pub fn update(&mut self, ppn: Ppn, perms: PagePerms) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        let group = self.group_of(ppn);
+        let index = ppn.as_u64() % self.config.pages_per_entry;
+        let set = self.set_of(group);
+        for e in &mut self.sets[set] {
+            if e.valid && e.tag == group {
+                let old = e.perms_of(index);
+                e.set_perms(index, old | perms.border_enforceable());
+                e.last_use = clock;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Overwrites (possibly downgrading) one page's permissions if
+    /// present — used on permission downgrades after the accelerator
+    /// flush completes (§3.2.4).
+    pub fn overwrite(&mut self, ppn: Ppn, perms: PagePerms) -> bool {
+        let group = self.group_of(ppn);
+        let index = ppn.as_u64() % self.config.pages_per_entry;
+        let set = self.set_of(group);
+        for e in &mut self.sets[set] {
+            if e.valid && e.tag == group {
+                e.set_perms(index, perms.border_enforceable());
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Invalidates the entry covering `ppn`.
+    pub fn invalidate_page(&mut self, ppn: Ppn) -> bool {
+        let group = self.group_of(ppn);
+        let set = self.set_of(group);
+        for e in &mut self.sets[set] {
+            if e.valid && e.tag == group {
+                e.valid = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Invalidates everything (full-flush downgrade / process completion).
+    pub fn invalidate_all(&mut self) {
+        for set in &mut self.sets {
+            for e in set {
+                e.valid = false;
+            }
+        }
+    }
+
+    /// Number of valid entries.
+    pub fn valid_entries(&self) -> usize {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter())
+            .filter(|e| e.valid)
+            .count()
+    }
+
+    /// Hit/miss statistics — the quantity swept in Figure 6.
+    pub fn stats(&self) -> HitMiss {
+        self.stats
+    }
+
+    /// Resets hit/miss statistics (between measurement phases).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block_with(pairs: &[(u64, PagePerms)]) -> [PagePerms; 512] {
+        let mut b = [PagePerms::NONE; 512];
+        for &(i, p) in pairs {
+            b[i as usize] = p;
+        }
+        b
+    }
+
+    #[test]
+    fn default_config_is_paper_8kib() {
+        let c = BccConfig::default();
+        assert_eq!(c.data_bytes(), 8 << 10);
+        assert_eq!(c.reach_bytes(), 128 << 20);
+        assert_eq!(c.sets(), 8);
+    }
+
+    #[test]
+    fn cold_miss_then_fill_then_hit() {
+        let mut bcc = Bcc::new(BccConfig::default());
+        assert_eq!(bcc.lookup(Ppn::new(100)), None);
+        bcc.fill(Ppn::new(100), &block_with(&[(100, PagePerms::READ_WRITE)]));
+        assert_eq!(bcc.lookup(Ppn::new(100)), Some(PagePerms::READ_WRITE));
+        // Neighbour in the same 512-page group is also present (subblocking).
+        assert_eq!(bcc.lookup(Ppn::new(101)), Some(PagePerms::NONE));
+        assert_eq!(bcc.stats().hits(), 2);
+        assert_eq!(bcc.stats().misses(), 1);
+    }
+
+    #[test]
+    fn small_entries_cover_partial_block() {
+        let cfg = BccConfig {
+            entries: 16,
+            pages_per_entry: 32,
+            ways: 4,
+            latency: 10,
+        };
+        let mut bcc = Bcc::new(cfg);
+        // Page 100 lives in group 3 (pages 96..128), block offset 96..128.
+        bcc.fill(
+            Ppn::new(100),
+            &block_with(&[(100, PagePerms::READ_ONLY), (127, PagePerms::READ_WRITE)]),
+        );
+        assert_eq!(bcc.peek(Ppn::new(100)), Some(PagePerms::READ_ONLY));
+        assert_eq!(bcc.peek(Ppn::new(127)), Some(PagePerms::READ_WRITE));
+        // Page 128 is in the next group: miss.
+        assert_eq!(bcc.peek(Ppn::new(128)), None);
+    }
+
+    #[test]
+    fn update_merges_only_when_present() {
+        let mut bcc = Bcc::new(BccConfig::default());
+        assert!(!bcc.update(Ppn::new(5), PagePerms::READ_ONLY));
+        bcc.fill(Ppn::new(5), &[PagePerms::NONE; 512]);
+        assert!(bcc.update(Ppn::new(5), PagePerms::READ_ONLY));
+        assert!(bcc.update(Ppn::new(5), PagePerms::WRITE_ONLY));
+        assert_eq!(bcc.peek(Ppn::new(5)), Some(PagePerms::READ_WRITE));
+    }
+
+    #[test]
+    fn update_drops_execute() {
+        let mut bcc = Bcc::new(BccConfig::default());
+        bcc.fill(Ppn::new(5), &[PagePerms::NONE; 512]);
+        bcc.update(Ppn::new(5), PagePerms::READ_EXEC);
+        assert_eq!(bcc.peek(Ppn::new(5)), Some(PagePerms::READ_ONLY));
+    }
+
+    #[test]
+    fn overwrite_downgrades() {
+        let mut bcc = Bcc::new(BccConfig::default());
+        bcc.fill(Ppn::new(5), &block_with(&[(5, PagePerms::READ_WRITE)]));
+        assert!(bcc.overwrite(Ppn::new(5), PagePerms::NONE));
+        assert_eq!(bcc.peek(Ppn::new(5)), Some(PagePerms::NONE));
+        assert!(!bcc.overwrite(Ppn::new(u64::MAX / 4096), PagePerms::NONE));
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let cfg = BccConfig {
+            entries: 2,
+            pages_per_entry: 512,
+            ways: 2,
+            latency: 10,
+        };
+        let mut bcc = Bcc::new(cfg);
+        bcc.fill(Ppn::new(0), &[PagePerms::READ_ONLY; 512]); // group 0
+        bcc.fill(Ppn::new(512), &[PagePerms::READ_ONLY; 512]); // group 1
+        bcc.lookup(Ppn::new(0)); // touch group 0
+        bcc.fill(Ppn::new(1024), &[PagePerms::READ_ONLY; 512]); // evicts group 1
+        assert!(bcc.peek(Ppn::new(0)).is_some());
+        assert!(bcc.peek(Ppn::new(512)).is_none());
+        assert!(bcc.peek(Ppn::new(1024)).is_some());
+    }
+
+    #[test]
+    fn invalidate_page_and_all() {
+        let mut bcc = Bcc::new(BccConfig::default());
+        bcc.fill(Ppn::new(0), &[PagePerms::READ_ONLY; 512]);
+        bcc.fill(Ppn::new(512), &[PagePerms::READ_ONLY; 512]);
+        assert_eq!(bcc.valid_entries(), 2);
+        assert!(bcc.invalidate_page(Ppn::new(100)));
+        assert_eq!(bcc.valid_entries(), 1);
+        bcc.invalidate_all();
+        assert_eq!(bcc.valid_entries(), 0);
+    }
+
+    #[test]
+    fn total_bytes_accounts_tags() {
+        let c = BccConfig {
+            entries: 8,
+            pages_per_entry: 1,
+            ways: 8,
+            latency: 10,
+        };
+        // 8 entries * (2 + 36) bits = 304 bits = 38 bytes.
+        assert_eq!(c.total_bytes(), 38);
+        let d = BccConfig::default();
+        // 64 * (1024 + 36) bits = 8480 bytes.
+        assert_eq!(d.total_bytes(), 8480);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_pages_per_entry_rejected() {
+        let _ = Bcc::new(BccConfig {
+            entries: 8,
+            pages_per_entry: 3,
+            ways: 8,
+            latency: 10,
+        });
+    }
+}

@@ -1,0 +1,48 @@
+//! Border Control — the paper's contribution.
+//!
+//! Border Control sandboxes an untrusted accelerator by checking the
+//! access permissions of **every memory request crossing the
+//! untrusted-to-trusted border** (Figure 1c). It consists of two
+//! structures (§3.1):
+//!
+//! * [`ProtectionTable`] — a flat, physically indexed table resident in
+//!   host physical memory holding a read bit and a write bit per physical
+//!   page (0.006 % of physical memory per active accelerator). Lazily
+//!   populated on every ATS translation, zeroed on downgrades/completion.
+//! * [`Bcc`] (Border Control Cache) — a small, explicitly managed,
+//!   non-coherent cache of the Protection Table, subblocked like a
+//!   subblock TLB (by default 64 entries × 512 pages/entry = 8 KiB,
+//!   reaching 128 MiB of physical memory).
+//!
+//! [`BorderControl`] glues them into the engine that implements every
+//! event of the paper's Figure 3:
+//!
+//! | Figure 3 event | method |
+//! |---|---|
+//! | (a) process initialization | [`BorderControl::attach_process`] |
+//! | (b) protection table insertion | [`BorderControl::on_translation`] |
+//! | (c) accelerator memory request | [`BorderControl::check`] |
+//! | (d) memory mapping update | [`BorderControl::on_shootdown`] |
+//! | (e) process completion | [`BorderControl::detach_process`] |
+//!
+//! The security property: *no accelerator request is allowed to proceed
+//! unless the Protection Table — which only ever holds permissions the
+//! trusted OS placed in a page table — grants it.* Requests for physical
+//! addresses the accelerator never legitimately obtained from the ATS find
+//! zero permissions and are blocked (§3.1.1: behaviour for forged
+//! addresses is "undefined" but always *safe*).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bcc;
+pub mod engine;
+pub mod fine;
+pub mod table;
+
+pub use bcc::{Bcc, BccConfig};
+pub use engine::{
+    BorderControl, BorderControlConfig, CheckOutcome, DowngradeAction, FlushPolicy, MemRequest,
+};
+pub use fine::FineProtectionTable;
+pub use table::ProtectionTable;

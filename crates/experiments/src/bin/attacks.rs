@@ -1,0 +1,59 @@
+//! §2.1 threat vectors demonstrated against every configuration: a
+//! malicious accelerator forging physical write probes while running a
+//! real workload.
+//!
+//! Usage: `attacks [--size tiny|small|reference]`
+
+use bc_accel::Behavior;
+use bc_experiments::{base_config, print_matrix, run, size_from_args};
+use bc_os::ViolationPolicy;
+use bc_system::{GpuClass, SafetyModel};
+
+fn main() {
+    let size = size_from_args();
+    let mut rows = Vec::new();
+    for safety in SafetyModel::ALL {
+        let mut c = base_config("nn", GpuClass::ModeratelyThreaded, size);
+        c.safety = safety;
+        c.behavior = Behavior::Malicious {
+            probe_period: 200,
+            probe_writes: true,
+        };
+        // Log-only so the run completes and we can count every probe.
+        c.violation_policy = ViolationPolicy::LogOnly;
+        let r = run(&c);
+        let (attempted, blocked, succeeded) = r.probes;
+        rows.push((
+            safety.label().to_string(),
+            vec![
+                attempted.to_string(),
+                succeeded.to_string(),
+                blocked.to_string(),
+                r.violation_count.to_string(),
+                if succeeded > 0 { "CORRUPTED" } else { "intact" }.to_string(),
+            ],
+        ));
+    }
+    print_matrix(
+        "Malicious accelerator: forged physical write probes",
+        &[
+            "probes".to_string(),
+            "succeeded".to_string(),
+            "blocked".to_string(),
+            "violations reported".to_string(),
+            "host memory".to_string(),
+        ],
+        &rows,
+    );
+    println!("\nNotes:");
+    println!("- ATS-only IOMMU: every forged probe lands; host memory is corrupted and");
+    println!("  nothing is even reported — the §2.1 integrity violation.");
+    println!("- Full IOMMU / CAPI-like: the accelerator has no physical-address path at");
+    println!("  all, so probes cannot be issued (blocked by construction).");
+    println!("- Border Control: probes reach the border, are checked against the");
+    println!("  Protection Table, blocked, and reported to the OS. A probe can only");
+    println!("  'succeed' if it happens to hit a page the process legitimately owns —");
+    println!("  which is not a violation of the threat model (§2.2).");
+    println!("\n(With the default KillProcess policy the very first violation kills the");
+    println!(" offending process; LogOnly is used here to census every probe.)");
+}

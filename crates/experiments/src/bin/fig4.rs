@@ -1,0 +1,76 @@
+//! Figure 4: runtime overhead of each safety approach relative to the
+//! unsafe ATS-only IOMMU baseline, for both GPU classes.
+//!
+//! Usage: `fig4 [--size tiny|small|reference] [--gpu highly|moderate|both] [--csv]`
+
+use bc_experiments::{
+    base_config, csv_from_args, geomean_overhead, pct, print_matrix, run, size_from_args,
+    WORKLOADS,
+};
+use bc_system::{GpuClass, SafetyModel};
+
+fn main() {
+    let size = size_from_args();
+    let csv = csv_from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let gpus: Vec<GpuClass> = match args
+        .windows(2)
+        .find(|w| w[0] == "--gpu")
+        .map(|w| w[1].as_str())
+    {
+        Some("highly") => vec![GpuClass::HighlyThreaded],
+        Some("moderate") => vec![GpuClass::ModeratelyThreaded],
+        _ => vec![GpuClass::HighlyThreaded, GpuClass::ModeratelyThreaded],
+    };
+    let safeties = [
+        SafetyModel::FullIommu,
+        SafetyModel::CapiLike,
+        SafetyModel::BorderControlNoBcc,
+        SafetyModel::BorderControlBcc,
+    ];
+
+    for gpu in gpus {
+        let label = match gpu {
+            GpuClass::HighlyThreaded => "Figure 4a: Highly threaded GPU",
+            GpuClass::ModeratelyThreaded => "Figure 4b: Moderately threaded GPU",
+        };
+        // One baseline run per workload, reused across the four safe configs.
+        let baselines: Vec<_> = WORKLOADS
+            .iter()
+            .map(|w| {
+                let mut c = base_config(w, gpu, size);
+                c.safety = SafetyModel::AtsOnlyIommu;
+                run(&c)
+            })
+            .collect();
+
+        let mut rows = Vec::new();
+        let mut csv_lines = vec!["gpu,safety,workload,overhead".to_string()];
+        for safety in safeties {
+            let mut overheads = Vec::new();
+            for (w, baseline) in WORKLOADS.iter().zip(&baselines) {
+                let mut c = base_config(w, gpu, size);
+                c.safety = safety;
+                let report = run(&c);
+                let o = report.overhead_vs(baseline);
+                overheads.push(o);
+                csv_lines.push(format!("{},{},{w},{o:.6}", gpu.label(), safety.label()));
+            }
+            let mut cells: Vec<String> = overheads.iter().map(|o| pct(*o)).collect();
+            cells.push(pct(geomean_overhead(&overheads)));
+            rows.push((safety.label().to_string(), cells));
+        }
+        let mut heads: Vec<String> = WORKLOADS.iter().map(|s| s.to_string()).collect();
+        heads.push("geomean".to_string());
+        print_matrix(&format!("{label} — runtime overhead vs ATS-only IOMMU"), &heads, &rows);
+        println!();
+        if csv {
+            for l in &csv_lines {
+                println!("{l}");
+            }
+            println!();
+        }
+    }
+    println!("(paper geomeans — 4a: full IOMMU 374%, CAPI-like 3.81%, BC-noBCC 2.04%, BC-BCC 0.15%;");
+    println!("                 4b: full IOMMU 85%, CAPI-like 16.5%, BC-noBCC 7.26%, BC-BCC 0.84%)");
+}

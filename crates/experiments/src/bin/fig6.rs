@@ -1,0 +1,97 @@
+//! Figure 6: BCC miss ratio as a function of BCC size, for entry sizes of
+//! 1, 2, 32 and 512 pages per entry.
+//!
+//! Methodology follows the paper: capture the border-crossing request
+//! stream of each workload once, then replay it through BCC geometries of
+//! varying size, averaging the miss ratio over the benchmarks.
+//!
+//! Usage: `fig6 [--size tiny|small|reference] [--csv]`
+
+use bc_core::{Bcc, BccConfig};
+use bc_experiments::{base_config, csv_from_args, print_matrix, size_from_args, WORKLOADS};
+use bc_mem::{PagePerms, Ppn};
+use bc_system::{GpuClass, SafetyModel, System};
+
+/// Replays a PPN stream through one BCC geometry, returning the miss
+/// ratio. Fills use full permissions — Figure 6 studies reach, not
+/// rights.
+fn replay(stream: &[(Ppn, bool)], config: BccConfig) -> f64 {
+    let mut bcc = Bcc::new(config);
+    let block = [PagePerms::READ_WRITE; 512];
+    for (ppn, _) in stream {
+        if bcc.lookup(*ppn).is_none() {
+            bcc.fill(*ppn, &block);
+        }
+    }
+    bcc.stats().miss_ratio()
+}
+
+fn main() {
+    let size = size_from_args();
+    let csv = csv_from_args();
+
+    // Capture one stream per workload.
+    let streams: Vec<Vec<(Ppn, bool)>> = WORKLOADS
+        .iter()
+        .map(|w| {
+            let mut c = base_config(w, GpuClass::HighlyThreaded, size);
+            c.safety = SafetyModel::BorderControlBcc;
+            c.record_check_stream = true;
+            let mut sys = System::build(&c).unwrap_or_else(|e| panic!("{w}: {e}"));
+            sys.run();
+            sys.take_check_stream()
+        })
+        .collect();
+
+    let pages_per_entry = [1u64, 2, 32, 512];
+    let entry_counts = [2usize, 4, 8, 16, 32, 64, 128, 256];
+
+    let mut rows = Vec::new();
+    let mut csv_lines = vec!["pages_per_entry,entries,bcc_bytes,avg_miss_ratio".to_string()];
+    for ppe in pages_per_entry {
+        let mut cells = Vec::new();
+        for &entries in &entry_counts {
+            let config = BccConfig {
+                entries,
+                pages_per_entry: ppe,
+                // Small geometries are fully associative; larger ones 8-way.
+                ways: entries.min(8),
+                latency: 10,
+            };
+            let avg: f64 = streams.iter().map(|s| replay(s, config)).sum::<f64>()
+                / streams.len() as f64;
+            cells.push(format!("{avg:.4}"));
+            csv_lines.push(format!(
+                "{ppe},{entries},{},{avg:.6}",
+                config.total_bytes()
+            ));
+        }
+        let bytes: Vec<String> = entry_counts
+            .iter()
+            .map(|&e| {
+                let cfg = BccConfig {
+                    entries: e,
+                    pages_per_entry: ppe,
+                    ways: e.min(8),
+                    latency: 10,
+                };
+                format!("{}B", cfg.total_bytes())
+            })
+            .collect();
+        rows.push((format!("{ppe:>3} pages/entry ({})", bytes.join("/")), cells));
+    }
+
+    let heads: Vec<String> = entry_counts.iter().map(|e| format!("{e} ent")).collect();
+    print_matrix(
+        "Figure 6: BCC miss ratio vs size (averaged over the suite)",
+        &heads,
+        &rows,
+    );
+    println!("\n(paper: larger entries win decisively; at ~1 KiB with 512 pages/entry the");
+    println!(" average miss ratio is below 0.1% — the 8 KiB default is conservative)");
+    if csv {
+        for l in csv_lines {
+            println!("{l}");
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Figure 7: runtime overhead as the permission-downgrade rate varies
+//! from 0 to 1000 downgrades per second, for Border Control-BCC and the
+//! unsafe ATS-only IOMMU, on both GPU classes.
+//!
+//! Each curve is normalized to its *own* zero-downgrade runtime, exactly
+//! as the paper plots it. A geometric mean over the suite smooths
+//! per-workload noise.
+//!
+//! Usage: `fig7 [--size tiny|small|reference] [--csv]`
+
+use bc_experiments::{
+    base_config, csv_from_args, geomean_overhead, pct, print_matrix, run, size_from_args,
+    WORKLOADS,
+};
+use bc_system::{GpuClass, SafetyModel};
+
+/// Injection density multiplier (see comment at the injection site).
+const DENSITY_SCALE: u64 = 150;
+
+fn main() {
+    let size = size_from_args();
+    let csv = csv_from_args();
+    let rates = [0u64, 100, 200, 400, 600, 800, 1000];
+    // The scheduling-relevant range of the paper: "10-200 downgrades per
+    // second" is today's context-switch rate.
+    let configs = [
+        (SafetyModel::BorderControlBcc, GpuClass::HighlyThreaded),
+        (SafetyModel::BorderControlBcc, GpuClass::ModeratelyThreaded),
+        (SafetyModel::AtsOnlyIommu, GpuClass::HighlyThreaded),
+        (SafetyModel::AtsOnlyIommu, GpuClass::ModeratelyThreaded),
+    ];
+
+    let mut rows = Vec::new();
+    let mut csv_lines = vec!["safety,gpu,rate_per_s,overhead".to_string()];
+    for (safety, gpu) in configs {
+        // Zero-downgrade baselines, one per workload.
+        let baselines: Vec<u64> = WORKLOADS
+            .iter()
+            .map(|w| {
+                let mut c = base_config(w, gpu, size);
+                c.safety = safety;
+                run(&c).cycles
+            })
+            .collect();
+        let mut cells = Vec::new();
+        for &rate in &rates {
+            let overheads: Vec<f64> = WORKLOADS
+                .iter()
+                .zip(&baselines)
+                .map(|(w, &base)| {
+                    let mut c = base_config(w, gpu, size);
+                    c.safety = safety;
+                    // Our trimmed runs simulate a few milliseconds where
+                    // the paper's benchmarks run much longer, so at true
+                    // rates only 0-2 downgrades would fire per run. The
+                    // injector runs at 150x density for measurement
+                    // precision and the overhead — linear in downgrade
+                    // count — is rescaled to the labelled true rate.
+                    c.downgrades_per_second = rate * DENSITY_SCALE;
+                    let r = run(&c);
+                    (r.cycles as f64 / base as f64 - 1.0) / DENSITY_SCALE as f64
+                })
+                .collect();
+            let g = geomean_overhead(&overheads);
+            cells.push(pct(g));
+            csv_lines.push(format!("{},{},{rate},{g:.6}", safety.label(), gpu.label()));
+        }
+        rows.push((format!("{} / {}", safety.label(), gpu.label()), cells));
+    }
+    let heads: Vec<String> = rates.iter().map(|r| format!("{r}/s")).collect();
+    print_matrix(
+        "Figure 7: runtime overhead vs permission-downgrade rate",
+        &heads,
+        &rows,
+    );
+    println!("\n(paper: ≈0.02% at the 10-200/s Linux scheduling rate; Border Control");
+    println!(" costs roughly twice the unsafe baseline, and stays well under 0.5%");
+    println!(" even at 1000 downgrades/s)");
+    if csv {
+        for l in csv_lines {
+            println!("{l}");
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Table 2: the five configurations under study and the hardware
+//! structures each one keeps.
+
+use bc_experiments::print_matrix;
+use bc_system::SafetyModel;
+
+fn mark(b: bool) -> String {
+    if b { "yes".into() } else { "—".into() }
+}
+
+fn main() {
+    let rows: Vec<(String, Vec<String>)> = SafetyModel::ALL
+        .iter()
+        .map(|s| {
+            (
+                s.label().to_string(),
+                vec![
+                    mark(s.is_safe()),
+                    mark(s.keeps_l1()),
+                    mark(s.keeps_l1_tlb()),
+                    mark(s.keeps_l2()),
+                    match s.has_bcc() {
+                        None => "N/A".to_string(),
+                        Some(b) => mark(b),
+                    },
+                ],
+            )
+        })
+        .collect();
+    print_matrix(
+        "Table 2: configurations under study",
+        &[
+            "Safe?".to_string(),
+            "L1 $".to_string(),
+            "L1 TLB".to_string(),
+            "L2 $".to_string(),
+            "BCC".to_string(),
+        ],
+        &rows,
+    );
+}

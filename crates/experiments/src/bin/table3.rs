@@ -1,0 +1,42 @@
+//! Table 3: simulation configuration details, printed from the live
+//! defaults so the table can never drift from the code.
+
+use bc_system::{GpuClass, SystemConfig};
+
+fn main() {
+    let c = SystemConfig::table3_defaults();
+    let high = GpuClass::HighlyThreaded.gpu_config();
+    let mod_ = GpuClass::ModeratelyThreaded.gpu_config();
+    println!("== Table 3: simulation configuration ==");
+    println!("CPU");
+    println!("  CPU cores                      1 (trusted host; stages data, fields violations)");
+    println!("GPU");
+    println!("  cores (highly threaded)        {}", high.compute_units);
+    println!("  cores (moderately threaded)    {}", mod_.compute_units);
+    println!(
+        "  caches (highly threaded)       {} KiB L1 per CU, shared {} KiB L2",
+        high.l1_bytes >> 10,
+        high.l2_bytes >> 10
+    );
+    println!(
+        "  caches (moderately threaded)   {} KiB L1, shared {} KiB L2",
+        mod_.l1_bytes >> 10,
+        mod_.l2_bytes >> 10
+    );
+    println!("  L1 TLB                         {} entries", high.l1_tlb_entries);
+    println!("  shared L2 TLB (trusted)        {} entries", c.ats.iotlb_entries);
+    println!("  GPU frequency                  {}", c.gpu_clock());
+    println!("Memory system");
+    let bw = c.dram.peak_blocks_per_cycle() * 128.0 * c.gpu_clock().as_hz() as f64 / 1e9;
+    println!("  peak memory bandwidth          {bw:.0} GB/s");
+    println!("  physical memory                {} GiB", c.phys_bytes >> 30);
+    println!("Border Control");
+    println!("  BCC size                       {} KiB", c.bcc.data_bytes() >> 10);
+    println!("  BCC access latency             {} cycles", c.bcc.latency);
+    let pt_bytes = bc_core::ProtectionTable::storage_bytes(c.phys_bytes / 4096);
+    println!("  protection table size          {} KiB", pt_bytes >> 10);
+    println!(
+        "  protection table access latency {} cycles (one DRAM access)",
+        c.dram.access_latency
+    );
+}

@@ -1,0 +1,26 @@
+//! IOMMU substrate: the Address Translation Service (ATS).
+//!
+//! "Unlike CPUs, accelerators cannot perform page table walks, and rely on
+//! the Address Translation Service (ATS), often provided by the IOMMU"
+//! (§2.3). This crate models that trusted hardware:
+//!
+//! * [`Ats`] — translation requests served from a trusted IOTLB (the
+//!   512-entry shared L2 TLB of Table 3), falling back to a hardware page
+//!   walk through the kernel's page table, taking minor page faults for
+//!   lazily allocated pages, and charging the walk's memory accesses to
+//!   DRAM.
+//! * [`IommuMode`] — how a system uses the ATS: `AtsOnly` (translations
+//!   are handed to the accelerator, which then accesses memory by
+//!   *unchecked* physical address — the fast, unsafe baseline) versus
+//!   `Full` (every single memory request is translated and checked at the
+//!   IOMMU — the safe, slow baseline).
+//!
+//! Per Figure 3b, every completed translation is also reported to Border
+//! Control; the system model performs that delivery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ats;
+
+pub use ats::{Ats, AtsConfig, AtsResponse, IommuMode};

@@ -1,0 +1,49 @@
+//! Memory substrate for the Border Control reproduction.
+//!
+//! This crate models everything below the cache hierarchy:
+//!
+//! * [`addr`] — strongly typed physical/virtual addresses and page numbers
+//!   ([`PhysAddr`], [`VirtAddr`], [`Ppn`], [`Vpn`], [`Asid`], [`PageSize`]).
+//! * [`perms`] — page access permissions ([`PagePerms`]), the currency that
+//!   Border Control's Protection Table stores two bits of per page.
+//! * [`page_table`] — a real 4-level radix [`PageTable`] with a walking
+//!   translator that reports how many memory accesses each walk costs,
+//!   feeding the IOMMU timing model.
+//! * [`frames`] — a physical [`FrameAllocator`] with support for the
+//!   contiguous allocations the Protection Table needs.
+//! * [`store`] — a functional, byte-accurate sparse physical memory
+//!   ([`PhysMemStore`]) so attack demos can show real data corruption (or
+//!   its absence under Border Control).
+//! * [`dram`] — a DRAM timing model ([`Dram`]) with per-channel bandwidth
+//!   and queueing, which is what the full-IOMMU configuration saturates in
+//!   Figure 4a of the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use bc_mem::{PageTable, Asid, Vpn, Ppn, PagePerms, PageSize};
+//!
+//! let mut pt = PageTable::new(Asid::new(1));
+//! pt.map(Vpn::new(0x42), Ppn::new(0x9), PagePerms::READ_WRITE, PageSize::Base4K)?;
+//! let tr = pt.translate(Vpn::new(0x42))?;
+//! assert_eq!(tr.ppn, Ppn::new(0x9));
+//! assert!(tr.perms.writable());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod dram;
+pub mod frames;
+pub mod page_table;
+pub mod perms;
+pub mod store;
+
+pub use addr::{Asid, PageSize, PhysAddr, Ppn, VirtAddr, Vpn, BLOCK_SIZE, PAGE_SIZE};
+pub use dram::{Dram, DramConfig};
+pub use frames::FrameAllocator;
+pub use page_table::{MapError, PageTable, TranslateError, Translation};
+pub use perms::PagePerms;
+pub use store::PhysMemStore;

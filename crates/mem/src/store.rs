@@ -1,0 +1,168 @@
+//! Functional (data-holding) physical memory.
+//!
+//! The timing model never needs byte contents, but the security
+//! demonstrations do: to show that a malicious accelerator *actually
+//! corrupts* a victim's data under the unsafe baseline and *cannot* under
+//! Border Control, the simulator carries a real sparse byte store.
+
+use std::collections::HashMap;
+
+use crate::addr::{PhysAddr, Ppn, PAGE_SIZE};
+
+/// Sparse, byte-accurate physical memory contents.
+///
+/// Pages materialize zero-filled on first write, mirroring zeroed DRAM
+/// handed out by an OS.
+///
+/// # Example
+///
+/// ```
+/// use bc_mem::{PhysMemStore, PhysAddr};
+///
+/// let mut m = PhysMemStore::new();
+/// m.write(PhysAddr::new(0x1000), b"secret");
+/// assert_eq!(m.read_vec(PhysAddr::new(0x1000), 6), b"secret");
+/// assert_eq!(m.read_vec(PhysAddr::new(0x2000), 4), vec![0, 0, 0, 0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PhysMemStore {
+    pages: HashMap<Ppn, Box<[u8]>>,
+}
+
+impl PhysMemStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        PhysMemStore::default()
+    }
+
+    /// Number of pages that have been materialized.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn page_mut(&mut self, ppn: Ppn) -> &mut [u8] {
+        self.pages
+            .entry(ppn)
+            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+    }
+
+    /// Writes `data` starting at `addr`, crossing page boundaries as
+    /// needed.
+    pub fn write(&mut self, addr: PhysAddr, data: &[u8]) {
+        let mut cur = addr;
+        let mut remaining = data;
+        while !remaining.is_empty() {
+            let offset = cur.page_offset() as usize;
+            let space = PAGE_SIZE as usize - offset;
+            let take = space.min(remaining.len());
+            let page = self.page_mut(cur.ppn());
+            page[offset..offset + take].copy_from_slice(&remaining[..take]);
+            remaining = &remaining[take..];
+            cur = cur.offset(take as u64);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr` into a new vector; untouched
+    /// memory reads as zero.
+    pub fn read_vec(&self, addr: PhysAddr, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        self.read_into(addr, &mut out);
+        out
+    }
+
+    /// Reads into a caller-provided buffer; untouched memory reads as zero.
+    pub fn read_into(&self, addr: PhysAddr, buf: &mut [u8]) {
+        let mut cur = addr;
+        let mut filled = 0;
+        while filled < buf.len() {
+            let offset = cur.page_offset() as usize;
+            let space = PAGE_SIZE as usize - offset;
+            let take = space.min(buf.len() - filled);
+            if let Some(page) = self.pages.get(&cur.ppn()) {
+                buf[filled..filled + take].copy_from_slice(&page[offset..offset + take]);
+            } else {
+                buf[filled..filled + take].fill(0);
+            }
+            filled += take;
+            cur = cur.offset(take as u64);
+        }
+    }
+
+    /// Fills one whole page with zeros (page-grain scrubbing, e.g. when the
+    /// OS hands a recycled frame to a new process).
+    pub fn zero_page(&mut self, ppn: Ppn) {
+        self.page_mut(ppn).fill(0);
+    }
+
+    /// Copies one whole page (used for copy-on-write resolution and memory
+    /// compaction).
+    pub fn copy_page(&mut self, from: Ppn, to: Ppn) {
+        let src: Box<[u8]> = match self.pages.get(&from) {
+            Some(p) => p.clone(),
+            None => vec![0u8; PAGE_SIZE as usize].into_boxed_slice(),
+        };
+        self.pages.insert(to, src);
+    }
+
+    /// Drops a page's contents entirely (frame freed).
+    pub fn discard_page(&mut self, ppn: Ppn) {
+        self.pages.remove(&ppn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_semantics() {
+        let m = PhysMemStore::new();
+        assert_eq!(m.read_vec(PhysAddr::new(12345), 8), vec![0u8; 8]);
+    }
+
+    #[test]
+    fn write_read_roundtrip_within_page() {
+        let mut m = PhysMemStore::new();
+        m.write(PhysAddr::new(0x1010), &[1, 2, 3, 4]);
+        assert_eq!(m.read_vec(PhysAddr::new(0x1010), 4), vec![1, 2, 3, 4]);
+        assert_eq!(m.read_vec(PhysAddr::new(0x100E), 8), vec![0, 0, 1, 2, 3, 4, 0, 0]);
+    }
+
+    #[test]
+    fn write_crosses_page_boundary() {
+        let mut m = PhysMemStore::new();
+        let addr = PhysAddr::new(2 * PAGE_SIZE - 2);
+        m.write(addr, &[9, 9, 9, 9]);
+        assert_eq!(m.read_vec(addr, 4), vec![9, 9, 9, 9]);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn zero_page_scrubs() {
+        let mut m = PhysMemStore::new();
+        m.write(PhysAddr::new(0x3000), b"key material");
+        m.zero_page(Ppn::new(3));
+        assert_eq!(m.read_vec(PhysAddr::new(0x3000), 12), vec![0u8; 12]);
+    }
+
+    #[test]
+    fn copy_page_duplicates_contents() {
+        let mut m = PhysMemStore::new();
+        m.write(PhysAddr::new(0x4000), b"cow me");
+        m.copy_page(Ppn::new(4), Ppn::new(9));
+        assert_eq!(m.read_vec(PhysAddr::new(0x9000), 6), b"cow me");
+        // Copying an unmaterialized page yields zeros.
+        m.copy_page(Ppn::new(100), Ppn::new(101));
+        assert_eq!(m.read_vec(Ppn::new(101).base(), 4), vec![0u8; 4]);
+    }
+
+    #[test]
+    fn discard_page_reads_zero_again() {
+        let mut m = PhysMemStore::new();
+        m.write(PhysAddr::new(0x5000), b"x");
+        assert_eq!(m.resident_pages(), 1);
+        m.discard_page(Ppn::new(5));
+        assert_eq!(m.resident_pages(), 0);
+        assert_eq!(m.read_vec(PhysAddr::new(0x5000), 1), vec![0]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests: the radix page table behaves exactly like a flat map.
+
+use std::collections::HashMap;
+
+use bc_mem::{Asid, MapError, PagePerms, PageSize, PageTable, Ppn, Vpn};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Map { vpn: u64, ppn: u64, write: bool },
+    Unmap { vpn: u64 },
+    Protect { vpn: u64, write: bool },
+    Remap { vpn: u64, ppn: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Small VPN space to provoke collisions, but with bits in several
+    // radix levels.
+    let vpn = prop_oneof![0u64..64, (1u64 << 9)..(1u64 << 9) + 8, (1u64 << 27)..(1u64 << 27) + 8];
+    prop_oneof![
+        (vpn.clone(), 1u64..1000, any::<bool>())
+            .prop_map(|(vpn, ppn, write)| Op::Map { vpn, ppn, write }),
+        vpn.clone().prop_map(|vpn| Op::Unmap { vpn }),
+        (vpn.clone(), any::<bool>()).prop_map(|(vpn, write)| Op::Protect { vpn, write }),
+        (vpn, 1u64..1000).prop_map(|(vpn, ppn)| Op::Remap { vpn, ppn }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn page_table_matches_flat_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut table = PageTable::new(Asid::new(1));
+        let mut model: HashMap<u64, (u64, PagePerms)> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Map { vpn, ppn, write } => {
+                    let perms = if write { PagePerms::READ_WRITE } else { PagePerms::READ_ONLY };
+                    let r = table.map(Vpn::new(vpn), Ppn::new(ppn), perms, PageSize::Base4K);
+                    if model.contains_key(&vpn) {
+                        prop_assert_eq!(r, Err(MapError::AlreadyMapped(Vpn::new(vpn))));
+                    } else {
+                        prop_assert!(r.is_ok());
+                        model.insert(vpn, (ppn, perms));
+                    }
+                }
+                Op::Unmap { vpn } => {
+                    let r = table.unmap(Vpn::new(vpn));
+                    match model.remove(&vpn) {
+                        Some((ppn, _)) => {
+                            prop_assert_eq!(r.unwrap().ppn, Ppn::new(ppn));
+                        }
+                        None => prop_assert!(r.is_err()),
+                    }
+                }
+                Op::Protect { vpn, write } => {
+                    let perms = if write { PagePerms::READ_WRITE } else { PagePerms::READ_ONLY };
+                    let r = table.protect(Vpn::new(vpn), perms);
+                    match model.get_mut(&vpn) {
+                        Some(entry) => {
+                            prop_assert!(r.is_ok());
+                            entry.1 = perms;
+                        }
+                        None => prop_assert!(r.is_err()),
+                    }
+                }
+                Op::Remap { vpn, ppn } => {
+                    let r = table.remap(Vpn::new(vpn), Ppn::new(ppn));
+                    match model.get_mut(&vpn) {
+                        Some(entry) => {
+                            prop_assert!(r.is_ok());
+                            entry.0 = ppn;
+                        }
+                        None => prop_assert!(r.is_err()),
+                    }
+                }
+            }
+
+            // Full agreement after every step.
+            prop_assert_eq!(table.mapped_base_pages(), model.len() as u64);
+        }
+
+        for (vpn, (ppn, perms)) in &model {
+            let tr = table.peek(Vpn::new(*vpn)).expect("model says mapped");
+            prop_assert_eq!(tr.ppn, Ppn::new(*ppn));
+            prop_assert_eq!(tr.perms, *perms);
+        }
+        let mut listed = table.mapped_vpns();
+        listed.sort();
+        let mut expected: Vec<Vpn> = model.keys().map(|v| Vpn::new(*v)).collect();
+        expected.sort();
+        prop_assert_eq!(listed, expected);
+    }
+
+    #[test]
+    fn huge_pages_cover_all_subpages(base in 0u64..32, ppn_base in 0u64..32) {
+        let mut table = PageTable::new(Asid::new(1));
+        table
+            .map(
+                Vpn::new(base * 512),
+                Ppn::new(ppn_base * 512),
+                PagePerms::READ_WRITE,
+                PageSize::Huge2M,
+            )
+            .unwrap();
+        for off in [0u64, 1, 17, 255, 511] {
+            let tr = table.peek(Vpn::new(base * 512 + off)).unwrap();
+            prop_assert_eq!(tr.ppn, Ppn::new(ppn_base * 512 + off));
+            prop_assert_eq!(tr.size, PageSize::Huge2M);
+        }
+        // The page after the huge page is unmapped.
+        prop_assert!(table.peek(Vpn::new(base * 512 + 512)).is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! Property tests: the sparse physical store is byte-for-byte faithful.
+
+use std::collections::HashMap;
+
+use bc_mem::{PhysAddr, PhysMemStore};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary writes (crossing page boundaries at will) read back
+    /// exactly as a flat byte-map model says they should.
+    #[test]
+    fn writes_read_back_like_flat_memory(
+        writes in proptest::collection::vec(
+            (0u64..40_000, proptest::collection::vec(any::<u8>(), 1..300)),
+            1..40,
+        ),
+        probes in proptest::collection::vec((0u64..41_000, 1usize..64), 1..20),
+    ) {
+        let mut store = PhysMemStore::new();
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        for (addr, data) in &writes {
+            store.write(PhysAddr::new(*addr), data);
+            for (i, b) in data.iter().enumerate() {
+                model.insert(addr + i as u64, *b);
+            }
+        }
+        for (addr, len) in probes {
+            let got = store.read_vec(PhysAddr::new(addr), len);
+            for (i, b) in got.iter().enumerate() {
+                let expect = model.get(&(addr + i as u64)).copied().unwrap_or(0);
+                prop_assert_eq!(*b, expect, "byte at {:#x}", addr + i as u64);
+            }
+        }
+    }
+
+    /// copy_page + discard_page preserve / clear exactly one page.
+    #[test]
+    fn page_ops_are_page_exact(fill in any::<u8>(), from in 1u64..30, to in 31u64..60) {
+        let mut store = PhysMemStore::new();
+        let data = vec![fill; 4096];
+        store.write(bc_mem::Ppn::new(from).base(), &data);
+        store.copy_page(bc_mem::Ppn::new(from), bc_mem::Ppn::new(to));
+        prop_assert_eq!(store.read_vec(bc_mem::Ppn::new(to).base(), 4096), data.clone());
+        store.discard_page(bc_mem::Ppn::new(from));
+        prop_assert_eq!(store.read_vec(bc_mem::Ppn::new(from).base(), 8), vec![0u8; 8]);
+        // The copy survives the source's discard.
+        prop_assert_eq!(store.read_vec(bc_mem::Ppn::new(to).base(), 4096), data);
+    }
+}

@@ -1,0 +1,42 @@
+//! Operating-system model for the Border Control reproduction.
+//!
+//! Border Control "builds upon the existing process abstraction, using the
+//! permissions set by the OS as stored in the page table" (§1). This crate
+//! supplies that trusted OS: processes with virtual memory areas, lazy
+//! physical allocation, copy-on-write forking, the permission-downgrade
+//! events of §3.2.4 (context switch, swap, compaction, CoW), TLB-shootdown
+//! requests, and the violation-handling policy invoked when Border Control
+//! reports a misbehaving accelerator.
+//!
+//! Everything here is *mechanism the paper assumes exists*, built so the
+//! Border Control engine in `bc-core` has a real page table to derive
+//! permissions from and a real kernel to notify.
+//!
+//! # Example
+//!
+//! ```
+//! use bc_os::{Kernel, KernelConfig};
+//! use bc_mem::{PagePerms, VirtAddr};
+//!
+//! let mut k = Kernel::new(KernelConfig::default());
+//! let pid = k.create_process();
+//! k.map_region(pid, VirtAddr::new(0x1000), 4, PagePerms::READ_WRITE)?;
+//! let tr = k.translate(pid, VirtAddr::new(0x1000).vpn())?;
+//! assert!(tr.perms.writable());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod kernel;
+mod process;
+mod shootdown;
+mod violation;
+mod vmm;
+
+pub use kernel::{Kernel, KernelConfig, OsError};
+pub use vmm::{GuestId, Vmm};
+pub use process::{Process, ProcessState, Vma};
+pub use shootdown::{ShootdownRequest, ShootdownScope};
+pub use violation::{Violation, ViolationKind, ViolationPolicy};

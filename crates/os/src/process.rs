@@ -1,0 +1,152 @@
+//! Processes and their virtual memory areas.
+
+use bc_mem::addr::{Asid, Vpn};
+use bc_mem::page_table::PageTable;
+use bc_mem::perms::PagePerms;
+
+/// Lifecycle state of a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcessState {
+    /// Scheduled and able to run (including on an accelerator).
+    Running,
+    /// Terminated normally.
+    Exited,
+    /// Killed by the kernel — e.g. after a Border Control violation.
+    Killed,
+}
+
+/// A virtual memory area: a contiguous range of virtual pages with uniform
+/// permissions, backed lazily by physical frames on first touch (the
+/// "OS lazily allocates physical pages to virtual pages" behaviour of
+/// §3.2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vma {
+    /// First virtual page of the area.
+    pub start: Vpn,
+    /// Length in pages.
+    pub pages: u64,
+    /// Permissions every page of the area carries.
+    pub perms: PagePerms,
+}
+
+impl Vma {
+    /// Whether `vpn` falls inside this area.
+    pub fn contains(&self, vpn: Vpn) -> bool {
+        vpn >= self.start && vpn.as_u64() < self.start.as_u64() + self.pages
+    }
+
+    /// Whether two areas overlap.
+    pub fn overlaps(&self, other: &Vma) -> bool {
+        self.start.as_u64() < other.start.as_u64() + other.pages
+            && other.start.as_u64() < self.start.as_u64() + self.pages
+    }
+}
+
+/// One process: an address space, its VMAs, and lifecycle state.
+#[derive(Debug)]
+pub struct Process {
+    asid: Asid,
+    page_table: PageTable,
+    vmas: Vec<Vma>,
+    state: ProcessState,
+}
+
+impl Process {
+    pub(crate) fn new(asid: Asid) -> Self {
+        Process {
+            asid,
+            page_table: PageTable::new(asid),
+            vmas: Vec::new(),
+            state: ProcessState::Running,
+        }
+    }
+
+    /// The process's address-space id.
+    pub fn asid(&self) -> Asid {
+        self.asid
+    }
+
+    /// Lifecycle state.
+    pub fn state(&self) -> ProcessState {
+        self.state
+    }
+
+    pub(crate) fn set_state(&mut self, s: ProcessState) {
+        self.state = s;
+    }
+
+    /// The process page table (the OS-trusted source of permissions).
+    pub fn page_table(&self) -> &PageTable {
+        &self.page_table
+    }
+
+    pub(crate) fn page_table_mut(&mut self) -> &mut PageTable {
+        &mut self.page_table
+    }
+
+    /// The registered virtual memory areas.
+    pub fn vmas(&self) -> &[Vma] {
+        &self.vmas
+    }
+
+    pub(crate) fn add_vma(&mut self, vma: Vma) -> bool {
+        if self.vmas.iter().any(|v| v.overlaps(&vma)) {
+            return false;
+        }
+        self.vmas.push(vma);
+        true
+    }
+
+    /// The VMA covering `vpn`, if any.
+    pub fn vma_covering(&self, vpn: Vpn) -> Option<&Vma> {
+        self.vmas.iter().find(|v| v.contains(vpn))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vma_contains_and_overlaps() {
+        let a = Vma {
+            start: Vpn::new(10),
+            pages: 5,
+            perms: PagePerms::READ_WRITE,
+        };
+        assert!(a.contains(Vpn::new(10)));
+        assert!(a.contains(Vpn::new(14)));
+        assert!(!a.contains(Vpn::new(15)));
+        assert!(!a.contains(Vpn::new(9)));
+        let b = Vma {
+            start: Vpn::new(14),
+            pages: 2,
+            perms: PagePerms::READ_ONLY,
+        };
+        let c = Vma {
+            start: Vpn::new(15),
+            pages: 2,
+            perms: PagePerms::READ_ONLY,
+        };
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn process_rejects_overlapping_vmas() {
+        let mut p = Process::new(Asid::new(1));
+        assert!(p.add_vma(Vma {
+            start: Vpn::new(0),
+            pages: 10,
+            perms: PagePerms::READ_WRITE,
+        }));
+        assert!(!p.add_vma(Vma {
+            start: Vpn::new(5),
+            pages: 10,
+            perms: PagePerms::READ_ONLY,
+        }));
+        assert_eq!(p.vmas().len(), 1);
+        assert!(p.vma_covering(Vpn::new(3)).is_some());
+        assert!(p.vma_covering(Vpn::new(30)).is_none());
+    }
+}

@@ -1,0 +1,290 @@
+//! Virtualization (§3.4.2): a trusted Virtual Machine Monitor below guest
+//! OSes.
+//!
+//! "Border Control can also operate with a trusted Virtual Machine
+//! Monitor (VMM) below guest OSes. In this case, the VMM allocates the
+//! Protection Table in (host physical) memory that is inaccessible to
+//! guest OSes. The present implementation works unchanged because table
+//! indexing uses 'bare-metal' physical addresses."
+//!
+//! The [`Vmm`] owns the machine's real (host-physical) memory and gives
+//! each guest its own [`Kernel`] over a *guest-physical* address space.
+//! Guest-physical pages are lazily backed by host frames through a
+//! second-level map; the accelerator path composes both translations
+//! (guest virtual → guest physical → host physical), so Border Control —
+//! indexing by host-physical page number, its table carved out of host
+//! frames no guest mapping can ever name — runs completely unchanged.
+
+use std::collections::{BTreeMap, HashMap};
+
+use bc_mem::addr::{Asid, Ppn, Vpn};
+use bc_mem::page_table::Translation;
+
+use crate::kernel::{Kernel, KernelConfig, OsError};
+use crate::violation::ViolationPolicy;
+
+/// Identifies one guest VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GuestId(u16);
+
+impl GuestId {
+    /// Raw id.
+    pub fn as_u16(self) -> u16 {
+        self.0
+    }
+}
+
+#[derive(Debug)]
+struct Guest {
+    kernel: Kernel,
+    /// Second-level (nested) mapping: guest PPN → host PPN.
+    g2h: HashMap<u64, Ppn>,
+}
+
+/// The trusted hypervisor: host-physical memory owner and second-level
+/// translator.
+///
+/// # Example
+///
+/// ```
+/// use bc_os::{Vmm, KernelConfig};
+/// use bc_mem::{PagePerms, VirtAddr};
+///
+/// let mut vmm = Vmm::new(KernelConfig::default());
+/// let guest = vmm.create_guest(256 << 20)?;
+/// let pid = vmm.guest_kernel_mut(guest).create_process();
+/// vmm.guest_kernel_mut(guest)
+///     .map_region(pid, VirtAddr::new(0x1000), 1, PagePerms::READ_WRITE)?;
+/// // Composed translation: guest VA -> guest PA -> HOST PA.
+/// let host_tr = vmm.translate_for_accel(guest, pid, VirtAddr::new(0x1000).vpn())?;
+/// assert!(host_tr.perms.writable());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Vmm {
+    host: Kernel,
+    guests: BTreeMap<u16, Guest>,
+    next_guest: u16,
+}
+
+impl Vmm {
+    /// Boots the hypervisor over the machine's physical memory.
+    pub fn new(host_config: KernelConfig) -> Self {
+        Vmm {
+            host: Kernel::new(host_config),
+            guests: BTreeMap::new(),
+            next_guest: 1,
+        }
+    }
+
+    /// The host kernel (machine memory owner). Border Control's
+    /// Protection Table is allocated here — from frames no guest mapping
+    /// can name.
+    pub fn host_kernel(&self) -> &Kernel {
+        &self.host
+    }
+
+    /// Mutable host kernel access (Border Control attach/detach path).
+    pub fn host_kernel_mut(&mut self) -> &mut Kernel {
+        &mut self.host
+    }
+
+    /// Creates a guest VM with `guest_phys_bytes` of guest-physical
+    /// memory (backed lazily by host frames on first touch).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice; reserves the `Result` for
+    /// admission control.
+    pub fn create_guest(&mut self, guest_phys_bytes: u64) -> Result<GuestId, OsError> {
+        let id = GuestId(self.next_guest);
+        self.next_guest += 1;
+        self.guests.insert(
+            id.0,
+            Guest {
+                kernel: Kernel::new(KernelConfig {
+                    phys_bytes: guest_phys_bytes,
+                    violation_policy: ViolationPolicy::KillProcess,
+                }),
+                g2h: HashMap::new(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// The guest's own kernel (guest-physical address space).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown guest id.
+    pub fn guest_kernel(&self, id: GuestId) -> &Kernel {
+        &self.guests.get(&id.0).expect("unknown guest").kernel
+    }
+
+    /// Mutable guest kernel access.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown guest id.
+    pub fn guest_kernel_mut(&mut self, id: GuestId) -> &mut Kernel {
+        &mut self.guests.get_mut(&id.0).expect("unknown guest").kernel
+    }
+
+    /// Second-level translation: guest PPN → host PPN, backing the guest
+    /// page with a host frame on first use (like EPT/NPT violations).
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::OutOfMemory`] when the machine is out of frames.
+    pub fn translate_g2h(&mut self, id: GuestId, gppn: Ppn) -> Result<Ppn, OsError> {
+        let guest = self.guests.get_mut(&id.0).ok_or(OsError::OutOfMemory)?;
+        if let Some(h) = guest.g2h.get(&gppn.as_u64()) {
+            return Ok(*h);
+        }
+        let hppn = self.host.alloc_frame()?;
+        guest.g2h.insert(gppn.as_u64(), hppn);
+        Ok(hppn)
+    }
+
+    /// The composed accelerator translation (what the ATS performs under
+    /// virtualization): guest virtual → guest physical via the guest's
+    /// page table, then guest physical → **host physical** via the
+    /// second level. The returned [`Translation`] is in host-physical
+    /// terms — exactly what Border Control indexes by.
+    ///
+    /// # Errors
+    ///
+    /// Propagates guest-level faults and host memory exhaustion. The walk
+    /// cost reported combines both levels (nested walks are expensive).
+    pub fn translate_for_accel(
+        &mut self,
+        id: GuestId,
+        asid: Asid,
+        vpn: Vpn,
+    ) -> Result<Translation, OsError> {
+        let guest_tr = {
+            let guest = self.guests.get_mut(&id.0).ok_or(OsError::OutOfMemory)?;
+            guest.kernel.touch(asid, vpn)?.translation
+        };
+        let hppn = self.translate_g2h(id, guest_tr.ppn)?;
+        Ok(Translation {
+            ppn: hppn,
+            perms: guest_tr.perms,
+            size: guest_tr.size,
+            // A nested walk touches both levels' tables: in a radix²
+            // implementation this is up to 24 accesses; we report the sum
+            // of the guest walk and one second-level access per level.
+            levels_walked: guest_tr.levels_walked * 2,
+            copy_on_write: guest_tr.copy_on_write,
+        })
+    }
+
+    /// All host frames currently backing a guest (diagnostics / isolation
+    /// checks).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown guest id.
+    pub fn host_frames_of(&self, id: GuestId) -> Vec<Ppn> {
+        self.guests
+            .get(&id.0)
+            .expect("unknown guest")
+            .g2h
+            .values()
+            .copied()
+            .collect()
+    }
+}
+
+impl Kernel {
+    /// Allocates one anonymous host frame (VMM second-level backing).
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::OutOfMemory`] when physical memory is exhausted.
+    pub fn alloc_frame(&mut self) -> Result<Ppn, OsError> {
+        self.alloc_protection_table(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_mem::perms::PagePerms;
+    use bc_mem::VirtAddr;
+
+    fn vmm() -> Vmm {
+        Vmm::new(KernelConfig {
+            phys_bytes: 512 << 20,
+            violation_policy: ViolationPolicy::KillProcess,
+        })
+    }
+
+    #[test]
+    fn guests_get_disjoint_host_frames() {
+        let mut v = vmm();
+        let a = v.create_guest(64 << 20).unwrap();
+        let b = v.create_guest(64 << 20).unwrap();
+        for (guest, va) in [(a, 0x1000u64), (b, 0x1000)] {
+            let pid = v.guest_kernel_mut(guest).create_process();
+            v.guest_kernel_mut(guest)
+                .map_region(pid, VirtAddr::new(va), 8, PagePerms::READ_WRITE)
+                .unwrap();
+            for p in 0..8 {
+                let gtr = v
+                    .guest_kernel_mut(guest)
+                    .touch(pid, VirtAddr::new(va).vpn().add(p))
+                    .unwrap()
+                    .translation;
+                v.translate_g2h(guest, gtr.ppn).unwrap();
+            }
+        }
+        let frames_a = v.host_frames_of(a);
+        let frames_b = v.host_frames_of(b);
+        assert_eq!(frames_a.len(), 8);
+        assert_eq!(frames_b.len(), 8);
+        assert!(
+            frames_a.iter().all(|f| !frames_b.contains(f)),
+            "guest isolation: host frames must be disjoint"
+        );
+    }
+
+    #[test]
+    fn g2h_is_stable_per_guest_page() {
+        let mut v = vmm();
+        let g = v.create_guest(64 << 20).unwrap();
+        let h1 = v.translate_g2h(g, Ppn::new(42)).unwrap();
+        let h2 = v.translate_g2h(g, Ppn::new(42)).unwrap();
+        assert_eq!(h1, h2, "second-level mapping is stable");
+        let other = v.translate_g2h(g, Ppn::new(43)).unwrap();
+        assert_ne!(h1, other);
+    }
+
+    #[test]
+    fn composed_translation_lands_in_host_space() {
+        let mut v = vmm();
+        let g = v.create_guest(64 << 20).unwrap();
+        let pid = v.guest_kernel_mut(g).create_process();
+        v.guest_kernel_mut(g)
+            .map_region(pid, VirtAddr::new(0x4000), 2, PagePerms::READ_ONLY)
+            .unwrap();
+        let tr = v
+            .translate_for_accel(g, pid, VirtAddr::new(0x4000).vpn())
+            .unwrap();
+        assert_eq!(tr.perms, PagePerms::READ_ONLY);
+        assert!(tr.levels_walked >= 8, "nested walks cost both levels");
+        // The host frame is among the guest's backing frames.
+        assert!(v.host_frames_of(g).contains(&tr.ppn));
+    }
+
+    #[test]
+    fn guest_faults_propagate() {
+        let mut v = vmm();
+        let g = v.create_guest(64 << 20).unwrap();
+        let pid = v.guest_kernel_mut(g).create_process();
+        assert!(matches!(
+            v.translate_for_accel(g, pid, Vpn::new(0xDEAD)),
+            Err(OsError::Segfault(..))
+        ));
+    }
+}

@@ -1,0 +1,382 @@
+//! Contended-resource timing helpers.
+//!
+//! Bandwidth-limited hardware (DRAM channels, IOMMU page-walkers, the
+//! Border Control check port) is modelled as one or more *ports*. A port
+//! keeps a **calendar of busy intervals** rather than a single
+//! "next-free" cursor: requests may be presented out of arrival order
+//! (a page walk reserves DRAM slots far in the future while a demand load
+//! arrives "now"), and an earlier request must be allowed to slot into an
+//! earlier gap instead of queueing behind a future reservation. Intervals
+//! coalesce as they fill, so the calendar stays small under load.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::{Counter, Histogram};
+use crate::Cycle;
+
+/// How far behind the latest-seen arrival a port keeps history. Arrivals
+/// that regress further (rare, bounded by walk/backlog spreads) are billed
+/// optimistically against pruned history.
+const RETAIN_CYCLES: u64 = 16_384;
+
+/// A single-server queueing resource with out-of-order-tolerant booking.
+///
+/// # Example
+///
+/// ```
+/// use bc_sim::{Cycle, resource::Port};
+///
+/// let mut p = Port::new();
+/// // Two back-to-back 10-cycle requests arriving at cycle 0: the second
+/// // waits for the first.
+/// let first = p.serve(Cycle::new(0), 10);
+/// let second = p.serve(Cycle::new(0), 10);
+/// assert_eq!(first.as_u64(), 10);
+/// assert_eq!(second.as_u64(), 20);
+/// // A far-future reservation does not block an earlier arrival.
+/// p.serve(Cycle::new(1_000_000), 10);
+/// assert_eq!(p.serve(Cycle::new(30), 10).as_u64(), 40);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Port {
+    /// Busy intervals `start -> end`, disjoint, coalesced.
+    busy: BTreeMap<u64, u64>,
+    max_arrival: u64,
+    served: Counter,
+    busy_cycles: u64,
+    queue_delay: Histogram,
+}
+
+impl Port {
+    /// Creates an idle port.
+    pub fn new() -> Self {
+        Port::default()
+    }
+
+    /// Earliest instant a request arriving at `arrival` needing `service`
+    /// cycles could start, without booking it.
+    pub fn earliest_start(&self, arrival: Cycle, service: u64) -> Cycle {
+        let mut candidate = arrival.as_u64();
+        if service == 0 {
+            return arrival;
+        }
+        // Walk intervals that could overlap `[candidate, candidate+service)`.
+        // Start from the interval at or before `candidate`.
+        let mut iter = self
+            .busy
+            .range(..=candidate)
+            .next_back()
+            .into_iter()
+            .map(|(s, e)| (*s, *e))
+            .chain(
+                self.busy
+                    .range(candidate + 1..)
+                    .map(|(s, e)| (*s, *e)),
+            );
+        for (s, e) in iter.by_ref() {
+            if e <= candidate {
+                continue;
+            }
+            if s >= candidate + service {
+                break; // fits in the gap before this interval
+            }
+            candidate = e;
+        }
+        Cycle::new(candidate)
+    }
+
+    /// Serves a request arriving at `arrival` that occupies the port for
+    /// `service` cycles, booking the earliest feasible slot. Returns the
+    /// completion instant.
+    pub fn serve(&mut self, arrival: Cycle, service: u64) -> Cycle {
+        let start = self.earliest_start(arrival, service);
+        let done = start + service;
+        self.queue_delay.record(start - arrival);
+        self.served.inc();
+        self.busy_cycles += service;
+        if service > 0 {
+            self.insert_interval(start.as_u64(), done.as_u64());
+        }
+        self.max_arrival = self.max_arrival.max(arrival.as_u64());
+        self.prune();
+        done
+    }
+
+    fn insert_interval(&mut self, mut start: u64, mut end: u64) {
+        // Coalesce with a predecessor that touches us.
+        if let Some((&ps, &pe)) = self.busy.range(..=start).next_back() {
+            if pe >= start {
+                start = ps;
+                end = end.max(pe);
+                self.busy.remove(&ps);
+            }
+        }
+        // Coalesce with successors we now touch.
+        loop {
+            let next = self.busy.range(start..).next().map(|(s, e)| (*s, *e));
+            match next {
+                Some((ns, ne)) if ns <= end => {
+                    end = end.max(ne);
+                    self.busy.remove(&ns);
+                }
+                _ => break,
+            }
+        }
+        self.busy.insert(start, end);
+    }
+
+    fn prune(&mut self) {
+        let cutoff = self.max_arrival.saturating_sub(RETAIN_CYCLES);
+        while let Some((&s, &e)) = self.busy.iter().next() {
+            if e < cutoff {
+                self.busy.remove(&s);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The end of the last booked interval — the instant from which the
+    /// port is guaranteed idle (used by walker-style callers that want an
+    /// exclusive grab).
+    pub fn idle_from(&self) -> Cycle {
+        Cycle::new(self.busy.iter().next_back().map(|(_, e)| *e).unwrap_or(0))
+    }
+
+    /// Number of requests served.
+    pub fn served(&self) -> u64 {
+        self.served.get()
+    }
+
+    /// Total cycles spent actively serving requests.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Distribution of per-request queueing delay.
+    pub fn queue_delay(&self) -> &Histogram {
+        &self.queue_delay
+    }
+
+    /// Utilization over an observation window of `elapsed` cycles, in
+    /// `[0, 1]` (clamped).
+    pub fn utilization(&self, elapsed: u64) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            (self.busy_cycles as f64 / elapsed as f64).min(1.0)
+        }
+    }
+}
+
+/// A bank of identical ports; each request is dispatched to the port that
+/// can start it earliest. Models multi-channel DRAM or multiple parallel
+/// page-table walkers.
+///
+/// # Example
+///
+/// ```
+/// use bc_sim::{Cycle, resource::Channels};
+///
+/// let mut dram = Channels::new(2);
+/// // Two simultaneous requests ride separate channels...
+/// assert_eq!(dram.serve(Cycle::new(0), 8).as_u64(), 8);
+/// assert_eq!(dram.serve(Cycle::new(0), 8).as_u64(), 8);
+/// // ...but a third must queue.
+/// assert_eq!(dram.serve(Cycle::new(0), 8).as_u64(), 16);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Channels {
+    ports: Vec<Port>,
+}
+
+impl Channels {
+    /// Creates `n` idle channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a resource needs at least one channel");
+        Channels {
+            ports: vec![Port::new(); n],
+        }
+    }
+
+    /// Serves a request on the channel that can start it earliest.
+    pub fn serve(&mut self, arrival: Cycle, service: u64) -> Cycle {
+        let best = self
+            .ports
+            .iter_mut()
+            .min_by_key(|p| p.earliest_start(arrival, service))
+            .expect("at least one channel");
+        best.serve(arrival, service)
+    }
+
+    /// Number of channels.
+    pub fn channel_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Total requests served across all channels.
+    pub fn served(&self) -> u64 {
+        self.ports.iter().map(Port::served).sum()
+    }
+
+    /// Total busy cycles summed over channels.
+    pub fn busy_cycles(&self) -> u64 {
+        self.ports.iter().map(Port::busy_cycles).sum()
+    }
+
+    /// Aggregate utilization over `elapsed` cycles, in `[0, 1]`.
+    pub fn utilization(&self, elapsed: u64) -> f64 {
+        if elapsed == 0 {
+            return 0.0;
+        }
+        let cap = elapsed as f64 * self.ports.len() as f64;
+        (self.busy_cycles() as f64 / cap).min(1.0)
+    }
+
+    /// Read-only view of the underlying ports (diagnostics).
+    pub fn ports(&self) -> &[Port] {
+        &self.ports
+    }
+
+    /// The earliest instant at which some channel is guaranteed idle
+    /// (conservative: ignores interior gaps).
+    pub fn earliest_free(&self) -> Cycle {
+        self.ports
+            .iter()
+            .map(Port::idle_from)
+            .min()
+            .unwrap_or(Cycle::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_idle_service_starts_at_arrival() {
+        let mut p = Port::new();
+        assert_eq!(p.serve(Cycle::new(100), 5), Cycle::new(105));
+        assert_eq!(p.served(), 1);
+        assert_eq!(p.busy_cycles(), 5);
+    }
+
+    #[test]
+    fn port_queues_when_busy() {
+        let mut p = Port::new();
+        p.serve(Cycle::new(0), 10);
+        let done = p.serve(Cycle::new(3), 10);
+        assert_eq!(done, Cycle::new(20));
+        // Queue delay of the second request was 7 cycles.
+        assert_eq!(p.queue_delay().max(), 7);
+    }
+
+    #[test]
+    fn port_goes_idle_between_bursts() {
+        let mut p = Port::new();
+        p.serve(Cycle::new(0), 10);
+        let done = p.serve(Cycle::new(50), 10);
+        assert_eq!(done, Cycle::new(60));
+        assert_eq!(p.utilization(60), 20.0 / 60.0);
+    }
+
+    #[test]
+    fn early_arrival_uses_gap_before_future_reservation() {
+        let mut p = Port::new();
+        // Book the far future first.
+        assert_eq!(p.serve(Cycle::new(10_000), 10), Cycle::new(10_010));
+        // An earlier arrival slots in before it, not after.
+        assert_eq!(p.serve(Cycle::new(5), 10), Cycle::new(15));
+        // And a request that only fits between them finds the gap.
+        assert_eq!(p.serve(Cycle::new(9_990), 10), Cycle::new(10_000));
+        assert_eq!(p.served(), 3);
+    }
+
+    #[test]
+    fn interval_coalescing_keeps_calendar_small() {
+        let mut p = Port::new();
+        for i in 0..1000u64 {
+            p.serve(Cycle::new(i), 2);
+        }
+        // Fully packed: one merged interval.
+        assert_eq!(p.busy_cycles(), 2000);
+        assert_eq!(p.idle_from(), Cycle::new(2000));
+    }
+
+    #[test]
+    fn gap_exactly_fitting_service_is_used() {
+        let mut p = Port::new();
+        p.serve(Cycle::new(0), 10); // [0,10)
+        p.serve(Cycle::new(20), 10); // [20,30)
+        // A 10-cycle request at 10 fits exactly in [10,20).
+        assert_eq!(p.serve(Cycle::new(10), 10), Cycle::new(20));
+        // Now fully packed 0..30.
+        assert_eq!(p.serve(Cycle::new(0), 5), Cycle::new(35));
+    }
+
+    #[test]
+    fn zero_service_is_free() {
+        let mut p = Port::new();
+        p.serve(Cycle::new(0), 10);
+        assert_eq!(p.serve(Cycle::new(3), 0), Cycle::new(3));
+    }
+
+    #[test]
+    fn utilization_clamped_and_zero_window() {
+        let mut p = Port::new();
+        p.serve(Cycle::new(0), 100);
+        assert_eq!(p.utilization(0), 0.0);
+        assert_eq!(p.utilization(10), 1.0);
+    }
+
+    #[test]
+    fn channels_spread_load() {
+        let mut ch = Channels::new(4);
+        for _ in 0..4 {
+            assert_eq!(ch.serve(Cycle::new(0), 10), Cycle::new(10));
+        }
+        assert_eq!(ch.serve(Cycle::new(0), 10), Cycle::new(20));
+        assert_eq!(ch.served(), 5);
+        assert_eq!(ch.channel_count(), 4);
+    }
+
+    #[test]
+    fn channels_earliest_free_tracks_min() {
+        let mut ch = Channels::new(2);
+        ch.serve(Cycle::new(0), 10);
+        assert_eq!(ch.earliest_free(), Cycle::ZERO);
+        ch.serve(Cycle::new(0), 4);
+        assert_eq!(ch.earliest_free(), Cycle::new(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channels_rejected() {
+        let _ = Channels::new(0);
+    }
+
+    #[test]
+    fn channels_aggregate_utilization() {
+        let mut ch = Channels::new(2);
+        ch.serve(Cycle::new(0), 10);
+        ch.serve(Cycle::new(0), 10);
+        assert!((ch.utilization(10) - 1.0).abs() < 1e-12);
+        assert!((ch.utilization(20) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn future_reservation_does_not_poison_channels() {
+        let mut ch = Channels::new(2);
+        ch.serve(Cycle::new(100_000), 10);
+        ch.serve(Cycle::new(100_000), 10);
+        // Both channels have far-future bookings; early arrivals are fine.
+        assert_eq!(ch.serve(Cycle::new(0), 10), Cycle::new(10));
+        assert_eq!(ch.serve(Cycle::new(0), 10), Cycle::new(10));
+    }
+}

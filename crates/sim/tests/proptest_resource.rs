@@ -1,0 +1,99 @@
+//! Property tests for the calendar-based resource model and the event
+//! queue.
+
+use bc_sim::resource::{Channels, Port};
+use bc_sim::{Cycle, EventQueue, SimRng};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Service never starts before arrival, busy time is conserved, and
+    /// utilization can never exceed 1 over the span actually used.
+    #[test]
+    fn port_conserves_time(
+        reqs in proptest::collection::vec((0u64..10_000, 1u64..50), 1..200),
+    ) {
+        let mut port = Port::new();
+        let mut total_service = 0;
+        let mut latest_done = 0;
+        for (arrival, service) in &reqs {
+            let done = port.serve(Cycle::new(*arrival), *service);
+            prop_assert!(done.as_u64() >= arrival + service, "finished before it could");
+            total_service += service;
+            latest_done = latest_done.max(done.as_u64());
+        }
+        prop_assert_eq!(port.busy_cycles(), total_service);
+        // Work conservation: the port cannot have been busy for more
+        // cycles than exist in the horizon it used.
+        prop_assert!(total_service <= latest_done);
+        prop_assert!(port.utilization(latest_done) <= 1.0);
+    }
+
+    /// Out-of-order presentation does not change feasibility: every
+    /// request still starts at/after its own arrival, and bookings never
+    /// overlap (checked via conservation within the makespan).
+    #[test]
+    fn port_handles_any_presentation_order(
+        mut reqs in proptest::collection::vec((0u64..2_000, 1u64..20), 2..100),
+        seed in any::<u64>(),
+    ) {
+        // Shuffle presentation order deterministically.
+        let mut rng = SimRng::seed_from(seed);
+        for i in (1..reqs.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            reqs.swap(i, j);
+        }
+        let mut port = Port::new();
+        for (arrival, service) in &reqs {
+            let done = port.serve(Cycle::new(*arrival), *service);
+            prop_assert!(done.as_u64() >= arrival + service);
+        }
+        let makespan = port.idle_from().as_u64();
+        prop_assert!(port.busy_cycles() <= makespan, "double-booked an interval");
+    }
+
+    /// A multi-channel bank serves everything a single channel could, at
+    /// least as early.
+    #[test]
+    fn more_channels_never_hurt(
+        reqs in proptest::collection::vec((0u64..1_000, 1u64..16), 1..80),
+    ) {
+        let mut one = Channels::new(1);
+        let mut four = Channels::new(4);
+        for (arrival, service) in &reqs {
+            let d1 = one.serve(Cycle::new(*arrival), *service);
+            let d4 = four.serve(Cycle::new(*arrival), *service);
+            prop_assert!(d4 <= d1, "4 channels slower than 1 ({d4:?} vs {d1:?})");
+        }
+    }
+
+    /// The event queue drains in non-decreasing time order with FIFO ties
+    /// regardless of push order.
+    #[test]
+    fn event_queue_total_order(times in proptest::collection::vec(0u64..1000, 1..300)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.push(Cycle::new(*t), i);
+        }
+        let mut last: Option<(Cycle, usize)> = None;
+        while let Some((t, id)) = q.pop() {
+            if let Some((lt, lid)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(id > lid, "FIFO tie-break violated");
+                }
+            }
+            last = Some((t, id));
+        }
+    }
+
+    /// The RNG's below() is unbiased enough and in-bounds for any bound.
+    #[test]
+    fn rng_below_in_bounds(seed in any::<u64>(), bound in 1u64..10_000) {
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+use bc_system::*;
+use bc_workloads::WorkloadSize;
+
+fn main() {
+    for safety in [SafetyModel::AtsOnlyIommu, SafetyModel::BorderControlNoBcc] {
+        let mut c = SystemConfig::table3_defaults();
+        c.safety = safety;
+        c.gpu_class = GpuClass::HighlyThreaded;
+        c.workload = "bfs".to_string();
+        c.size = WorkloadSize::Small;
+        c.max_ops_per_wavefront = Some(4000);
+        let mut sys = System::build(&c).unwrap();
+        let r = sys.run();
+        println!("{}", r.stats_table());
+        for (i,h) in sys.dram().queue_delays().iter().enumerate() { println!("  dram ch{i}: {h}"); }
+    }
+}

@@ -1,0 +1,117 @@
+//! The buggy-accelerator threat (§2.1): "an incorrect implementation of
+//! TLB shootdown could result in memory requests made with stale
+//! translations". This example builds the scenario at component level:
+//!
+//! 1. The accelerator legitimately obtains a writable translation.
+//! 2. The OS moves the page (memory compaction) — the frame it occupied
+//!    is recycled to *another process*.
+//! 3. A correct accelerator honours the shootdown; the buggy one keeps
+//!    the stale translation and writes to the recycled frame.
+//!
+//! Under Border Control the stale write is blocked and reported; without
+//! it, the write would corrupt the other process's memory.
+//!
+//! ```text
+//! cargo run --release --example buggy_tlb
+//! ```
+
+use border_control::cache::{Tlb, TlbConfig, TlbEntry};
+use border_control::core::{BorderControl, BorderControlConfig, MemRequest};
+use border_control::mem::{Dram, DramConfig, PagePerms, VirtAddr};
+use border_control::os::{Kernel, KernelConfig};
+use border_control::sim::Cycle;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut kernel = Kernel::new(KernelConfig::default());
+    let mut dram = Dram::new(DramConfig::default());
+    let mut bc = BorderControl::new(0, BorderControlConfig::default());
+
+    let victim_owner = kernel.create_process();
+    let accel_process = kernel.create_process();
+    let va = VirtAddr::new(0x1000_0000);
+    kernel.map_region(accel_process, va, 1, PagePerms::READ_WRITE)?;
+    bc.attach_process(&mut kernel, accel_process)?;
+
+    // 1. Legitimate translation, cached in the (buggy) accelerator's TLB
+    //    and observed by Border Control (Fig 3b).
+    let tr = kernel.translate(accel_process, va.vpn())?;
+    let mut stale_tlb = Tlb::new(TlbConfig { entries: 64, ways: 64 });
+    let entry = TlbEntry {
+        asid: accel_process,
+        vpn: va.vpn(),
+        ppn: tr.ppn,
+        perms: tr.perms,
+        size: tr.size,
+    };
+    stale_tlb.insert(entry);
+    bc.on_translation(Cycle::ZERO, &entry, kernel.store_mut(), &mut dram);
+    println!("accelerator holds translation {} -> {} (rw)", va.vpn(), tr.ppn);
+
+    // 2. The OS compacts memory: the page moves, and the old frame is
+    //    handed to another process, which stores its own data there.
+    let req = kernel.compact_page(accel_process, va.vpn())?;
+    println!("OS compacted the page; old frame {} recycled", tr.ppn);
+    // Border Control processes the mapping update (Fig 3d): flush, then
+    // commit — after this the old PPN has no permissions.
+    bc.commit_downgrade(Cycle::ZERO, &req, kernel.store_mut(), &mut dram);
+    // The shootdown is broadcast... and the buggy accelerator IGNORES it:
+    // `stale_tlb` still holds the old translation.
+    kernel.map_region(victim_owner, VirtAddr::new(0x7000_0000), 1, PagePerms::READ_WRITE)?;
+
+    // 3. The buggy accelerator uses the stale entry to write "its" page —
+    //    which is now someone else's frame.
+    let stale = stale_tlb
+        .lookup(accel_process, va.vpn())
+        .expect("buggy accelerator kept the stale translation");
+    let outcome = bc.check(
+        Cycle::ZERO,
+        MemRequest {
+            ppn: stale.ppn,
+            write: true,
+            asid: Some(accel_process),
+        },
+        kernel.store_mut(),
+        &mut dram,
+    );
+
+    println!(
+        "stale write to {}: {}",
+        stale.ppn,
+        if outcome.allowed { "ALLOWED (!!)" } else { "BLOCKED" }
+    );
+    let v = outcome.violation.expect("blocked request carries a violation report");
+    println!("reported to the OS: {v}");
+    assert!(!outcome.allowed, "Border Control must block the stale write");
+
+    // The legitimate path still works: a fresh translation of the moved
+    // page re-inserts permissions for the *new* frame.
+    let fresh = kernel.translate(accel_process, va.vpn())?;
+    bc.on_translation(
+        Cycle::ZERO,
+        &TlbEntry {
+            asid: accel_process,
+            vpn: va.vpn(),
+            ppn: fresh.ppn,
+            perms: fresh.perms,
+            size: fresh.size,
+        },
+        kernel.store_mut(),
+        &mut dram,
+    );
+    let ok = bc.check(
+        Cycle::ZERO,
+        MemRequest {
+            ppn: fresh.ppn,
+            write: true,
+            asid: Some(accel_process),
+        },
+        kernel.store_mut(),
+        &mut dram,
+    );
+    println!(
+        "fresh write to the moved page at {}: {}",
+        fresh.ppn,
+        if ok.allowed { "allowed" } else { "blocked (!!)" }
+    );
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Permission downgrades under fire (§3.2.4 / Figure 7): the OS keeps
+//! downgrading pages (context switches, swap preparation, compaction)
+//! while the accelerator runs. Border Control must write back dirty data,
+//! flush, and zero the Protection Table on every downgrade — this example
+//! measures what that costs and shows that safety is preserved throughout.
+//!
+//! ```text
+//! cargo run --release --example downgrade_storm
+//! ```
+
+use border_control::system::{GpuClass, SafetyModel, System, SystemConfig};
+use border_control::workloads::WorkloadSize;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = |safety, rate| {
+        let mut c = SystemConfig::table3_defaults();
+        c.safety = safety;
+        c.gpu_class = GpuClass::ModeratelyThreaded;
+        c.workload = "hotspot".to_string();
+        c.size = WorkloadSize::Tiny;
+        c.max_ops_per_wavefront = Some(2000);
+        c.downgrades_per_second = rate;
+        c
+    };
+
+    println!("hotspot, moderately threaded GPU, increasing downgrade pressure:\n");
+    println!("{:>12}  {:>16}  {:>12}  {:>10}", "downgrades/s", "BC-BCC cycles", "downgrades", "violations");
+    let baseline = System::build(&base(SafetyModel::BorderControlBcc, 0))?.run();
+    for rate in [0u64, 50_000, 100_000, 200_000, 400_000] {
+        let report = System::build(&base(SafetyModel::BorderControlBcc, rate))?.run();
+        println!(
+            "{:>12}  {:>9} ({:+.2}%)  {:>12}  {:>10}",
+            rate,
+            report.cycles,
+            (report.cycles as f64 / baseline.cycles as f64 - 1.0) * 100.0,
+            report.downgrades,
+            report.violation_count,
+        );
+    }
+
+    println!();
+    println!("Every downgrade forced: a pipeline drain, a full accelerator cache");
+    println!("flush (dirty blocks written back through the border *before* the");
+    println!("Protection Table entry changed), a Protection Table zero, and BCC +");
+    println!("accelerator TLB invalidations — and not one writeback was blocked,");
+    println!("because the ordering of Figure 3d keeps the flush ahead of the");
+    println!("permission change. Violations stay at zero: downgrades cost time,");
+    println!("never safety.");
+    Ok(())
+}

@@ -1,0 +1,100 @@
+//! Multiprocess accelerators (§3.3): two processes share one accelerator;
+//! Border Control enforces the *union* of their permissions, revokes
+//! everything at process completion, and keeps only one Protection Table
+//! (per accelerator, not per process).
+//!
+//! ```text
+//! cargo run --release --example multiprocess
+//! ```
+
+use border_control::core::{BorderControl, BorderControlConfig, MemRequest};
+use border_control::mem::{Dram, DramConfig, PagePerms, VirtAddr};
+use border_control::os::{Kernel, KernelConfig};
+use border_control::sim::Cycle;
+use border_control::cache::TlbEntry;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut kernel = Kernel::new(KernelConfig::default());
+    let mut dram = Dram::new(DramConfig::default());
+    let mut bc = BorderControl::new(0, BorderControlConfig::default());
+
+    // Process A: read-write buffer. Process B: read-only data set.
+    let a = kernel.create_process();
+    let b = kernel.create_process();
+    kernel.map_region(a, VirtAddr::new(0x1000_0000), 4, PagePerms::READ_WRITE)?;
+    kernel.map_region(b, VirtAddr::new(0x2000_0000), 4, PagePerms::READ_ONLY)?;
+
+    // Both attach to the same accelerator (Fig 3a): one Protection Table,
+    // use count two.
+    bc.attach_process(&mut kernel, a)?;
+    bc.attach_process(&mut kernel, b)?;
+    println!(
+        "one Protection Table at {} covering {} physical pages, use count = {}",
+        bc.table().unwrap().base(),
+        bc.table().unwrap().bounds_pages(),
+        bc.attached().len()
+    );
+
+    // The ATS translates for each process; Border Control observes
+    // (Fig 3b) and merges permissions into the table.
+    let tr_a = kernel.translate(a, VirtAddr::new(0x1000_0000).vpn())?;
+    let tr_b = kernel.translate(b, VirtAddr::new(0x2000_0000).vpn())?;
+    for (asid, vpn, tr) in [
+        (a, VirtAddr::new(0x1000_0000).vpn(), tr_a),
+        (b, VirtAddr::new(0x2000_0000).vpn(), tr_b),
+    ] {
+        bc.on_translation(
+            Cycle::ZERO,
+            &TlbEntry { asid, vpn, ppn: tr.ppn, perms: tr.perms, size: tr.size },
+            kernel.store_mut(),
+            &mut dram,
+        );
+    }
+
+    // Union semantics: the accelerator may write A's page and read B's —
+    // regardless of which process's kernel is executing (§3.3: "the
+    // permissions we use are the union of those for all processes
+    // currently running on the accelerator").
+    let check = |bc: &mut BorderControl, kernel: &mut Kernel, dram: &mut Dram, ppn, write| {
+        bc.check(Cycle::ZERO, MemRequest { ppn, write, asid: None }, kernel.store_mut(), dram)
+            .allowed
+    };
+    println!("write to A's page: {}", check(&mut bc, &mut kernel, &mut dram, tr_a.ppn, true));
+    println!("read  of B's page: {}", check(&mut bc, &mut kernel, &mut dram, tr_b.ppn, false));
+    println!(
+        "write to B's page: {} (read-only everywhere: blocked)",
+        check(&mut bc, &mut kernel, &mut dram, tr_b.ppn, true)
+    );
+
+    // Process B finishes (Fig 3e): the table is zeroed — *all* cached
+    // permissions are revoked, and A's next request lazily re-inserts.
+    let blocks = bc.detach_process(&mut kernel, b);
+    println!("\nB detached: {blocks} Protection Table blocks zeroed, use count = {}",
+        bc.attached().len());
+    println!(
+        "write to A's page now: {} (revoked until the ATS re-inserts it)",
+        check(&mut bc, &mut kernel, &mut dram, tr_a.ppn, true)
+    );
+    bc.on_translation(
+        Cycle::ZERO,
+        &TlbEntry {
+            asid: a,
+            vpn: VirtAddr::new(0x1000_0000).vpn(),
+            ppn: tr_a.ppn,
+            perms: tr_a.perms,
+            size: tr_a.size,
+        },
+        kernel.store_mut(),
+        &mut dram,
+    );
+    println!(
+        "after re-translation:  {}",
+        check(&mut bc, &mut kernel, &mut dram, tr_a.ppn, true)
+    );
+
+    // Last process leaves: the table memory is returned to the OS.
+    bc.detach_process(&mut kernel, a);
+    assert!(bc.table().is_none());
+    println!("\nA detached: Protection Table deallocated.");
+    Ok(())
+}

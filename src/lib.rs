@@ -1,0 +1,14 @@
+//! Facade crate re-exporting the Border Control reproduction workspace.
+//!
+//! See the individual crates for detail; the most common entry point is
+//! [`system`] (full-system assembly) together with [`workloads`].
+
+pub use bc_accel as accel;
+pub use bc_cache as cache;
+pub use bc_core as core;
+pub use bc_iommu as iommu;
+pub use bc_mem as mem;
+pub use bc_os as os;
+pub use bc_sim as sim;
+pub use bc_system as system;
+pub use bc_workloads as workloads;

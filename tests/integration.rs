@@ -1,0 +1,186 @@
+//! Cross-crate integration tests: full-system runs under every safety
+//! configuration, paper-shape assertions, and determinism.
+
+use border_control::accel::Behavior;
+use border_control::system::{GpuClass, SafetyModel, System, SystemConfig};
+use border_control::workloads::{rodinia_suite, WorkloadSize};
+
+fn config(safety: SafetyModel, gpu: GpuClass, workload: &str) -> SystemConfig {
+    let mut c = SystemConfig::table3_defaults();
+    c.safety = safety;
+    c.gpu_class = gpu;
+    c.workload = workload.to_string();
+    c.size = WorkloadSize::Tiny;
+    c.max_ops_per_wavefront = Some(1000);
+    c
+}
+
+#[test]
+fn every_workload_runs_under_every_safety_model() {
+    for w in rodinia_suite(WorkloadSize::Tiny) {
+        for safety in SafetyModel::ALL {
+            for gpu in [GpuClass::HighlyThreaded, GpuClass::ModeratelyThreaded] {
+                let report = System::build(&config(safety, gpu, w.name()))
+                    .unwrap_or_else(|e| panic!("{} {safety}: {e}", w.name()))
+                    .run();
+                assert!(!report.aborted, "{} {safety} {gpu:?} aborted", w.name());
+                assert!(report.cycles > 0 && report.ops > 0);
+                assert_eq!(
+                    report.violation_count, 0,
+                    "{} under {safety}: a correct accelerator must never violate",
+                    w.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn border_control_checks_every_border_crossing() {
+    let report = System::build(&config(
+        SafetyModel::BorderControlBcc,
+        GpuClass::ModeratelyThreaded,
+        "hotspot",
+    ))
+    .unwrap()
+    .run();
+    // Everything that reached DRAM from the accelerator crossed the
+    // border; BC must have checked at least that much traffic (checks may
+    // exceed DRAM reads because blocked/merged traffic is also checked,
+    // and PT reads themselves also hit DRAM).
+    let (dram_reads, dram_writes) = report.dram_reads_writes;
+    assert!(report.bc_checks > 0);
+    assert!(
+        report.bc_checks + report.pt_reads_writes.0 + report.ats_translations_walks.1 * 4
+            >= dram_reads / 2,
+        "checks {} implausibly low vs DRAM traffic {}",
+        report.bc_checks,
+        dram_reads + dram_writes
+    );
+}
+
+#[test]
+fn figure4_ordering_holds_end_to_end() {
+    // The paper's qualitative result on the latency-sensitive GPU:
+    // full IOMMU > CAPI-like > Border Control-BCC ≈ unsafe baseline.
+    let cycles = |safety| {
+        System::build(&config(safety, GpuClass::ModeratelyThreaded, "nn"))
+            .unwrap()
+            .run()
+            .cycles
+    };
+    let base = cycles(SafetyModel::AtsOnlyIommu);
+    let full = cycles(SafetyModel::FullIommu);
+    let capi = cycles(SafetyModel::CapiLike);
+    let bcc = cycles(SafetyModel::BorderControlBcc);
+    assert!(full > capi, "full IOMMU ({full}) must exceed CAPI-like ({capi})");
+    assert!(capi > base, "CAPI-like ({capi}) must exceed baseline ({base})");
+    let overhead = bcc as f64 / base as f64 - 1.0;
+    assert!(
+        overhead.abs() < 0.05,
+        "BC-BCC overhead should be within 5% of unsafe baseline, was {:.2}%",
+        overhead * 100.0
+    );
+}
+
+#[test]
+fn identical_seeds_give_identical_runs() {
+    let run = || {
+        System::build(&config(
+            SafetyModel::BorderControlBcc,
+            GpuClass::HighlyThreaded,
+            "bfs",
+        ))
+        .unwrap()
+        .run()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.bc_checks, b.bc_checks);
+    assert_eq!(a.dram_reads_writes, b.dram_reads_writes);
+    assert_eq!(a.bcc_hits_misses, b.bcc_hits_misses);
+}
+
+#[test]
+fn different_seeds_change_irregular_workloads() {
+    let run = |seed| {
+        let mut c = config(SafetyModel::AtsOnlyIommu, GpuClass::ModeratelyThreaded, "bfs");
+        c.seed = seed;
+        System::build(&c).unwrap().run()
+    };
+    assert_ne!(run(1).dram_reads_writes, run(2).dram_reads_writes);
+}
+
+#[test]
+fn downgrade_storm_is_safe_and_costs_more_under_bc() {
+    let run = |safety, rate| {
+        let mut c = config(safety, GpuClass::ModeratelyThreaded, "hotspot");
+        c.downgrades_per_second = rate;
+        System::build(&c).unwrap().run()
+    };
+    let quiet = run(SafetyModel::BorderControlBcc, 0);
+    let storm = run(SafetyModel::BorderControlBcc, 300_000);
+    assert!(storm.downgrades > 0, "injector must fire");
+    assert_eq!(storm.violation_count, 0, "downgrades cost time, never safety");
+    assert!(storm.cycles > quiet.cycles);
+
+    let ats_quiet = run(SafetyModel::AtsOnlyIommu, 0);
+    let ats_storm = run(SafetyModel::AtsOnlyIommu, 300_000);
+    let bc_over = storm.cycles as f64 / quiet.cycles as f64;
+    let ats_over = ats_storm.cycles as f64 / ats_quiet.cycles as f64;
+    assert!(
+        bc_over > ats_over,
+        "BC downgrade cost ({bc_over:.4}) must exceed trusted baseline ({ats_over:.4})"
+    );
+}
+
+#[test]
+fn bcc_reach_contains_small_working_sets() {
+    // nn's Tiny footprint (~4 MiB) sits comfortably inside the default
+    // BCC's 128 MiB reach: after warmup, the miss ratio is tiny.
+    let report = System::build(&config(
+        SafetyModel::BorderControlBcc,
+        GpuClass::HighlyThreaded,
+        "nn",
+    ))
+    .unwrap()
+    .run();
+    let miss = report.bcc_miss_ratio().expect("BCC present");
+    assert!(miss < 0.01, "BCC miss ratio {miss} too high for a 4 MiB footprint");
+}
+
+#[test]
+fn full_iommu_translates_every_request() {
+    let report = System::build(&config(
+        SafetyModel::FullIommu,
+        GpuClass::ModeratelyThreaded,
+        "nn",
+    ))
+    .unwrap()
+    .run();
+    assert_eq!(
+        report.ats_translations_walks.0, report.block_accesses,
+        "full IOMMU must translate every accelerator request"
+    );
+    assert!(report.l1.is_none() && report.l1_tlb.is_none(), "no accel structures");
+}
+
+#[test]
+fn malicious_behavior_summary_matches_safety_matrix() {
+    for safety in SafetyModel::ALL {
+        let mut c = config(safety, GpuClass::ModeratelyThreaded, "nn");
+        c.behavior = Behavior::Malicious {
+            probe_period: 100,
+            probe_writes: true,
+        };
+        c.violation_policy = border_control::os::ViolationPolicy::LogOnly;
+        let r = System::build(&c).unwrap().run();
+        let (attempted, _blocked, succeeded) = r.probes;
+        assert!(attempted > 0);
+        if safety.is_safe() {
+            assert_eq!(succeeded, 0, "{safety} let a forged probe through");
+        } else {
+            assert!(succeeded > 0, "unsafe baseline should let probes through");
+        }
+    }
+}

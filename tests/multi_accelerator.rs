@@ -1,0 +1,131 @@
+//! Multiple accelerators (§3.1.1: "There is one Protection Table per
+//! active accelerator"; §5.2.3: storage overhead is *per accelerator*).
+//!
+//! Two Border Control instances guard two accelerators attached to two
+//! different processes: each accelerator's table holds only its own
+//! process's grants, tables live in distinct host frames, and revoking
+//! one accelerator's process leaves the other untouched.
+
+use border_control::cache::TlbEntry;
+use border_control::core::{BorderControl, BorderControlConfig, MemRequest, ProtectionTable};
+use border_control::mem::{Dram, DramConfig, PagePerms, VirtAddr};
+use border_control::os::{Kernel, KernelConfig};
+use border_control::sim::Cycle;
+
+fn grant(
+    bc: &mut BorderControl,
+    kernel: &mut Kernel,
+    dram: &mut Dram,
+    asid: border_control::mem::Asid,
+    va: VirtAddr,
+) -> border_control::mem::Ppn {
+    let tr = kernel.translate(asid, va.vpn()).unwrap();
+    bc.on_translation(
+        Cycle::ZERO,
+        &TlbEntry {
+            asid,
+            vpn: va.vpn(),
+            ppn: tr.ppn,
+            perms: tr.perms,
+            size: tr.size,
+        },
+        kernel.store_mut(),
+        dram,
+    );
+    tr.ppn
+}
+
+fn allowed(
+    bc: &mut BorderControl,
+    kernel: &mut Kernel,
+    dram: &mut Dram,
+    ppn: border_control::mem::Ppn,
+    write: bool,
+) -> bool {
+    bc.check(
+        Cycle::ZERO,
+        MemRequest { ppn, write, asid: None },
+        kernel.store_mut(),
+        dram,
+    )
+    .allowed
+}
+
+#[test]
+fn per_accelerator_tables_isolate_independently() {
+    let mut kernel = Kernel::new(KernelConfig {
+        phys_bytes: 512 << 20,
+        ..KernelConfig::default()
+    });
+    let mut dram = Dram::new(DramConfig::default());
+
+    let pid_a = kernel.create_process();
+    let pid_b = kernel.create_process();
+    let va = VirtAddr::new(0x1000_0000);
+    kernel.map_region(pid_a, va, 2, PagePerms::READ_WRITE).unwrap();
+    kernel.map_region(pid_b, va, 2, PagePerms::READ_WRITE).unwrap();
+
+    let mut bc0 = BorderControl::new(0, BorderControlConfig::default());
+    let mut bc1 = BorderControl::new(1, BorderControlConfig::default());
+    bc0.attach_process(&mut kernel, pid_a).unwrap();
+    bc1.attach_process(&mut kernel, pid_b).unwrap();
+
+    // Distinct tables in distinct host frames, each of the full §5.2.3
+    // size.
+    let t0 = *bc0.table().unwrap();
+    let t1 = *bc1.table().unwrap();
+    assert_ne!(t0.base(), t1.base());
+    let table_pages = ProtectionTable::storage_pages(kernel.total_frames());
+    assert!(
+        t1.base().as_u64() >= t0.base().as_u64() + table_pages
+            || t0.base().as_u64() >= t1.base().as_u64() + table_pages,
+        "tables must not overlap"
+    );
+
+    // Each accelerator is granted only its own process's page.
+    let ppn_a = grant(&mut bc0, &mut kernel, &mut dram, pid_a, va);
+    let ppn_b = grant(&mut bc1, &mut kernel, &mut dram, pid_b, va);
+    assert_ne!(ppn_a, ppn_b);
+
+    assert!(allowed(&mut bc0, &mut kernel, &mut dram, ppn_a, true));
+    assert!(allowed(&mut bc1, &mut kernel, &mut dram, ppn_b, true));
+    // Cross-accelerator: each blocks the other's frame.
+    assert!(!allowed(&mut bc0, &mut kernel, &mut dram, ppn_b, false));
+    assert!(!allowed(&mut bc1, &mut kernel, &mut dram, ppn_a, false));
+
+    // Detaching accelerator 0's process revokes *its* grants only.
+    bc0.detach_process(&mut kernel, pid_a);
+    assert!(!allowed(&mut bc0, &mut kernel, &mut dram, ppn_a, false));
+    assert!(
+        allowed(&mut bc1, &mut kernel, &mut dram, ppn_b, true),
+        "accelerator 1 is unaffected by accelerator 0's lifecycle"
+    );
+}
+
+#[test]
+fn one_process_on_two_accelerators_gets_two_tables() {
+    let mut kernel = Kernel::new(KernelConfig {
+        phys_bytes: 512 << 20,
+        ..KernelConfig::default()
+    });
+    let mut dram = Dram::new(DramConfig::default());
+    let pid = kernel.create_process();
+    let va = VirtAddr::new(0x2000_0000);
+    kernel.map_region(pid, va, 1, PagePerms::READ_WRITE).unwrap();
+
+    let mut bc0 = BorderControl::new(0, BorderControlConfig::default());
+    let mut bc1 = BorderControl::new(1, BorderControlConfig::default());
+    bc0.attach_process(&mut kernel, pid).unwrap();
+    bc1.attach_process(&mut kernel, pid).unwrap();
+
+    // Grant through accelerator 0 only: accelerator 1's table stays cold
+    // (lazy fill is per table, not per process).
+    let ppn = grant(&mut bc0, &mut kernel, &mut dram, pid, va);
+    assert!(allowed(&mut bc0, &mut kernel, &mut dram, ppn, true));
+    assert!(
+        !allowed(&mut bc1, &mut kernel, &mut dram, ppn, true),
+        "each accelerator's grants are inserted by *its* ATS traffic"
+    );
+    grant(&mut bc1, &mut kernel, &mut dram, pid, va);
+    assert!(allowed(&mut bc1, &mut kernel, &mut dram, ppn, true));
+}

@@ -1,0 +1,294 @@
+//! Security integration tests: the §2.1 threat vectors, end to end.
+
+use border_control::accel::Behavior;
+use border_control::cache::{Tlb, TlbConfig, TlbEntry};
+use border_control::core::{
+    BorderControl, BorderControlConfig, DowngradeAction, MemRequest,
+};
+use border_control::mem::{Dram, DramConfig, PagePerms, VirtAddr};
+use border_control::os::{Kernel, KernelConfig, ProcessState, ViolationKind, ViolationPolicy};
+use border_control::sim::Cycle;
+use border_control::system::{GpuClass, SafetyModel, System, SystemConfig};
+use border_control::workloads::WorkloadSize;
+
+fn attack_config(safety: SafetyModel, behavior: Behavior) -> SystemConfig {
+    let mut c = SystemConfig::table3_defaults();
+    c.safety = safety;
+    c.gpu_class = GpuClass::ModeratelyThreaded;
+    c.workload = "nn".to_string();
+    c.size = WorkloadSize::Tiny;
+    c.max_ops_per_wavefront = Some(1500);
+    c.behavior = behavior;
+    c
+}
+
+/// Confidentiality (§2.1): a malicious accelerator issuing forged *read*
+/// probes. Under the unsafe baseline every probe reads host memory; under
+/// Border Control each is blocked before data could be returned.
+#[test]
+fn confidentiality_reads_blocked() {
+    let malicious = Behavior::Malicious {
+        probe_period: 64,
+        probe_writes: false,
+    };
+    let unsafe_report = System::build(&attack_config(SafetyModel::AtsOnlyIommu, malicious))
+        .unwrap()
+        .run();
+    assert!(unsafe_report.probes.2 > 0, "baseline: reads reached memory");
+    assert_eq!(unsafe_report.violation_count, 0, "and nobody noticed");
+
+    let mut c = attack_config(SafetyModel::BorderControlBcc, malicious);
+    c.violation_policy = ViolationPolicy::LogOnly;
+    let bc_report = System::build(&c).unwrap().run();
+    // A probe may land on a page the process *legitimately* reads — that
+    // is within the threat model (§2.2). Everything else is blocked and
+    // reported.
+    let (attempted, blocked, succeeded) = bc_report.probes;
+    assert_eq!(blocked + succeeded, attempted);
+    assert!(blocked > 0, "forged reads to foreign pages must be blocked");
+    assert_eq!(bc_report.violation_count, blocked, "each block is reported");
+    assert!(bc_report
+        .violations
+        .iter()
+        .all(|v| v.kind == ViolationKind::ReadWithoutPermission));
+}
+
+/// Integrity (§2.1): forged writes corrupt real bytes only in the unsafe
+/// baseline.
+#[test]
+fn integrity_writes_blocked_and_victim_intact() {
+    let malicious = Behavior::Malicious {
+        probe_period: 64,
+        probe_writes: true,
+    };
+    for (safety, expect_corruption) in [
+        (SafetyModel::AtsOnlyIommu, true),
+        (SafetyModel::BorderControlBcc, false),
+    ] {
+        let mut c = attack_config(safety, malicious);
+        c.violation_policy = ViolationPolicy::LogOnly;
+        let mut system = System::build(&c).unwrap();
+
+        let victim = system.kernel_mut().create_process();
+        let secret_va = VirtAddr::new(0x5000_0000);
+        system
+            .kernel_mut()
+            .map_region(victim, secret_va, 32, PagePerms::READ_WRITE)
+            .unwrap();
+        for page in 0..32u64 {
+            system
+                .kernel_mut()
+                .write_virt(victim, secret_va.offset(page * 4096), b"canary")
+                .unwrap();
+        }
+
+        system.run();
+
+        let mut corrupted = 0;
+        for page in 0..32u64 {
+            let bytes = system
+                .kernel_mut()
+                .read_virt(victim, secret_va.offset(page * 4096), 6)
+                .unwrap();
+            if bytes != b"canary" {
+                corrupted += 1;
+            }
+        }
+        if expect_corruption {
+            assert!(corrupted > 0, "{safety}: attack should land on the baseline");
+        } else {
+            assert_eq!(corrupted, 0, "{safety}: victim must stay intact");
+        }
+    }
+}
+
+/// The kill policy: the first violation terminates the offending process
+/// (Fig 3c: "The OS can act accordingly by terminating the process").
+#[test]
+fn violation_kills_offending_process() {
+    let c = attack_config(
+        SafetyModel::BorderControlBcc,
+        Behavior::Malicious {
+            probe_period: 32,
+            probe_writes: true,
+        },
+    );
+    let mut system = System::build(&c).unwrap();
+    let asid = system.asid();
+    let report = system.run();
+    assert!(report.aborted);
+    assert!(report.violation_count >= 1);
+    assert_eq!(
+        system.kernel().process(asid).unwrap().state(),
+        ProcessState::Killed
+    );
+}
+
+/// The stale-TLB bug (§2.1) at component level: a writeback with a stale
+/// translation after a permission downgrade is blocked — including when
+/// the accelerator *ignored the flush request* (§3.2.4: "Even if the
+/// accelerator ignores the request to flush its caches, there is no
+/// security vulnerability").
+#[test]
+fn stale_translation_writeback_blocked() {
+    let mut kernel = Kernel::new(KernelConfig {
+        phys_bytes: 256 << 20,
+        ..KernelConfig::default()
+    });
+    let mut dram = Dram::new(DramConfig::default());
+    let mut bc = BorderControl::new(0, BorderControlConfig::default());
+
+    let pid = kernel.create_process();
+    let va = VirtAddr::new(0x1000_0000);
+    kernel.map_region(pid, va, 1, PagePerms::READ_WRITE).unwrap();
+    bc.attach_process(&mut kernel, pid).unwrap();
+
+    // Legitimate translation, cached by the buggy accelerator.
+    let tr = kernel.translate(pid, va.vpn()).unwrap();
+    let mut buggy_tlb = Tlb::new(TlbConfig { entries: 16, ways: 16 });
+    let entry = TlbEntry {
+        asid: pid,
+        vpn: va.vpn(),
+        ppn: tr.ppn,
+        perms: tr.perms,
+        size: tr.size,
+    };
+    buggy_tlb.insert(entry);
+    bc.on_translation(Cycle::ZERO, &entry, kernel.store_mut(), &mut dram);
+
+    // Writes pass while the grant stands.
+    assert!(
+        bc.check(
+            Cycle::ZERO,
+            MemRequest { ppn: tr.ppn, write: true, asid: Some(pid) },
+            kernel.store_mut(),
+            &mut dram,
+        )
+        .allowed
+    );
+
+    // The OS downgrades the page to read-only (e.g. CoW marking).
+    let req = kernel.protect_page(pid, va.vpn(), PagePerms::READ_ONLY).unwrap();
+    assert!(matches!(bc.downgrade_action(&req), DowngradeAction::FlushAll));
+    // The buggy accelerator ignores the shootdown AND the flush; Border
+    // Control commits the downgrade regardless.
+    bc.commit_downgrade(Cycle::ZERO, &req, kernel.store_mut(), &mut dram);
+
+    // The stale writeback arrives later — and is blocked at the border.
+    let stale = buggy_tlb.lookup(pid, va.vpn()).expect("stale entry kept");
+    assert!(stale.perms.writable(), "the TLB still *claims* writability");
+    let out = bc.check(
+        Cycle::ZERO,
+        MemRequest { ppn: stale.ppn, write: true, asid: Some(pid) },
+        kernel.store_mut(),
+        &mut dram,
+    );
+    assert!(!out.allowed, "stale dirty writeback must be blocked");
+    assert_eq!(
+        out.violation.unwrap().kind,
+        ViolationKind::WriteWithoutPermission
+    );
+}
+
+/// §3.4.1: "the OS might run an accelerator kernel directly. Because the
+/// OS has access to every page in the system, this would eliminate the
+/// memory protection... A simple way to handle this case is for the OS
+/// to provide an alternate (shadow) page table for the accelerator."
+#[test]
+fn shadow_page_table_confines_os_kernels() {
+    let mut kernel = Kernel::new(KernelConfig {
+        phys_bytes: 256 << 20,
+        ..KernelConfig::default()
+    });
+    let mut dram = Dram::new(DramConfig::default());
+    let mut bc = BorderControl::new(0, BorderControlConfig::default());
+
+    // The "OS" address space holds both work buffers and secrets.
+    let os_space = kernel.create_process();
+    let buffers = VirtAddr::new(0x1000_0000);
+    let secrets = VirtAddr::new(0x2000_0000);
+    kernel.map_region(os_space, buffers, 4, PagePerms::READ_WRITE).unwrap();
+    kernel.map_region(os_space, secrets, 4, PagePerms::READ_WRITE).unwrap();
+
+    // Instead of attaching os_space, the OS builds a shadow address
+    // space exposing only the buffers, and runs the accelerator there.
+    let shadow = kernel.create_process();
+    kernel
+        .map_shared(shadow, buffers, os_space, buffers, 4, PagePerms::READ_WRITE)
+        .unwrap();
+    bc.attach_process(&mut kernel, shadow).unwrap();
+
+    // The ATS (walking the *shadow* table) grants the buffers...
+    let tr = kernel.translate(shadow, buffers.vpn()).unwrap();
+    bc.on_translation(
+        Cycle::ZERO,
+        &TlbEntry {
+            asid: shadow,
+            vpn: buffers.vpn(),
+            ppn: tr.ppn,
+            perms: tr.perms,
+            size: tr.size,
+        },
+        kernel.store_mut(),
+        &mut dram,
+    );
+    assert!(
+        bc.check(
+            Cycle::ZERO,
+            MemRequest { ppn: tr.ppn, write: true, asid: Some(shadow) },
+            kernel.store_mut(),
+            &mut dram,
+        )
+        .allowed
+    );
+
+    // ...while the OS's secret pages — which exist in os_space but were
+    // never shadow-mapped — are unreachable even by a forging accelerator.
+    let secret_tr = kernel.translate(os_space, secrets.vpn()).unwrap();
+    for write in [false, true] {
+        let out = bc.check(
+            Cycle::ZERO,
+            MemRequest { ppn: secret_tr.ppn, write, asid: Some(shadow) },
+            kernel.store_mut(),
+            &mut dram,
+        );
+        assert!(!out.allowed, "secret page reachable through shadow (write={write})");
+    }
+    // And the shadow table cannot even *name* the secrets: a translation
+    // request for that VA simply segfaults.
+    assert!(kernel.translate(shadow, secrets.vpn()).is_err());
+}
+
+/// §3.3: processes inside the sandbox are isolated from the *rest of the
+/// system*, not from each other — but a page belonging to a process that
+/// never ran on the accelerator is always protected.
+#[test]
+fn third_party_process_memory_unreachable() {
+    let mut kernel = Kernel::new(KernelConfig {
+        phys_bytes: 256 << 20,
+        ..KernelConfig::default()
+    });
+    let mut dram = Dram::new(DramConfig::default());
+    let mut bc = BorderControl::new(0, BorderControlConfig::default());
+
+    let accel_pid = kernel.create_process();
+    let other_pid = kernel.create_process();
+    kernel
+        .map_region(accel_pid, VirtAddr::new(0x1000_0000), 2, PagePerms::READ_WRITE)
+        .unwrap();
+    kernel
+        .map_region(other_pid, VirtAddr::new(0x2000_0000), 2, PagePerms::READ_WRITE)
+        .unwrap();
+    bc.attach_process(&mut kernel, accel_pid).unwrap();
+
+    let foreign = kernel.translate(other_pid, VirtAddr::new(0x2000_0000).vpn()).unwrap();
+    for write in [false, true] {
+        let out = bc.check(
+            Cycle::ZERO,
+            MemRequest { ppn: foreign.ppn, write, asid: Some(accel_pid) },
+            kernel.store_mut(),
+            &mut dram,
+        );
+        assert!(!out.allowed, "foreign page reachable (write={write})");
+    }
+}
