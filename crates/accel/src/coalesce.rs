@@ -109,10 +109,7 @@ mod tests {
     fn misaligned_run_takes_two_blocks() {
         // Starting 64 bytes into a block, 32 words straddle two blocks.
         let blocks = coalesce_lanes(&lanes(|i| 0x2040 + i * 4));
-        assert_eq!(
-            blocks,
-            vec![VirtAddr::new(0x2000), VirtAddr::new(0x2080)]
-        );
+        assert_eq!(blocks, vec![VirtAddr::new(0x2000), VirtAddr::new(0x2080)]);
     }
 
     #[test]
@@ -138,7 +135,11 @@ mod tests {
         ]);
         assert_eq!(
             blocks,
-            vec![VirtAddr::new(0x500), VirtAddr::new(0x100), VirtAddr::new(0x580)]
+            vec![
+                VirtAddr::new(0x500),
+                VirtAddr::new(0x100),
+                VirtAddr::new(0x580)
+            ]
         );
     }
 

@@ -254,9 +254,7 @@ impl Gpu {
 
     /// Whether every wavefront has drained its stream.
     pub fn all_done(&self) -> bool {
-        self.cus
-            .iter()
-            .all(|c| c.wavefronts.iter().all(|w| w.done))
+        self.cus.iter().all(|c| c.wavefronts.iter().all(|w| w.done))
     }
 
     /// Delivers a TLB shootdown. A correct accelerator invalidates; buggy
@@ -340,7 +338,7 @@ impl Gpu {
                 // Scan low physical memory, where kernels and early
                 // allocations (other processes' data, page tables) live —
                 // the realistic target of a probing trojan.
-                let scan_range = phys_pages.min(2048).max(1);
+                let scan_range = phys_pages.clamp(1, 2048);
                 let ppn = Ppn::new(self.probe_rng.below(scan_range));
                 return Some((ppn, probe_writes));
             }

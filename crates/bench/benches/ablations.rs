@@ -94,5 +94,12 @@ fn huge_pages(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, parallel_check, flush_policy, pt_latency, bcc_size, huge_pages);
+criterion_group!(
+    benches,
+    parallel_check,
+    flush_policy,
+    pt_latency,
+    bcc_size,
+    huge_pages
+);
 criterion_main!(benches);

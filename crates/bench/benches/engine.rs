@@ -91,7 +91,10 @@ fn caches(c: &mut Criterion) {
 fn tlbs(c: &mut Criterion) {
     let mut group = c.benchmark_group("tlb");
     group.bench_function("fully_assoc_64_lookup", |b| {
-        let mut tlb = Tlb::new(TlbConfig { entries: 64, ways: 64 });
+        let mut tlb = Tlb::new(TlbConfig {
+            entries: 64,
+            ways: 64,
+        });
         for i in 0..64u64 {
             tlb.insert(TlbEntry {
                 asid: Asid::new(1),
@@ -116,7 +119,12 @@ fn page_table(c: &mut Criterion) {
         let mut table = PageTable::new(Asid::new(1));
         for i in 0..4096u64 {
             table
-                .map(Vpn::new(i), Ppn::new(i + 10), PagePerms::READ_WRITE, PageSize::Base4K)
+                .map(
+                    Vpn::new(i),
+                    Ppn::new(i + 10),
+                    PagePerms::READ_WRITE,
+                    PageSize::Base4K,
+                )
                 .unwrap();
         }
         let mut i = 0u64;

@@ -7,7 +7,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 
 use bc_bench::bench_config;
 use bc_core::{Bcc, BccConfig};
-use bc_mem::{PagePerms, Ppn};
+use bc_mem::PagePerms;
 use bc_system::{SafetyModel, System};
 
 /// Figure 4: one full run per safety configuration.

@@ -1,0 +1,35 @@
+//! Sweep-engine throughput: the same fig4-style matrix executed with
+//! different worker-pool sizes. On a multi-core host the N-thread sweep
+//! should approach N× the single-thread throughput (cells are
+//! independent); on a single-core host the numbers collapse to ~1× and
+//! the benchmark instead documents the engine's overhead.
+
+use bc_experiments::{SweepMatrix, SweepOptions, WORKLOADS};
+use bc_system::{GpuClass, SafetyModel};
+use bc_workloads::WorkloadSize;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn fig4_like_matrix() -> SweepMatrix {
+    SweepMatrix::new(WorkloadSize::Tiny)
+        .gpus(&[GpuClass::HighlyThreaded])
+        .safeties(&[SafetyModel::AtsOnlyIommu, SafetyModel::BorderControlBcc])
+        .workloads(&WORKLOADS[..3])
+}
+
+fn sweep_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_throughput");
+    group.sample_size(10);
+    for jobs in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                let results = fig4_like_matrix().run(&SweepOptions::with_jobs(jobs));
+                assert_eq!(results.failures(), 0);
+                results.total_wall
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sweep_throughput);
+criterion_main!(benches);

@@ -36,7 +36,10 @@ pub fn bench_config(safety: SafetyModel, workload: &str) -> SystemConfig {
 /// Builds and runs one configuration, returning simulated cycles (used as
 /// a sanity check inside benches).
 pub fn run_cycles(config: &SystemConfig) -> u64 {
-    System::build(config).expect("bench config builds").run().cycles
+    System::build(config)
+        .expect("bench config builds")
+        .run()
+        .cycles
 }
 
 #[cfg(test)]

@@ -159,7 +159,11 @@ impl MoesiLine {
         match (self.state, ev) {
             // Read miss: fill E when this cache may own the line, else S.
             (S::Invalid, CpuEvent::Load) => {
-                self.state = if page_writable { S::Exclusive } else { S::Shared };
+                self.state = if page_writable {
+                    S::Exclusive
+                } else {
+                    S::Shared
+                };
                 A::IssueGetS
             }
             // Write miss.
@@ -383,7 +387,11 @@ mod tests {
                     }
                 }
             }
-            for ev in [BusEvent::RemoteGetS, BusEvent::RemoteGetM, BusEvent::Invalidate] {
+            for ev in [
+                BusEvent::RemoteGetS,
+                BusEvent::RemoteGetM,
+                BusEvent::Invalidate,
+            ] {
                 let mut l = mk(s);
                 let a = l.bus_event(ev);
                 if s.dirty() && l.state() == S::Invalid {

@@ -515,7 +515,11 @@ mod tests {
         for block in (0..20_000u64).step_by(37) {
             let a = addr(block);
             let (set, tag) = c.split(a);
-            assert_eq!(c.block_addr(set, tag), a, "round-trip failed for block {block}");
+            assert_eq!(
+                c.block_addr(set, tag),
+                a,
+                "round-trip failed for block {block}"
+            );
         }
     }
 
@@ -547,7 +551,11 @@ mod tests {
         assert_eq!(c.downgrade_block(addr(0)), Some(true));
         assert!(c.contains(addr(0)), "block stays resident");
         assert!(!c.is_dirty(addr(0)));
-        assert_eq!(c.downgrade_block(addr(0)), Some(false), "second downgrade clean");
+        assert_eq!(
+            c.downgrade_block(addr(0)),
+            Some(false),
+            "second downgrade clean"
+        );
         assert_eq!(c.downgrade_block(addr(99)), None, "absent block");
         assert_eq!(c.writebacks(), 1);
     }

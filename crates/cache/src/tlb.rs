@@ -40,7 +40,10 @@ impl TlbConfig {
     pub fn sets(&self) -> usize {
         assert!(self.ways > 0 && self.entries >= self.ways);
         let sets = self.entries / self.ways;
-        assert!(sets.is_power_of_two(), "TLB set count must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "TLB set count must be a power of two"
+        );
         sets
     }
 }
@@ -188,7 +191,11 @@ impl Tlb {
                 slot.last_use = clock;
                 return;
             }
-            let way = match self.huge.iter().position(|s| !matches!(s, Some(x) if x.valid)) {
+            let way = match self
+                .huge
+                .iter()
+                .position(|s| !matches!(s, Some(x) if x.valid))
+            {
                 Some(w) => w,
                 None => self
                     .huge
@@ -218,7 +225,10 @@ impl Tlb {
             return;
         }
         // Empty way, else LRU victim.
-        let way = match set.iter().position(|s| s.is_none() || !s.as_ref().unwrap().valid) {
+        let way = match set
+            .iter()
+            .position(|s| s.is_none() || !s.as_ref().unwrap().valid)
+        {
             Some(w) => w,
             None => set
                 .iter()
@@ -329,40 +339,64 @@ mod tests {
 
     #[test]
     fn hit_and_miss_stats() {
-        let mut t = Tlb::new(TlbConfig { entries: 8, ways: 2 });
+        let mut t = Tlb::new(TlbConfig {
+            entries: 8,
+            ways: 2,
+        });
         assert_eq!(t.lookup(Asid::new(1), Vpn::new(5)), None);
         t.insert(entry(1, 5, 50));
-        assert_eq!(t.lookup(Asid::new(1), Vpn::new(5)).unwrap().ppn, Ppn::new(50));
+        assert_eq!(
+            t.lookup(Asid::new(1), Vpn::new(5)).unwrap().ppn,
+            Ppn::new(50)
+        );
         assert_eq!(t.stats().hits(), 1);
         assert_eq!(t.stats().misses(), 1);
     }
 
     #[test]
     fn asid_isolation() {
-        let mut t = Tlb::new(TlbConfig { entries: 8, ways: 2 });
+        let mut t = Tlb::new(TlbConfig {
+            entries: 8,
+            ways: 2,
+        });
         t.insert(entry(1, 5, 50));
         assert_eq!(t.lookup(Asid::new(2), Vpn::new(5)), None);
         t.insert(entry(2, 5, 70));
-        assert_eq!(t.lookup(Asid::new(1), Vpn::new(5)).unwrap().ppn, Ppn::new(50));
-        assert_eq!(t.lookup(Asid::new(2), Vpn::new(5)).unwrap().ppn, Ppn::new(70));
+        assert_eq!(
+            t.lookup(Asid::new(1), Vpn::new(5)).unwrap().ppn,
+            Ppn::new(50)
+        );
+        assert_eq!(
+            t.lookup(Asid::new(2), Vpn::new(5)).unwrap().ppn,
+            Ppn::new(70)
+        );
     }
 
     #[test]
     fn insert_refreshes_in_place() {
-        let mut t = Tlb::new(TlbConfig { entries: 4, ways: 2 });
+        let mut t = Tlb::new(TlbConfig {
+            entries: 4,
+            ways: 2,
+        });
         t.insert(entry(1, 4, 50));
         let mut updated = entry(1, 4, 50);
         updated.perms = PagePerms::READ_ONLY;
         t.insert(updated);
         assert_eq!(t.valid_entries(), 1);
-        assert_eq!(t.peek(Asid::new(1), Vpn::new(4)).unwrap().perms, PagePerms::READ_ONLY);
+        assert_eq!(
+            t.peek(Asid::new(1), Vpn::new(4)).unwrap().perms,
+            PagePerms::READ_ONLY
+        );
     }
 
     #[test]
     fn lru_eviction_within_set() {
         // 2 sets, 2 ways; the set index is XOR-hashed, so find three VPNs
         // that collide by probing.
-        let t0 = Tlb::new(TlbConfig { entries: 4, ways: 2 });
+        let t0 = Tlb::new(TlbConfig {
+            entries: 4,
+            ways: 2,
+        });
         let target = t0.set_of(Vpn::new(0));
         let mut collide = vec![0u64];
         let mut v = 1;
@@ -385,7 +419,10 @@ mod tests {
 
     #[test]
     fn single_entry_shootdown() {
-        let mut t = Tlb::new(TlbConfig { entries: 8, ways: 2 });
+        let mut t = Tlb::new(TlbConfig {
+            entries: 8,
+            ways: 2,
+        });
         t.insert(entry(1, 5, 50));
         assert!(t.invalidate(Asid::new(1), Vpn::new(5)));
         assert!(!t.invalidate(Asid::new(1), Vpn::new(5)));
@@ -394,7 +431,10 @@ mod tests {
 
     #[test]
     fn flush_asid_spares_others() {
-        let mut t = Tlb::new(TlbConfig { entries: 8, ways: 2 });
+        let mut t = Tlb::new(TlbConfig {
+            entries: 8,
+            ways: 2,
+        });
         t.insert(entry(1, 1, 10));
         t.insert(entry(1, 2, 11));
         t.insert(entry(2, 3, 12));
@@ -405,7 +445,10 @@ mod tests {
 
     #[test]
     fn flush_all_empties() {
-        let mut t = Tlb::new(TlbConfig { entries: 8, ways: 2 });
+        let mut t = Tlb::new(TlbConfig {
+            entries: 8,
+            ways: 2,
+        });
         t.insert(entry(1, 1, 10));
         t.insert(entry(2, 2, 11));
         assert_eq!(t.flush_all(), 2);
@@ -414,7 +457,10 @@ mod tests {
 
     #[test]
     fn fully_associative_geometry() {
-        let mut t = Tlb::new(TlbConfig { entries: 64, ways: 64 });
+        let mut t = Tlb::new(TlbConfig {
+            entries: 64,
+            ways: 64,
+        });
         for i in 0..64 {
             t.insert(entry(1, i, i + 100));
         }
@@ -426,7 +472,10 @@ mod tests {
 
     #[test]
     fn huge_entries_match_any_subpage() {
-        let mut t = Tlb::new(TlbConfig { entries: 8, ways: 2 });
+        let mut t = Tlb::new(TlbConfig {
+            entries: 8,
+            ways: 2,
+        });
         let huge = TlbEntry {
             asid: Asid::new(1),
             vpn: Vpn::new(1024), // 2 MiB aligned
@@ -440,7 +489,10 @@ mod tests {
             assert_eq!(e.ppn, Ppn::new(4096), "entry reports the base PPN");
             assert_eq!(e.size, PageSize::Huge2M);
         }
-        assert!(t.lookup(Asid::new(1), Vpn::new(1536)).is_none(), "next huge page misses");
+        assert!(
+            t.lookup(Asid::new(1), Vpn::new(1536)).is_none(),
+            "next huge page misses"
+        );
         // A shootdown of any covered 4 KiB page kills the huge entry.
         assert!(t.invalidate(Asid::new(1), Vpn::new(1024 + 300)));
         assert!(t.peek(Asid::new(1), Vpn::new(1024)).is_none());
@@ -448,7 +500,10 @@ mod tests {
 
     #[test]
     fn huge_array_is_lru() {
-        let mut t = Tlb::new(TlbConfig { entries: 8, ways: 2 });
+        let mut t = Tlb::new(TlbConfig {
+            entries: 8,
+            ways: 2,
+        });
         for i in 0..=TlbConfig::HUGE_SLOTS as u64 {
             t.insert(TlbEntry {
                 asid: Asid::new(1),
@@ -471,6 +526,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_geometry_rejected() {
-        let _ = Tlb::new(TlbConfig { entries: 6, ways: 2 });
+        let _ = Tlb::new(TlbConfig {
+            entries: 6,
+            ways: 2,
+        });
     }
 }

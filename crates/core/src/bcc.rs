@@ -54,7 +54,10 @@ impl BccConfig {
             "pages_per_entry must be a power of two ≤ 512"
         );
         let sets = self.entries / self.ways;
-        assert!(sets.is_power_of_two(), "BCC set count must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "BCC set count must be a power of two"
+        );
         sets
     }
 
@@ -142,10 +145,7 @@ impl Bcc {
     pub fn new(config: BccConfig) -> Self {
         let sets = config.sets();
         Bcc {
-            sets: vec![
-                vec![Entry::empty(config.pages_per_entry); config.ways];
-                sets
-            ],
+            sets: vec![vec![Entry::empty(config.pages_per_entry); config.ways]; sets],
             set_mask: sets as u64 - 1,
             clock: 0,
             config,

@@ -449,7 +449,8 @@ impl BorderControl {
         match self.config.flush_policy {
             FlushPolicy::FullFlush => DowngradeAction::FlushAll,
             FlushPolicy::Selective => DowngradeAction::FlushPage(
-                req.old_ppn.expect("page-scope downgrade carries its old PPN"),
+                req.old_ppn
+                    .expect("page-scope downgrade carries its old PPN"),
             ),
         }
     }
@@ -489,10 +490,8 @@ impl BorderControl {
                 // channel occupancy (not per-access latency) bounds them.
                 let mut t = at;
                 for i in 0..blocks {
-                    let done = dram.write_block(
-                        at,
-                        table.base().byte(0).offset(i * bc_mem::BLOCK_SIZE),
-                    );
+                    let done =
+                        dram.write_block(at, table.base().byte(0).offset(i * bc_mem::BLOCK_SIZE));
                     t = t.max(done);
                     self.pt_writes.inc();
                 }
@@ -815,7 +814,9 @@ mod tests {
             .unwrap();
         bc.attach_process(&mut kernel, pid2).unwrap();
 
-        let tr2 = kernel.translate(pid2, VirtAddr::new(0x20000).vpn()).unwrap();
+        let tr2 = kernel
+            .translate(pid2, VirtAddr::new(0x20000).vpn())
+            .unwrap();
         bc.on_translation(
             Cycle::ZERO,
             &tlb_entry(pid2, 0x20, tr2.ppn, tr2.perms),
@@ -906,8 +907,10 @@ mod tests {
 
     #[test]
     fn downgrade_selective_updates_single_page() {
-        let mut config = BorderControlConfig::default();
-        config.flush_policy = FlushPolicy::Selective;
+        let config = BorderControlConfig {
+            flush_policy: FlushPolicy::Selective,
+            ..Default::default()
+        };
         let (mut kernel, mut dram, mut bc, pid) = setup(config);
         let vpn = VirtAddr::new(0x10000).vpn();
         let other_vpn = vpn.add(1);
@@ -923,14 +926,21 @@ mod tests {
         let tr = kernel.translate(pid, vpn).unwrap();
         let other_tr = kernel.translate(pid, other_vpn).unwrap();
         let req = kernel.protect_page(pid, vpn, PagePerms::READ_ONLY).unwrap();
-        assert_eq!(bc.downgrade_action(&req), DowngradeAction::FlushPage(tr.ppn));
+        assert_eq!(
+            bc.downgrade_action(&req),
+            DowngradeAction::FlushPage(tr.ppn)
+        );
         bc.commit_downgrade(Cycle::ZERO, &req, kernel.store_mut(), &mut dram);
 
         // Downgraded page: write blocked, read allowed.
         assert!(
             !bc.check(
                 Cycle::ZERO,
-                MemRequest { ppn: tr.ppn, write: true, asid: Some(pid) },
+                MemRequest {
+                    ppn: tr.ppn,
+                    write: true,
+                    asid: Some(pid)
+                },
                 kernel.store_mut(),
                 &mut dram,
             )
@@ -939,7 +949,11 @@ mod tests {
         assert!(
             bc.check(
                 Cycle::ZERO,
-                MemRequest { ppn: tr.ppn, write: false, asid: Some(pid) },
+                MemRequest {
+                    ppn: tr.ppn,
+                    write: false,
+                    asid: Some(pid)
+                },
                 kernel.store_mut(),
                 &mut dram,
             )
@@ -949,7 +963,11 @@ mod tests {
         assert!(
             bc.check(
                 Cycle::ZERO,
-                MemRequest { ppn: other_tr.ppn, write: true, asid: Some(pid) },
+                MemRequest {
+                    ppn: other_tr.ppn,
+                    write: true,
+                    asid: Some(pid)
+                },
                 kernel.store_mut(),
                 &mut dram,
             )
@@ -1013,7 +1031,11 @@ mod tests {
         assert!(
             !bc.check(
                 Cycle::ZERO,
-                MemRequest { ppn: Ppn::new(1536), write: false, asid: Some(pid) },
+                MemRequest {
+                    ppn: Ppn::new(1536),
+                    write: false,
+                    asid: Some(pid)
+                },
                 kernel.store_mut(),
                 &mut dram,
             )
@@ -1042,13 +1064,19 @@ mod tests {
 
     #[test]
     fn record_stream_captures_checked_requests() {
-        let mut config = BorderControlConfig::default();
-        config.record_stream = true;
+        let config = BorderControlConfig {
+            record_stream: true,
+            ..Default::default()
+        };
         let (mut kernel, mut dram, mut bc, pid) = setup(config);
         for (p, w) in [(3u64, false), (5, true), (3, false)] {
             bc.check(
                 Cycle::ZERO,
-                MemRequest { ppn: Ppn::new(p), write: w, asid: Some(pid) },
+                MemRequest {
+                    ppn: Ppn::new(p),
+                    write: w,
+                    asid: Some(pid),
+                },
                 kernel.store_mut(),
                 &mut dram,
             );
@@ -1056,15 +1084,21 @@ mod tests {
         let stream = bc.take_stream();
         assert_eq!(
             stream,
-            vec![(Ppn::new(3), false), (Ppn::new(5), true), (Ppn::new(3), false)]
+            vec![
+                (Ppn::new(3), false),
+                (Ppn::new(5), true),
+                (Ppn::new(3), false)
+            ]
         );
         assert!(bc.take_stream().is_empty(), "drained");
     }
 
     #[test]
     fn serialized_read_check_config_plumbs_through() {
-        let mut config = BorderControlConfig::default();
-        config.parallel_read_check = false;
+        let config = BorderControlConfig {
+            parallel_read_check: false,
+            ..Default::default()
+        };
         let (_kernel, _dram, bc, _pid) = setup(config);
         assert!(!bc.config().parallel_read_check);
         assert!(BorderControlConfig::without_bcc().bcc.is_none());
@@ -1088,8 +1122,10 @@ mod tests {
 
     #[test]
     fn check_occupancy_adds_fixed_latency() {
-        let mut config = BorderControlConfig::default();
-        config.check_occupancy = 7;
+        let config = BorderControlConfig {
+            check_occupancy: 7,
+            ..Default::default()
+        };
         let (mut kernel, mut dram, mut bc, pid) = setup(config);
         let tr = kernel.translate(pid, VirtAddr::new(0x10000).vpn()).unwrap();
         bc.on_translation(
@@ -1100,7 +1136,11 @@ mod tests {
         );
         let out = bc.check(
             Cycle::new(500),
-            MemRequest { ppn: tr.ppn, write: false, asid: Some(pid) },
+            MemRequest {
+                ppn: tr.ppn,
+                write: false,
+                asid: Some(pid),
+            },
             kernel.store_mut(),
             &mut dram,
         );

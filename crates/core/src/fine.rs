@@ -180,7 +180,10 @@ mod tests {
         fine.merge(&mut store, ro_buf, PagePerms::READ_ONLY);
         assert!(fine.check(&store, rw_buf, true));
         assert!(fine.check(&store, ro_buf, false));
-        assert!(!fine.check(&store, ro_buf, true), "write to RO sub-buffer blocked");
+        assert!(
+            !fine.check(&store, ro_buf, true),
+            "write to RO sub-buffer blocked"
+        );
         // A third, never-granted block of the SAME page has nothing.
         assert!(!fine.check(&store, PhysAddr::new(0x3100), false));
     }
@@ -200,8 +203,14 @@ mod tests {
             fine.set(&mut store, PhysAddr::new(i as u64 * 128), *p);
         }
         assert_eq!(fine.lookup(&store, PhysAddr::new(0)), PagePerms::READ_ONLY);
-        assert_eq!(fine.lookup(&store, PhysAddr::new(128)), PagePerms::READ_WRITE);
-        assert_eq!(fine.lookup(&store, PhysAddr::new(256)), PagePerms::WRITE_ONLY);
+        assert_eq!(
+            fine.lookup(&store, PhysAddr::new(128)),
+            PagePerms::READ_WRITE
+        );
+        assert_eq!(
+            fine.lookup(&store, PhysAddr::new(256)),
+            PagePerms::WRITE_ONLY
+        );
         assert_eq!(fine.lookup(&store, PhysAddr::new(384)), PagePerms::NONE);
     }
 

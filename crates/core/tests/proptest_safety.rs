@@ -7,13 +7,11 @@
 //! guarantee — expressed against an independently-maintained reference
 //! model — can never be violated.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use bc_cache::TlbEntry;
 use bc_core::{Bcc, BccConfig, BorderControl, BorderControlConfig, MemRequest, ProtectionTable};
-use bc_mem::{
-    Asid, Dram, DramConfig, PagePerms, PageSize, PhysMemStore, Ppn, VirtAddr, Vpn,
-};
+use bc_mem::{Dram, DramConfig, PagePerms, PhysMemStore, Ppn, VirtAddr, Vpn};
 use bc_os::{Kernel, KernelConfig};
 use bc_sim::Cycle;
 use proptest::prelude::*;
@@ -49,7 +47,7 @@ proptest! {
             if is_merge {
                 table.merge(&mut store, Ppn::new(ppn), perms);
                 let e = model.entry(ppn).or_insert(PagePerms::NONE);
-                *e = *e | enforceable;
+                *e |= enforceable;
             } else {
                 table.set(&mut store, Ppn::new(ppn), perms);
                 model.insert(ppn, enforceable);
@@ -158,7 +156,7 @@ proptest! {
                             &mut dram,
                         );
                         let e = granted.entry(tr.ppn.as_u64()).or_insert(PagePerms::NONE);
-                        *e = *e | tr.perms.border_enforceable();
+                        *e |= tr.perms.border_enforceable();
                     }
                 }
                 // OS downgrade (to read-only or back to read-write).
@@ -200,6 +198,92 @@ proptest! {
                             ppn,
                             limit
                         );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Revocation ordering (§3.2): once the OS downgrades a page to
+    /// read-only and Border Control commits the downgrade, no later write
+    /// request to that frame may succeed until the OS grants read-write
+    /// again. Stale ATS translations fetched before the downgrade must
+    /// not resurrect the old permission.
+    #[test]
+    fn writes_never_succeed_after_an_earlier_downgrade(
+        events in proptest::collection::vec((0u8..8, 0u64..8), 1..120),
+    ) {
+        let mut kernel = Kernel::new(KernelConfig {
+            phys_bytes: 64 << 20,
+            ..KernelConfig::default()
+        });
+        let mut dram = Dram::new(DramConfig::default());
+        let mut bc = BorderControl::new(0, BorderControlConfig::default());
+
+        let asid = kernel.create_process();
+        let base = VirtAddr::new(0x2000_0000);
+        kernel.map_region(asid, base, 8, PagePerms::READ_WRITE).unwrap();
+        bc.attach_process(&mut kernel, asid).unwrap();
+
+        // Frames whose page was downgraded to read-only and not upgraded
+        // back since. A write to any of them must be denied, no matter
+        // what translations the accelerator cached beforehand.
+        let mut write_revoked: HashSet<u64> = HashSet::new();
+
+        for (kind, page) in events {
+            let vpn = Vpn::new(base.vpn().as_u64() + page);
+            match kind {
+                // ATS fill: the accelerator pre-translates the page,
+                // caching whatever permission the OS currently grants.
+                0..=2 => {
+                    if let Ok(tr) = kernel.translate(asid, vpn) {
+                        bc.on_translation(
+                            Cycle::ZERO,
+                            &TlbEntry { asid, vpn, ppn: tr.ppn, perms: tr.perms, size: tr.size },
+                            kernel.store_mut(),
+                            &mut dram,
+                        );
+                    }
+                }
+                // OS downgrade to read-only, committed through Border
+                // Control before the OS considers it done (§3.2).
+                3 | 4 => {
+                    let frame = kernel.translate(asid, vpn).map(|t| t.ppn.as_u64());
+                    if let Ok(req) = kernel.protect_page(asid, vpn, PagePerms::READ_ONLY) {
+                        if req.is_downgrade() {
+                            bc.commit_downgrade(Cycle::ZERO, &req, kernel.store_mut(), &mut dram);
+                            if let Ok(frame) = frame {
+                                write_revoked.insert(frame);
+                            }
+                        }
+                    }
+                }
+                // OS grants read-write again; writes may succeed after
+                // the accelerator re-translates.
+                5 => {
+                    if kernel.protect_page(asid, vpn, PagePerms::READ_WRITE).is_ok() {
+                        if let Ok(tr) = kernel.translate(asid, vpn) {
+                            write_revoked.remove(&tr.ppn.as_u64());
+                        }
+                    }
+                }
+                // Accelerator write to the page's real frame.
+                _ => {
+                    if let Ok(tr) = kernel.translate(asid, vpn) {
+                        let out = bc.check(
+                            Cycle::ZERO,
+                            MemRequest { ppn: tr.ppn, write: true, asid: Some(asid) },
+                            kernel.store_mut(),
+                            &mut dram,
+                        );
+                        if write_revoked.contains(&tr.ppn.as_u64()) {
+                            prop_assert!(
+                                !out.allowed,
+                                "write to {} allowed although the page was downgraded \
+                                 to read-only before the request was issued",
+                                tr.ppn
+                            );
+                        }
                     }
                 }
             }

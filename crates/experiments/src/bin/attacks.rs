@@ -1,27 +1,34 @@
 //! §2.1 threat vectors demonstrated against every configuration: a
 //! malicious accelerator forging physical write probes while running a
-//! real workload.
+//! real workload. The five safety configurations are independent cells on
+//! the parallel sweep engine.
 //!
-//! Usage: `attacks [--size tiny|small|reference]`
+//! Usage: `attacks [--size tiny|small|reference] [--jobs N]`
 
 use bc_accel::Behavior;
-use bc_experiments::{base_config, print_matrix, run, size_from_args};
+use bc_experiments::{print_matrix, size_from_args, SweepMatrix, SweepOptions};
 use bc_os::ViolationPolicy;
 use bc_system::{GpuClass, SafetyModel};
 
 fn main() {
     let size = size_from_args();
+    let matrix = SweepMatrix::new(size)
+        .gpus(&[GpuClass::ModeratelyThreaded])
+        .safeties(&SafetyModel::ALL)
+        .workloads(&["nn"])
+        .with_override("malicious", |c| {
+            c.behavior = Behavior::Malicious {
+                probe_period: 200,
+                probe_writes: true,
+            };
+            // Log-only so the run completes and we can count every probe.
+            c.violation_policy = ViolationPolicy::LogOnly;
+        });
+    let results = matrix.run(&SweepOptions::default());
+
     let mut rows = Vec::new();
-    for safety in SafetyModel::ALL {
-        let mut c = base_config("nn", GpuClass::ModeratelyThreaded, size);
-        c.safety = safety;
-        c.behavior = Behavior::Malicious {
-            probe_period: 200,
-            probe_writes: true,
-        };
-        // Log-only so the run completes and we can count every probe.
-        c.violation_policy = ViolationPolicy::LogOnly;
-        let r = run(&c);
+    for (si, safety) in SafetyModel::ALL.iter().enumerate() {
+        let r = results.report([0, 0, si, 0]);
         let (attempted, blocked, succeeded) = r.probes;
         rows.push((
             safety.label().to_string(),
@@ -56,4 +63,5 @@ fn main() {
     println!("  which is not a violation of the threat model (§2.2).");
     println!("\n(With the default KillProcess policy the very first violation kills the");
     println!(" offending process; LogOnly is used here to census every probe.)");
+    eprintln!("\n{}", results.summary());
 }

@@ -7,10 +7,11 @@
 //! kernel runs — and shows that (a) recalled dirty GPU blocks cross the
 //! border and are checked like any writeback, and (b) Border Control's
 //! overhead stays negligible even with coherence traffic in flight.
+//! The 2 safety × 3 workload cells run on the parallel sweep engine.
 //!
-//! Usage: `cpu_coherence [--size tiny|small|reference]`
+//! Usage: `cpu_coherence [--size tiny|small|reference] [--jobs N]`
 
-use bc_experiments::{base_config, pct, print_matrix, run, size_from_args};
+use bc_experiments::{pct, print_matrix, size_from_args, SweepMatrix, SweepOptions};
 use bc_system::{GpuClass, HostActivityConfig, SafetyModel};
 
 fn main() {
@@ -22,18 +23,19 @@ fn main() {
         private_bytes: 1 << 20,
     };
 
-    let mut rows = Vec::new();
-    for workload in ["hotspot", "nn", "bfs"] {
-        // Unsafe baseline and BC, both with the host hammering away.
-        let mut base = base_config(workload, GpuClass::HighlyThreaded, size);
-        base.safety = SafetyModel::AtsOnlyIommu;
-        base.host_activity = Some(host);
-        let baseline = run(&base);
+    let workloads = ["hotspot", "nn", "bfs"];
+    let matrix = SweepMatrix::new(size)
+        .gpus(&[GpuClass::HighlyThreaded])
+        .safeties(&[SafetyModel::AtsOnlyIommu, SafetyModel::BorderControlBcc])
+        .workloads(&workloads)
+        .with_override("host-active", move |c| c.host_activity = Some(host));
+    let results = matrix.run(&SweepOptions::default());
 
-        let mut cfg = base_config(workload, GpuClass::HighlyThreaded, size);
-        cfg.safety = SafetyModel::BorderControlBcc;
-        cfg.host_activity = Some(host);
-        let report = run(&cfg);
+    let mut rows = Vec::new();
+    for (wi, workload) in workloads.iter().enumerate() {
+        // Unsafe baseline and BC, both with the host hammering away.
+        let baseline = results.report([0, 0, 0, wi]);
+        let report = results.report([0, 0, 1, wi]);
 
         let (cpu_accesses, shared, recalls) = report.host.expect("host enabled");
         rows.push((
@@ -43,7 +45,7 @@ fn main() {
                 shared.to_string(),
                 recalls.to_string(),
                 report.violation_count.to_string(),
-                pct(report.overhead_vs(&baseline)),
+                pct(report.overhead_vs(baseline)),
             ],
         ));
     }
@@ -61,4 +63,5 @@ fn main() {
     println!("\nEvery dirty block the CPU pulled back from the GPU crossed the border");
     println!("and passed its write check (violations stay 0); Border Control's");
     println!("overhead remains at baseline-noise level with coherence in flight.");
+    eprintln!("\n{}", results.summary());
 }

@@ -1,10 +1,14 @@
 //! Figure 4: runtime overhead of each safety approach relative to the
 //! unsafe ATS-only IOMMU baseline, for both GPU classes.
 //!
-//! Usage: `fig4 [--size tiny|small|reference] [--gpu highly|moderate|both] [--csv]`
+//! All 5 safety × 7 workload × 2 GPU cells (70 at `--gpu both`) are
+//! independent simulations, so they run on the parallel sweep engine.
+//!
+//! Usage: `fig4 [--size tiny|small|reference] [--gpu highly|moderate|both]
+//!              [--jobs N] [--csv]`
 
 use bc_experiments::{
-    base_config, csv_from_args, geomean_overhead, pct, print_matrix, run, size_from_args,
+    csv_from_args, geomean_overhead, pct, print_matrix, size_from_args, SweepMatrix, SweepOptions,
     WORKLOADS,
 };
 use bc_system::{GpuClass, SafetyModel};
@@ -22,36 +26,34 @@ fn main() {
         Some("moderate") => vec![GpuClass::ModeratelyThreaded],
         _ => vec![GpuClass::HighlyThreaded, GpuClass::ModeratelyThreaded],
     };
+    // Safety axis order: the baseline first, then the four safe schemes
+    // as Figure 4 stacks them.
     let safeties = [
+        SafetyModel::AtsOnlyIommu,
         SafetyModel::FullIommu,
         SafetyModel::CapiLike,
         SafetyModel::BorderControlNoBcc,
         SafetyModel::BorderControlBcc,
     ];
 
-    for gpu in gpus {
+    let matrix = SweepMatrix::new(size)
+        .gpus(&gpus)
+        .safeties(&safeties)
+        .workloads(&WORKLOADS);
+    let results = matrix.run(&SweepOptions::default());
+
+    for (gi, gpu) in gpus.iter().enumerate() {
         let label = match gpu {
             GpuClass::HighlyThreaded => "Figure 4a: Highly threaded GPU",
             GpuClass::ModeratelyThreaded => "Figure 4b: Moderately threaded GPU",
         };
-        // One baseline run per workload, reused across the four safe configs.
-        let baselines: Vec<_> = WORKLOADS
-            .iter()
-            .map(|w| {
-                let mut c = base_config(w, gpu, size);
-                c.safety = SafetyModel::AtsOnlyIommu;
-                run(&c)
-            })
-            .collect();
-
         let mut rows = Vec::new();
         let mut csv_lines = vec!["gpu,safety,workload,overhead".to_string()];
-        for safety in safeties {
+        for (si, safety) in safeties.iter().enumerate().skip(1) {
             let mut overheads = Vec::new();
-            for (w, baseline) in WORKLOADS.iter().zip(&baselines) {
-                let mut c = base_config(w, gpu, size);
-                c.safety = safety;
-                let report = run(&c);
+            for (wi, w) in WORKLOADS.iter().enumerate() {
+                let baseline = results.report([0, gi, 0, wi]);
+                let report = results.report([0, gi, si, wi]);
                 let o = report.overhead_vs(baseline);
                 overheads.push(o);
                 csv_lines.push(format!("{},{},{w},{o:.6}", gpu.label(), safety.label()));
@@ -62,7 +64,11 @@ fn main() {
         }
         let mut heads: Vec<String> = WORKLOADS.iter().map(|s| s.to_string()).collect();
         heads.push("geomean".to_string());
-        print_matrix(&format!("{label} — runtime overhead vs ATS-only IOMMU"), &heads, &rows);
+        print_matrix(
+            &format!("{label} — runtime overhead vs ATS-only IOMMU"),
+            &heads,
+            &rows,
+        );
         println!();
         if csv {
             for l in &csv_lines {
@@ -71,6 +77,9 @@ fn main() {
             println!();
         }
     }
-    println!("(paper geomeans — 4a: full IOMMU 374%, CAPI-like 3.81%, BC-noBCC 2.04%, BC-BCC 0.15%;");
+    println!(
+        "(paper geomeans — 4a: full IOMMU 374%, CAPI-like 3.81%, BC-noBCC 2.04%, BC-BCC 0.15%;"
+    );
     println!("                 4b: full IOMMU 85%, CAPI-like 16.5%, BC-noBCC 7.26%, BC-BCC 0.84%)");
+    eprintln!("\n{}", results.summary());
 }

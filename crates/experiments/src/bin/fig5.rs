@@ -1,20 +1,24 @@
 //! Figure 5: number of requests per cycle checked by Border Control, for
-//! the highly threaded GPU.
+//! the highly threaded GPU. The seven workload runs are independent, so
+//! they go through the parallel sweep engine.
 //!
-//! Usage: `fig5 [--size tiny|small|reference]`
+//! Usage: `fig5 [--size tiny|small|reference] [--jobs N]`
 
-use bc_experiments::{base_config, print_matrix, run, size_from_args, WORKLOADS};
+use bc_experiments::{print_matrix, size_from_args, SweepMatrix, SweepOptions, WORKLOADS};
 use bc_system::{GpuClass, SafetyModel};
 
 fn main() {
     let size = size_from_args();
+    let matrix = SweepMatrix::new(size)
+        .gpus(&[GpuClass::HighlyThreaded])
+        .safeties(&[SafetyModel::BorderControlBcc])
+        .workloads(&WORKLOADS);
+    let results = matrix.run(&SweepOptions::default());
+
     let mut rows = Vec::new();
     let mut rates = Vec::new();
-    for w in WORKLOADS {
-        let mut c = base_config(w, GpuClass::HighlyThreaded, size);
-        c.safety = SafetyModel::BorderControlBcc;
-        let report = run(&c);
-        let rate = report.checks_per_cycle();
+    for (wi, w) in WORKLOADS.iter().enumerate() {
+        let rate = results.report([0, 0, 0, wi]).checks_per_cycle();
         rates.push(rate);
         rows.push((w.to_string(), vec![format!("{rate:.3}")]));
     }
@@ -27,4 +31,5 @@ fn main() {
     );
     println!("\n(paper: average ≈ 0.11; backprop lowest ≈ 0.025, bfs highest ≈ 0.29;");
     println!(" conclusion — bandwidth at Border Control is not a bottleneck)");
+    eprintln!("\n{}", results.summary());
 }

@@ -3,14 +3,35 @@
 //!
 //! Methodology follows the paper: capture the border-crossing request
 //! stream of each workload once, then replay it through BCC geometries of
-//! varying size, averaging the miss ratio over the benchmarks.
+//! varying size, averaging the miss ratio over the benchmarks. Each
+//! workload cell (capture + its 32 replays) is independent, so the cells
+//! run on the generic sweep pool via [`bc_experiments::run_cells_with`].
 //!
-//! Usage: `fig6 [--size tiny|small|reference] [--csv]`
+//! Usage: `fig6 [--size tiny|small|reference] [--jobs N] [--csv]`
 
 use bc_core::{Bcc, BccConfig};
-use bc_experiments::{base_config, csv_from_args, print_matrix, size_from_args, WORKLOADS};
+use bc_experiments::{
+    csv_from_args, print_matrix, run_cells_with, size_from_args, SweepMatrix, SweepOptions,
+    WORKLOADS,
+};
 use bc_mem::{PagePerms, Ppn};
 use bc_system::{GpuClass, SafetyModel, System};
+
+/// The replayed geometries: 4 pages-per-entry rows × 8 size columns.
+pub const PAGES_PER_ENTRY: [u64; 4] = [1, 2, 32, 512];
+/// Entry-count columns of Figure 6's x-axis.
+pub const ENTRY_COUNTS: [usize; 8] = [2, 4, 8, 16, 32, 64, 128, 256];
+
+/// The BCC geometry at one (pages-per-entry, entries) grid point. Small
+/// geometries are fully associative; larger ones 8-way.
+fn geometry(ppe: u64, entries: usize) -> BccConfig {
+    BccConfig {
+        entries,
+        pages_per_entry: ppe,
+        ways: entries.min(8),
+        latency: 10,
+    }
+}
 
 /// Replays a PPN stream through one BCC geometry, returning the miss
 /// ratio. Fills use full permissions — Figure 6 studies reach, not
@@ -30,58 +51,56 @@ fn main() {
     let size = size_from_args();
     let csv = csv_from_args();
 
-    // Capture one stream per workload.
-    let streams: Vec<Vec<(Ppn, bool)>> = WORKLOADS
+    // One cell per workload: capture the check stream, then replay it
+    // through every geometry. Returns the grid of miss ratios row-major
+    // over (pages_per_entry, entries).
+    let matrix = SweepMatrix::new(size)
+        .gpus(&[GpuClass::HighlyThreaded])
+        .safeties(&[SafetyModel::BorderControlBcc])
+        .workloads(&WORKLOADS)
+        .with_override("capture", |c| c.record_check_stream = true);
+    let cells = matrix.cells();
+    let outcomes = run_cells_with(&cells, &SweepOptions::default(), |cell| {
+        let mut sys = System::build(&cell.config).map_err(|e| format!("build failed: {e}"))?;
+        sys.run();
+        let stream = sys.take_check_stream();
+        let mut grid = Vec::with_capacity(PAGES_PER_ENTRY.len() * ENTRY_COUNTS.len());
+        for ppe in PAGES_PER_ENTRY {
+            for entries in ENTRY_COUNTS {
+                grid.push(replay(&stream, geometry(ppe, entries)));
+            }
+        }
+        Ok(grid)
+    });
+    let grids: Vec<&Vec<f64>> = outcomes
         .iter()
-        .map(|w| {
-            let mut c = base_config(w, GpuClass::HighlyThreaded, size);
-            c.safety = SafetyModel::BorderControlBcc;
-            c.record_check_stream = true;
-            let mut sys = System::build(&c).unwrap_or_else(|e| panic!("{w}: {e}"));
-            sys.run();
-            sys.take_check_stream()
+        .map(|o| match &o.result {
+            Ok(grid) => grid,
+            Err(e) => panic!("sweep cell '{}' failed: {e}", o.label),
         })
         .collect();
 
-    let pages_per_entry = [1u64, 2, 32, 512];
-    let entry_counts = [2usize, 4, 8, 16, 32, 64, 128, 256];
-
     let mut rows = Vec::new();
     let mut csv_lines = vec!["pages_per_entry,entries,bcc_bytes,avg_miss_ratio".to_string()];
-    for ppe in pages_per_entry {
+    for (pi, ppe) in PAGES_PER_ENTRY.iter().enumerate() {
         let mut cells = Vec::new();
-        for &entries in &entry_counts {
-            let config = BccConfig {
-                entries,
-                pages_per_entry: ppe,
-                // Small geometries are fully associative; larger ones 8-way.
-                ways: entries.min(8),
-                latency: 10,
-            };
-            let avg: f64 = streams.iter().map(|s| replay(s, config)).sum::<f64>()
-                / streams.len() as f64;
+        for (ei, &entries) in ENTRY_COUNTS.iter().enumerate() {
+            let at = pi * ENTRY_COUNTS.len() + ei;
+            let avg: f64 = grids.iter().map(|g| g[at]).sum::<f64>() / grids.len() as f64;
             cells.push(format!("{avg:.4}"));
             csv_lines.push(format!(
                 "{ppe},{entries},{},{avg:.6}",
-                config.total_bytes()
+                geometry(*ppe, entries).total_bytes()
             ));
         }
-        let bytes: Vec<String> = entry_counts
+        let bytes: Vec<String> = ENTRY_COUNTS
             .iter()
-            .map(|&e| {
-                let cfg = BccConfig {
-                    entries: e,
-                    pages_per_entry: ppe,
-                    ways: e.min(8),
-                    latency: 10,
-                };
-                format!("{}B", cfg.total_bytes())
-            })
+            .map(|&e| format!("{}B", geometry(*ppe, e).total_bytes()))
             .collect();
         rows.push((format!("{ppe:>3} pages/entry ({})", bytes.join("/")), cells));
     }
 
-    let heads: Vec<String> = entry_counts.iter().map(|e| format!("{e} ent")).collect();
+    let heads: Vec<String> = ENTRY_COUNTS.iter().map(|e| format!("{e} ent")).collect();
     print_matrix(
         "Figure 6: BCC miss ratio vs size (averaged over the suite)",
         &heads,

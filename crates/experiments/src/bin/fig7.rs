@@ -4,12 +4,14 @@
 //!
 //! Each curve is normalized to its *own* zero-downgrade runtime, exactly
 //! as the paper plots it. A geometric mean over the suite smooths
-//! per-workload noise.
+//! per-workload noise. The downgrade rate is the sweep's override axis:
+//! 7 rates × 2 safeties × 2 GPUs × 7 workloads = 196 independent cells on
+//! the parallel sweep engine (the rate-0 slice doubles as the baselines).
 //!
-//! Usage: `fig7 [--size tiny|small|reference] [--csv]`
+//! Usage: `fig7 [--size tiny|small|reference] [--jobs N] [--csv]`
 
 use bc_experiments::{
-    base_config, csv_from_args, geomean_overhead, pct, print_matrix, run, size_from_args,
+    csv_from_args, geomean_overhead, pct, print_matrix, size_from_args, SweepMatrix, SweepOptions,
     WORKLOADS,
 };
 use bc_system::{GpuClass, SafetyModel};
@@ -23,49 +25,46 @@ fn main() {
     let rates = [0u64, 100, 200, 400, 600, 800, 1000];
     // The scheduling-relevant range of the paper: "10-200 downgrades per
     // second" is today's context-switch rate.
-    let configs = [
-        (SafetyModel::BorderControlBcc, GpuClass::HighlyThreaded),
-        (SafetyModel::BorderControlBcc, GpuClass::ModeratelyThreaded),
-        (SafetyModel::AtsOnlyIommu, GpuClass::HighlyThreaded),
-        (SafetyModel::AtsOnlyIommu, GpuClass::ModeratelyThreaded),
-    ];
+    let safeties = [SafetyModel::BorderControlBcc, SafetyModel::AtsOnlyIommu];
+    let gpus = [GpuClass::HighlyThreaded, GpuClass::ModeratelyThreaded];
+
+    let mut matrix = SweepMatrix::new(size)
+        .safeties(&safeties)
+        .gpus(&gpus)
+        .workloads(&WORKLOADS);
+    for rate in rates {
+        // Our trimmed runs simulate a few milliseconds where the paper's
+        // benchmarks run much longer, so at true rates only 0-2 downgrades
+        // would fire per run. The injector runs at 150x density for
+        // measurement precision and the overhead — linear in downgrade
+        // count — is rescaled to the labelled true rate.
+        matrix = matrix.with_override(format!("{rate}/s"), move |c| {
+            c.downgrades_per_second = rate * DENSITY_SCALE;
+        });
+    }
+    let results = matrix.run(&SweepOptions::default());
 
     let mut rows = Vec::new();
     let mut csv_lines = vec!["safety,gpu,rate_per_s,overhead".to_string()];
-    for (safety, gpu) in configs {
-        // Zero-downgrade baselines, one per workload.
-        let baselines: Vec<u64> = WORKLOADS
-            .iter()
-            .map(|w| {
-                let mut c = base_config(w, gpu, size);
-                c.safety = safety;
-                run(&c).cycles
-            })
-            .collect();
-        let mut cells = Vec::new();
-        for &rate in &rates {
-            let overheads: Vec<f64> = WORKLOADS
-                .iter()
-                .zip(&baselines)
-                .map(|(w, &base)| {
-                    let mut c = base_config(w, gpu, size);
-                    c.safety = safety;
-                    // Our trimmed runs simulate a few milliseconds where
-                    // the paper's benchmarks run much longer, so at true
-                    // rates only 0-2 downgrades would fire per run. The
-                    // injector runs at 150x density for measurement
-                    // precision and the overhead — linear in downgrade
-                    // count — is rescaled to the labelled true rate.
-                    c.downgrades_per_second = rate * DENSITY_SCALE;
-                    let r = run(&c);
-                    (r.cycles as f64 / base as f64 - 1.0) / DENSITY_SCALE as f64
-                })
-                .collect();
-            let g = geomean_overhead(&overheads);
-            cells.push(pct(g));
-            csv_lines.push(format!("{},{},{rate},{g:.6}", safety.label(), gpu.label()));
+    for (si, safety) in safeties.iter().enumerate() {
+        for (gi, gpu) in gpus.iter().enumerate() {
+            let mut cells = Vec::new();
+            for (ri, &rate) in rates.iter().enumerate() {
+                let overheads: Vec<f64> = WORKLOADS
+                    .iter()
+                    .enumerate()
+                    .map(|(wi, _)| {
+                        let base = results.report([0, gi, si, wi]).cycles;
+                        let r = results.report([ri, gi, si, wi]);
+                        (r.cycles as f64 / base as f64 - 1.0) / DENSITY_SCALE as f64
+                    })
+                    .collect();
+                let g = geomean_overhead(&overheads);
+                cells.push(pct(g));
+                csv_lines.push(format!("{},{},{rate},{g:.6}", safety.label(), gpu.label()));
+            }
+            rows.push((format!("{} / {}", safety.label(), gpu.label()), cells));
         }
-        rows.push((format!("{} / {}", safety.label(), gpu.label()), cells));
     }
     let heads: Vec<String> = rates.iter().map(|r| format!("{r}/s")).collect();
     print_matrix(
@@ -81,4 +80,5 @@ fn main() {
             println!("{l}");
         }
     }
+    eprintln!("\n{}", results.summary());
 }

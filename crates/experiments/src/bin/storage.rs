@@ -39,7 +39,10 @@ fn main() {
         bcc.data_bytes() >> 10,
         bcc.total_bytes() - bcc.data_bytes()
     );
-    println!("  reach: {} MiB of physical memory", bcc.reach_bytes() >> 20);
+    println!(
+        "  reach: {} MiB of physical memory",
+        bcc.reach_bytes() >> 20
+    );
     println!();
     println!("== Fine-grained (sub-page) alternate format, §3.4.1 ==");
     let phys = 16u64 << 30;

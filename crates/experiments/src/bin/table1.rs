@@ -4,7 +4,11 @@ use bc_experiments::print_matrix;
 use bc_system::table1;
 
 fn yes_no(b: bool) -> String {
-    if b { "yes".into() } else { "no".into() }
+    if b {
+        "yes".into()
+    } else {
+        "no".into()
+    }
 }
 
 fn main() {

@@ -5,7 +5,11 @@ use bc_experiments::print_matrix;
 use bc_system::SafetyModel;
 
 fn mark(b: bool) -> String {
-    if b { "yes".into() } else { "—".into() }
+    if b {
+        "yes".into()
+    } else {
+        "—".into()
+    }
 }
 
 fn main() {

@@ -23,15 +23,27 @@ fn main() {
         mod_.l1_bytes >> 10,
         mod_.l2_bytes >> 10
     );
-    println!("  L1 TLB                         {} entries", high.l1_tlb_entries);
-    println!("  shared L2 TLB (trusted)        {} entries", c.ats.iotlb_entries);
+    println!(
+        "  L1 TLB                         {} entries",
+        high.l1_tlb_entries
+    );
+    println!(
+        "  shared L2 TLB (trusted)        {} entries",
+        c.ats.iotlb_entries
+    );
     println!("  GPU frequency                  {}", c.gpu_clock());
     println!("Memory system");
     let bw = c.dram.peak_blocks_per_cycle() * 128.0 * c.gpu_clock().as_hz() as f64 / 1e9;
     println!("  peak memory bandwidth          {bw:.0} GB/s");
-    println!("  physical memory                {} GiB", c.phys_bytes >> 30);
+    println!(
+        "  physical memory                {} GiB",
+        c.phys_bytes >> 30
+    );
     println!("Border Control");
-    println!("  BCC size                       {} KiB", c.bcc.data_bytes() >> 10);
+    println!(
+        "  BCC size                       {} KiB",
+        c.bcc.data_bytes() >> 10
+    );
     println!("  BCC access latency             {} cycles", c.bcc.latency);
     let pt_bytes = bc_core::ProtectionTable::storage_bytes(c.phys_bytes / 4096);
     println!("  protection table size          {} KiB", pt_bytes >> 10);

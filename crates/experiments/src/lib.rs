@@ -22,11 +22,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sweep;
+
 use bc_system::{GpuClass, RunReport, SafetyModel, System, SystemConfig};
 use bc_workloads::WorkloadSize;
 
+pub use sweep::{
+    cell_seed, run_cells_with, CellOutcome, SweepCell, SweepMatrix, SweepOptions, SweepResults,
+};
+
 /// The seven workloads in Figure 4's x-axis order.
-pub const WORKLOADS: [&str; 7] = ["backprop", "bfs", "hotspot", "lud", "nn", "nw", "pathfinder"];
+pub const WORKLOADS: [&str; 7] = [
+    "backprop",
+    "bfs",
+    "hotspot",
+    "lud",
+    "nn",
+    "nw",
+    "pathfinder",
+];
 
 /// Parses `--size` from argv (default [`WorkloadSize::Small`]).
 pub fn size_from_args() -> WorkloadSize {
@@ -49,6 +63,29 @@ pub fn size_from_args() -> WorkloadSize {
 /// Whether `--csv` was passed (machine-readable output after the table).
 pub fn csv_from_args() -> bool {
     std::env::args().any(|a| a == "--csv")
+}
+
+/// Parses `--jobs N` from argv (default: available parallelism). Values
+/// below 1 or unparsable values fall back to the default with a warning.
+pub fn jobs_from_args() -> usize {
+    let default = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let args: Vec<String> = std::env::args().collect();
+    match args
+        .windows(2)
+        .find(|w| w[0] == "--jobs")
+        .map(|w| w[1].as_str())
+    {
+        None => default,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("invalid --jobs '{raw}', using {default}");
+                default
+            }
+        },
+    }
 }
 
 /// A baseline configuration for one (workload, GPU class, size) cell.
@@ -135,7 +172,9 @@ pub fn pct(v: f64) -> String {
 /// overhead — how the paper aggregates Figure 4.
 pub fn geomean_overhead(overheads: &[f64]) -> f64 {
     let factors: Vec<f64> = overheads.iter().map(|o| 1.0 + o.max(-0.999)).collect();
-    bc_sim::stats::geometric_mean(&factors).map(|g| g - 1.0).unwrap_or(0.0)
+    bc_sim::stats::geometric_mean(&factors)
+        .map(|g| g - 1.0)
+        .unwrap_or(0.0)
 }
 
 #[cfg(test)]

@@ -1,0 +1,509 @@
+//! Parallel sweep engine for the experiment matrix.
+//!
+//! Every figure and table in this reproduction is a cross product of
+//! independent full-system simulations — (safety model × GPU class ×
+//! workload × size × knob overrides) — which makes reference-size runs
+//! embarrassingly parallel. This module turns those nested loops into a
+//! declarative [`SweepMatrix`] whose cells are fanned out to a fixed-size
+//! worker pool over a shared job queue, then collected back **in matrix
+//! order** so rendering code never sees scheduling effects.
+//!
+//! Determinism guarantees:
+//!
+//! * every cell's [`SystemConfig`] — including its RNG seed — is fully
+//!   fixed when the matrix is built, *before* any thread runs. The seed is
+//!   derived (FNV-1a) from the matrix seed and the cell's workload
+//!   coordinate, never from thread identity or scheduling. Cells that
+//!   differ only in safety model, GPU class or knob override share a seed
+//!   **on purpose**: an overhead ratio must compare two simulations of the
+//!   *same* generated access stream, exactly as the paper reruns one
+//!   benchmark under each scheme;
+//! * results are indexed by coordinates, so `--jobs 1` and `--jobs 64`
+//!   produce byte-identical reports (`determinism.rs` proves it);
+//! * a panicking or failing cell is captured as an error row ([`CellOutcome`])
+//!   instead of killing the sweep.
+//!
+//! The engine is two layers: [`run_cells_with`] is the generic pool (any
+//! `Fn(&SweepCell) -> Result<T, String>` runner — figure 6 uses it to
+//! capture and replay check streams), and [`SweepMatrix::run`] is the
+//! common case that builds and runs each cell's `System` into a
+//! [`RunReport`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use bc_sim::stats::{Histogram, StatsTable};
+use bc_system::{GpuClass, RunReport, SafetyModel, System, SystemConfig};
+use bc_workloads::WorkloadSize;
+
+use crate::base_config;
+
+/// A named mutation applied to one slice of the override axis.
+type OverrideFn = Arc<dyn Fn(&mut SystemConfig) + Send + Sync>;
+
+/// One point of the experiment matrix: a fully-resolved configuration plus
+/// the coordinates and label it renders under.
+pub struct SweepCell {
+    /// Human-readable cell name (`override/gpu/safety/workload`).
+    pub label: String,
+    /// Axis coordinates `[override, gpu, safety, workload]`.
+    pub coords: [usize; 4],
+    /// The exact configuration this cell simulates (seed already fixed).
+    pub config: SystemConfig,
+}
+
+/// The outcome of one cell: the runner's value or a captured failure,
+/// plus the cell's wall-clock cost.
+pub struct CellOutcome<T> {
+    /// Label copied from the cell.
+    pub label: String,
+    /// Axis coordinates copied from the cell.
+    pub coords: [usize; 4],
+    /// `Ok` payload, or the build error / panic message as text.
+    pub result: Result<T, String>,
+    /// Wall time this cell took on its worker.
+    pub wall: Duration,
+}
+
+/// Scheduling options for one sweep.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Worker threads (≥ 1). [`SweepOptions::default`] uses
+    /// `--jobs`/available parallelism via [`crate::jobs_from_args`].
+    pub jobs: usize,
+    /// Emit `[k/n] label (wall)` progress lines to stderr as cells finish.
+    pub progress: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            jobs: crate::jobs_from_args(),
+            progress: true,
+        }
+    }
+}
+
+impl SweepOptions {
+    /// Quiet options with an explicit worker count (used by tests and
+    /// benches).
+    pub fn with_jobs(jobs: usize) -> Self {
+        SweepOptions {
+            jobs,
+            progress: false,
+        }
+    }
+}
+
+/// A declarative experiment matrix over
+/// (knob override × GPU class × safety model × workload) at one size.
+///
+/// Cell configurations derive from [`base_config`] with the safety model
+/// set from the safety axis and the override applied last (so an override
+/// can touch *any* knob, including safety itself — the attacks sweep sets
+/// behavior and violation policy this way).
+pub struct SweepMatrix {
+    overrides: Vec<(String, OverrideFn)>,
+    gpus: Vec<GpuClass>,
+    safeties: Vec<SafetyModel>,
+    workloads: Vec<String>,
+    size: WorkloadSize,
+    matrix_seed: u64,
+}
+
+impl SweepMatrix {
+    /// An empty matrix at `size`; fill the axes with the builder methods.
+    /// Axes left empty default to a single entry (identity override,
+    /// highly-threaded GPU, Border Control-BCC, `nn`).
+    pub fn new(size: WorkloadSize) -> Self {
+        SweepMatrix {
+            overrides: Vec::new(),
+            gpus: Vec::new(),
+            safeties: Vec::new(),
+            workloads: Vec::new(),
+            size,
+            matrix_seed: 2015,
+        }
+    }
+
+    /// Sets the safety-model axis.
+    pub fn safeties(mut self, safeties: &[SafetyModel]) -> Self {
+        self.safeties = safeties.to_vec();
+        self
+    }
+
+    /// Sets the GPU-class axis.
+    pub fn gpus(mut self, gpus: &[GpuClass]) -> Self {
+        self.gpus = gpus.to_vec();
+        self
+    }
+
+    /// Sets the workload axis.
+    pub fn workloads<S: AsRef<str>>(mut self, workloads: &[S]) -> Self {
+        self.workloads = workloads.iter().map(|w| w.as_ref().to_string()).collect();
+        self
+    }
+
+    /// Appends one knob-override slice to the override axis.
+    pub fn with_override(
+        mut self,
+        label: impl Into<String>,
+        f: impl Fn(&mut SystemConfig) + Send + Sync + 'static,
+    ) -> Self {
+        self.overrides.push((label.into(), Arc::new(f)));
+        self
+    }
+
+    /// Sets the seed all per-cell seeds are derived from.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.matrix_seed = seed;
+        self
+    }
+
+    /// Axis lengths `[override, gpu, safety, workload]` after defaulting.
+    pub fn dims(&self) -> [usize; 4] {
+        [
+            self.overrides.len().max(1),
+            self.gpus.len().max(1),
+            self.safeties.len().max(1),
+            self.workloads.len().max(1),
+        ]
+    }
+
+    /// Materializes every cell in row-major
+    /// (override, gpu, safety, workload) order.
+    pub fn cells(&self) -> Vec<SweepCell> {
+        let default_workloads = [String::from("nn")];
+        let overrides: &[(String, OverrideFn)] = &self.overrides;
+        let gpus: &[GpuClass] = if self.gpus.is_empty() {
+            &[GpuClass::HighlyThreaded]
+        } else {
+            &self.gpus
+        };
+        let safeties: &[SafetyModel] = if self.safeties.is_empty() {
+            &[SafetyModel::BorderControlBcc]
+        } else {
+            &self.safeties
+        };
+        let workloads: &[String] = if self.workloads.is_empty() {
+            &default_workloads
+        } else {
+            &self.workloads
+        };
+
+        let mut cells = Vec::new();
+        for oi in 0..overrides.len().max(1) {
+            for (gi, &gpu) in gpus.iter().enumerate() {
+                for (si, &safety) in safeties.iter().enumerate() {
+                    for (wi, workload) in workloads.iter().enumerate() {
+                        let mut config = base_config(workload, gpu, self.size);
+                        config.safety = safety;
+                        let mut label_override = String::new();
+                        if let Some((name, f)) = overrides.get(oi) {
+                            f(&mut config);
+                            label_override = format!("{name}/");
+                        }
+                        // Seed from the workload coordinate only: the
+                        // other axes rerun the same stream under a
+                        // different mechanism (see module docs).
+                        config.seed = cell_seed(self.matrix_seed, &[wi as u64]);
+                        cells.push(SweepCell {
+                            label: format!(
+                                "{label_override}{}/{}/{workload}",
+                                gpu.label(),
+                                safety.label()
+                            ),
+                            coords: [oi, gi, si, wi],
+                            config,
+                        });
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Runs every cell on `opts.jobs` workers, collecting reports in
+    /// matrix order.
+    pub fn run(&self, opts: &SweepOptions) -> SweepResults {
+        let cells = self.cells();
+        let started = Instant::now();
+        let outcomes = run_cells_with(&cells, opts, |cell| {
+            System::build(&cell.config)
+                .map(|mut system| system.run())
+                .map_err(|e| format!("build failed: {e}"))
+        });
+        SweepResults {
+            dims: self.dims(),
+            outcomes,
+            jobs: opts.jobs,
+            total_wall: started.elapsed(),
+        }
+    }
+}
+
+/// Derives a cell seed from the matrix seed and cell coordinates alone
+/// (FNV-1a over the coordinate bytes): stable across runs, thread counts
+/// and scheduling. [`SweepMatrix`] passes only the workload coordinate so
+/// that mechanism axes replay identical streams; replications that *want*
+/// fresh draws pass extra coordinates (e.g. a repetition index).
+pub fn cell_seed(matrix_seed: u64, coords: &[u64]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for byte in matrix_seed
+        .to_le_bytes()
+        .into_iter()
+        .chain(coords.iter().flat_map(|c| c.to_le_bytes()))
+    {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// The generic worker pool: runs `runner` over `cells` on `opts.jobs`
+/// threads pulling from a shared queue, returning outcomes in cell order.
+///
+/// A cell that panics is captured as an `Err` outcome; the sweep and the
+/// other workers continue.
+pub fn run_cells_with<T, F>(
+    cells: &[SweepCell],
+    opts: &SweepOptions,
+    runner: F,
+) -> Vec<CellOutcome<T>>
+where
+    T: Send,
+    F: Fn(&SweepCell) -> Result<T, String> + Sync,
+{
+    let jobs = opts.jobs.max(1).min(cells.len().max(1));
+    let next = AtomicUsize::new(0);
+    let finished = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<CellOutcome<T>>>> =
+        cells.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = cells.get(i) else { break };
+                let started = Instant::now();
+                let result = match catch_unwind(AssertUnwindSafe(|| runner(cell))) {
+                    Ok(r) => r,
+                    Err(payload) => Err(format!("cell panicked: {}", panic_message(&*payload))),
+                };
+                let wall = started.elapsed();
+                *slots[i].lock().unwrap() = Some(CellOutcome {
+                    label: cell.label.clone(),
+                    coords: cell.coords,
+                    result,
+                    wall,
+                });
+                let done = finished.fetch_add(1, Ordering::Relaxed) + 1;
+                if opts.progress {
+                    eprintln!(
+                        "[{done}/{total}] {label} ({ms} ms)",
+                        total = cells.len(),
+                        label = cell.label,
+                        ms = wall.as_millis(),
+                    );
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("every cell ran"))
+        .collect()
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// All cell outcomes of one matrix sweep, addressable by coordinates.
+pub struct SweepResults {
+    dims: [usize; 4],
+    outcomes: Vec<CellOutcome<RunReport>>,
+    /// Worker threads the sweep ran with.
+    pub jobs: usize,
+    /// Wall time of the whole sweep.
+    pub total_wall: Duration,
+}
+
+impl SweepResults {
+    /// Axis lengths `[override, gpu, safety, workload]`.
+    pub fn dims(&self) -> [usize; 4] {
+        self.dims
+    }
+
+    /// Flat row-major index of `coords`.
+    fn index(&self, coords: [usize; 4]) -> usize {
+        let [o, g, s, w] = coords;
+        let [no, ng, ns, nw] = self.dims;
+        assert!(o < no && g < ng && s < ns && w < nw, "coords out of range");
+        ((o * ng + g) * ns + s) * nw + w
+    }
+
+    /// The outcome at `coords` `[override, gpu, safety, workload]`.
+    pub fn outcome(&self, coords: [usize; 4]) -> &CellOutcome<RunReport> {
+        &self.outcomes[self.index(coords)]
+    }
+
+    /// The report at `coords`, panicking with the cell label on a failed
+    /// cell (figure binaries are leaf tools; failing loudly is right).
+    pub fn report(&self, coords: [usize; 4]) -> &RunReport {
+        let outcome = self.outcome(coords);
+        match &outcome.result {
+            Ok(report) => report,
+            Err(e) => panic!("sweep cell '{}' failed: {e}", outcome.label),
+        }
+    }
+
+    /// All outcomes in matrix order.
+    pub fn iter(&self) -> impl Iterator<Item = &CellOutcome<RunReport>> {
+        self.outcomes.iter()
+    }
+
+    /// Number of failed cells.
+    pub fn failures(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.result.is_err()).count()
+    }
+
+    /// Sweep-level statistics: cell count, failures, throughput, and the
+    /// per-cell wall-time distribution, rendered via [`bc_sim::stats`].
+    pub fn summary(&self) -> StatsTable {
+        let mut wall = Histogram::new();
+        for o in &self.outcomes {
+            wall.record(o.wall.as_micros() as u64);
+        }
+        let total_secs = self.total_wall.as_secs_f64();
+        let mut t = StatsTable::new(format!("sweep summary ({} jobs)", self.jobs));
+        t.push("cells", self.outcomes.len());
+        t.push("failures", self.failures());
+        t.push_f64("sweep wall (s)", total_secs);
+        t.push_f64(
+            "throughput (cells/s)",
+            if total_secs > 0.0 {
+                self.outcomes.len() as f64 / total_secs
+            } else {
+                0.0
+            },
+        );
+        t.push("cell wall min (µs)", wall.min());
+        t.push_f64("cell wall mean (µs)", wall.mean());
+        t.push("cell wall max (µs)", wall.max());
+        t.push_f64(
+            "parallel efficiency",
+            if total_secs > 0.0 {
+                (wall.sum() as f64 / 1e6) / (total_secs * self.jobs as f64)
+            } else {
+                0.0
+            },
+        );
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WORKLOADS;
+
+    fn tiny_matrix() -> SweepMatrix {
+        SweepMatrix::new(WorkloadSize::Tiny)
+            .safeties(&[SafetyModel::AtsOnlyIommu, SafetyModel::BorderControlBcc])
+            .gpus(&[GpuClass::ModeratelyThreaded])
+            .workloads(&WORKLOADS[..2])
+    }
+
+    #[test]
+    fn cells_enumerate_in_row_major_order() {
+        let m = tiny_matrix();
+        let cells = m.cells();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].coords, [0, 0, 0, 0]);
+        assert_eq!(cells[1].coords, [0, 0, 0, 1]);
+        assert_eq!(cells[2].coords, [0, 0, 1, 0]);
+        assert_eq!(cells[0].config.safety, SafetyModel::AtsOnlyIommu);
+        assert_eq!(cells[2].config.safety, SafetyModel::BorderControlBcc);
+        assert_eq!(cells[1].config.workload, WORKLOADS[1]);
+    }
+
+    #[test]
+    fn cell_seeds_are_stable_and_follow_the_workload_axis() {
+        let m = tiny_matrix();
+        let a = m.cells();
+        let b = m.cells();
+        let seeds: Vec<u64> = a.iter().map(|c| c.config.seed).collect();
+        assert_eq!(seeds, b.iter().map(|c| c.config.seed).collect::<Vec<_>>());
+        // Same workload column ⇒ same seed (mechanism axes replay the
+        // same stream); different workloads ⇒ different seeds.
+        assert_eq!(seeds[0], seeds[2], "safety axis must not change the stream");
+        assert_ne!(seeds[0], seeds[1], "workload axis must change the stream");
+        // Direct derivation check: coordinates fully determine the seed.
+        assert_eq!(seeds[0], cell_seed(2015, &[0]));
+        assert_eq!(seeds[1], cell_seed(2015, &[1]));
+        // A different matrix seed reshuffles every draw.
+        assert_ne!(cell_seed(1, &[0]), cell_seed(2, &[0]));
+    }
+
+    #[test]
+    fn overrides_apply_after_safety_axis() {
+        let m = SweepMatrix::new(WorkloadSize::Tiny)
+            .safeties(&[SafetyModel::BorderControlBcc])
+            .with_override("rate0", |c| c.downgrades_per_second = 0)
+            .with_override("rate9", |c| c.downgrades_per_second = 9);
+        let cells = m.cells();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].config.downgrades_per_second, 0);
+        assert_eq!(cells[1].config.downgrades_per_second, 9);
+        assert!(cells[1].label.starts_with("rate9/"));
+    }
+
+    #[test]
+    fn panicking_cell_becomes_error_row_and_sweep_survives() {
+        let m = tiny_matrix();
+        let cells = m.cells();
+        let outcomes = run_cells_with(&cells, &SweepOptions::with_jobs(2), |cell| {
+            if cell.coords == [0, 0, 1, 0] {
+                panic!("boom in {label}", label = cell.label);
+            }
+            Ok(cell.coords[3])
+        });
+        assert_eq!(outcomes.len(), 4);
+        let failed: Vec<_> = outcomes.iter().filter(|o| o.result.is_err()).collect();
+        assert_eq!(failed.len(), 1);
+        assert!(failed[0].result.as_ref().unwrap_err().contains("boom"));
+        assert_eq!(outcomes[3].result.as_ref().copied().unwrap(), 1);
+    }
+
+    #[test]
+    fn build_failure_is_an_error_row() {
+        let m = SweepMatrix::new(WorkloadSize::Tiny).workloads(&["no-such-workload"]);
+        let results = m.run(&SweepOptions::with_jobs(1));
+        assert_eq!(results.failures(), 1);
+        assert!(results.outcome([0, 0, 0, 0]).result.is_err());
+        let summary = results.summary().to_string();
+        assert!(summary.contains("failures"));
+    }
+
+    #[test]
+    fn more_jobs_than_cells_is_fine() {
+        let m = SweepMatrix::new(WorkloadSize::Tiny)
+            .safeties(&[SafetyModel::AtsOnlyIommu])
+            .workloads(&["nn"]);
+        let results = m.run(&SweepOptions::with_jobs(64));
+        assert_eq!(results.failures(), 0);
+        assert!(results.report([0, 0, 0, 0]).cycles > 0);
+    }
+}

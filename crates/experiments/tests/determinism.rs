@@ -1,0 +1,63 @@
+//! Determinism guarantees of the simulator and the sweep engine.
+//!
+//! Two properties, both asserted on serde-serialized `RunReport`s so a
+//! regression anywhere in the report surfaces as a byte-level diff:
+//!
+//! 1. Running the *same* `SystemConfig` twice yields byte-identical
+//!    reports — the simulator derives everything from the config seed.
+//! 2. Running the *same* sweep matrix with `--jobs 1` and `--jobs 8`
+//!    yields byte-identical reports for every cell — results depend on
+//!    cell coordinates, never on thread scheduling.
+
+use bc_experiments::{base_config, SweepMatrix, SweepOptions, WORKLOADS};
+use bc_system::{GpuClass, SafetyModel, System};
+use bc_workloads::WorkloadSize;
+
+#[test]
+fn same_config_runs_byte_identical() {
+    let mut config = base_config("nn", GpuClass::HighlyThreaded, WorkloadSize::Tiny);
+    config.safety = SafetyModel::BorderControlBcc;
+
+    let first = System::build(&config).expect("build").run();
+    let second = System::build(&config).expect("build").run();
+
+    assert_eq!(
+        serde::to_string(&first),
+        serde::to_string(&second),
+        "two runs of the same config diverged"
+    );
+}
+
+#[test]
+fn sweep_reports_are_independent_of_thread_count() {
+    let matrix = || {
+        SweepMatrix::new(WorkloadSize::Tiny)
+            .gpus(&[GpuClass::HighlyThreaded, GpuClass::ModeratelyThreaded])
+            .safeties(&[SafetyModel::AtsOnlyIommu, SafetyModel::BorderControlBcc])
+            .workloads(&WORKLOADS[..3])
+    };
+
+    let serial = matrix().run(&SweepOptions::with_jobs(1));
+    let parallel = matrix().run(&SweepOptions::with_jobs(8));
+
+    assert_eq!(serial.jobs, 1);
+    assert_eq!(parallel.jobs, 8);
+
+    let serial: Vec<_> = serial.iter().collect();
+    let parallel: Vec<_> = parallel.iter().collect();
+    assert_eq!(serial.len(), parallel.len());
+    assert_eq!(serial.len(), 2 * 2 * 3);
+
+    for (s, p) in serial.iter().zip(parallel.iter()) {
+        assert_eq!(s.label, p.label, "cell order depends on thread count");
+        assert_eq!(s.coords, p.coords);
+        let s_report = s.result.as_ref().expect("serial cell failed");
+        let p_report = p.result.as_ref().expect("parallel cell failed");
+        assert_eq!(
+            serde::to_string(s_report),
+            serde::to_string(p_report),
+            "cell {} diverged between --jobs 1 and --jobs 8",
+            s.label
+        );
+    }
+}

@@ -328,7 +328,11 @@ mod tests {
         assert!(!first.iotlb_hit);
         assert!(!first.faulted, "eagerly mapped page");
         // 4-level walk: 4 dependent DRAM reads, ~4 * 102 cycles.
-        assert!(first.done.as_u64() > 400, "walk was {}", first.done.as_u64());
+        assert!(
+            first.done.as_u64() > 400,
+            "walk was {}",
+            first.done.as_u64()
+        );
 
         let second = ats
             .translate(Cycle::ZERO, &mut kernel, &mut dram, pid, vpn)
@@ -397,7 +401,13 @@ mod tests {
         }
         ats.flush();
         let r = ats
-            .translate(Cycle::ZERO, &mut kernel, &mut dram, pid, VirtAddr::new(0x10000).vpn())
+            .translate(
+                Cycle::ZERO,
+                &mut kernel,
+                &mut dram,
+                pid,
+                VirtAddr::new(0x10000).vpn(),
+            )
             .unwrap();
         assert!(!r.iotlb_hit);
     }
@@ -432,8 +442,14 @@ mod tests {
     #[test]
     fn stats_table_renders() {
         let (mut kernel, mut dram, mut ats, pid) = setup();
-        ats.translate(Cycle::ZERO, &mut kernel, &mut dram, pid, VirtAddr::new(0x10000).vpn())
-            .unwrap();
+        ats.translate(
+            Cycle::ZERO,
+            &mut kernel,
+            &mut dram,
+            pid,
+            VirtAddr::new(0x10000).vpn(),
+        )
+        .unwrap();
         let s = ats.stats().to_string();
         assert!(s.contains("page walks"));
     }

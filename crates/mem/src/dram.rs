@@ -126,7 +126,11 @@ impl Dram {
 
     /// Per-channel queue-delay histograms (diagnostics).
     pub fn queue_delays(&self) -> Vec<&bc_sim::stats::Histogram> {
-        self.channels.ports().iter().map(|p| p.queue_delay()).collect()
+        self.channels
+            .ports()
+            .iter()
+            .map(|p| p.queue_delay())
+            .collect()
     }
 
     /// Renders a stats table for reports.

@@ -193,7 +193,7 @@ impl PageTable {
         let leaf_level = match size {
             PageSize::Base4K => 0,
             PageSize::Huge2M => {
-                if vpn.as_u64() % 512 != 0 || ppn.as_u64() % 512 != 0 {
+                if !vpn.as_u64().is_multiple_of(512) || !ppn.as_u64().is_multiple_of(512) {
                     return Err(MapError::MisalignedHugePage(vpn));
                 }
                 1
@@ -405,8 +405,13 @@ mod tests {
     #[test]
     fn map_translate_roundtrip() {
         let mut t = pt();
-        t.map(Vpn::new(5), Ppn::new(10), PagePerms::READ_WRITE, PageSize::Base4K)
-            .unwrap();
+        t.map(
+            Vpn::new(5),
+            Ppn::new(10),
+            PagePerms::READ_WRITE,
+            PageSize::Base4K,
+        )
+        .unwrap();
         let tr = t.translate(Vpn::new(5)).unwrap();
         assert_eq!(tr.ppn, Ppn::new(10));
         assert_eq!(tr.perms, PagePerms::READ_WRITE);
@@ -429,10 +434,20 @@ mod tests {
     #[test]
     fn double_map_rejected() {
         let mut t = pt();
-        t.map(Vpn::new(5), Ppn::new(10), PagePerms::READ_ONLY, PageSize::Base4K)
-            .unwrap();
+        t.map(
+            Vpn::new(5),
+            Ppn::new(10),
+            PagePerms::READ_ONLY,
+            PageSize::Base4K,
+        )
+        .unwrap();
         assert_eq!(
-            t.map(Vpn::new(5), Ppn::new(11), PagePerms::READ_ONLY, PageSize::Base4K),
+            t.map(
+                Vpn::new(5),
+                Ppn::new(11),
+                PagePerms::READ_ONLY,
+                PageSize::Base4K
+            ),
             Err(MapError::AlreadyMapped(Vpn::new(5)))
         );
     }
@@ -441,11 +456,21 @@ mod tests {
     fn huge_page_alignment_enforced() {
         let mut t = pt();
         assert_eq!(
-            t.map(Vpn::new(5), Ppn::new(512), PagePerms::READ_ONLY, PageSize::Huge2M),
+            t.map(
+                Vpn::new(5),
+                Ppn::new(512),
+                PagePerms::READ_ONLY,
+                PageSize::Huge2M
+            ),
             Err(MapError::MisalignedHugePage(Vpn::new(5)))
         );
         assert_eq!(
-            t.map(Vpn::new(512), Ppn::new(5), PagePerms::READ_ONLY, PageSize::Huge2M),
+            t.map(
+                Vpn::new(512),
+                Ppn::new(5),
+                PagePerms::READ_ONLY,
+                PageSize::Huge2M
+            ),
             Err(MapError::MisalignedHugePage(Vpn::new(512)))
         );
     }
@@ -453,8 +478,13 @@ mod tests {
     #[test]
     fn huge_page_translation_covers_range() {
         let mut t = pt();
-        t.map(Vpn::new(512), Ppn::new(1024), PagePerms::READ_WRITE, PageSize::Huge2M)
-            .unwrap();
+        t.map(
+            Vpn::new(512),
+            Ppn::new(1024),
+            PagePerms::READ_WRITE,
+            PageSize::Huge2M,
+        )
+        .unwrap();
         assert_eq!(t.mapped_base_pages(), 512);
         // The 7th sub-page maps to base + 7, found with a 3-level walk.
         let tr = t.translate(Vpn::new(512 + 7)).unwrap();
@@ -466,10 +496,20 @@ mod tests {
     #[test]
     fn base_page_cannot_overlap_huge_page() {
         let mut t = pt();
-        t.map(Vpn::new(512), Ppn::new(1024), PagePerms::READ_ONLY, PageSize::Huge2M)
-            .unwrap();
+        t.map(
+            Vpn::new(512),
+            Ppn::new(1024),
+            PagePerms::READ_ONLY,
+            PageSize::Huge2M,
+        )
+        .unwrap();
         assert_eq!(
-            t.map(Vpn::new(513), Ppn::new(3), PagePerms::READ_ONLY, PageSize::Base4K),
+            t.map(
+                Vpn::new(513),
+                Ppn::new(3),
+                PagePerms::READ_ONLY,
+                PageSize::Base4K
+            ),
             Err(MapError::OverlapsHugePage(Vpn::new(513)))
         );
     }
@@ -477,10 +517,20 @@ mod tests {
     #[test]
     fn huge_page_cannot_overlap_base_pages() {
         let mut t = pt();
-        t.map(Vpn::new(513), Ppn::new(3), PagePerms::READ_ONLY, PageSize::Base4K)
-            .unwrap();
+        t.map(
+            Vpn::new(513),
+            Ppn::new(3),
+            PagePerms::READ_ONLY,
+            PageSize::Base4K,
+        )
+        .unwrap();
         assert_eq!(
-            t.map(Vpn::new(512), Ppn::new(1024), PagePerms::READ_ONLY, PageSize::Huge2M),
+            t.map(
+                Vpn::new(512),
+                Ppn::new(1024),
+                PagePerms::READ_ONLY,
+                PageSize::Huge2M
+            ),
             Err(MapError::OverlapsHugePage(Vpn::new(512)))
         );
     }
@@ -488,8 +538,13 @@ mod tests {
     #[test]
     fn protect_changes_perms() {
         let mut t = pt();
-        t.map(Vpn::new(7), Ppn::new(1), PagePerms::READ_WRITE, PageSize::Base4K)
-            .unwrap();
+        t.map(
+            Vpn::new(7),
+            Ppn::new(1),
+            PagePerms::READ_WRITE,
+            PageSize::Base4K,
+        )
+        .unwrap();
         let old = t.protect(Vpn::new(7), PagePerms::READ_ONLY).unwrap();
         assert_eq!(old, PagePerms::READ_WRITE);
         assert_eq!(t.peek(Vpn::new(7)).unwrap().perms, PagePerms::READ_ONLY);
@@ -499,8 +554,14 @@ mod tests {
     #[test]
     fn cow_flag_roundtrip() {
         let mut t = pt();
-        t.map_with_cow(Vpn::new(7), Ppn::new(1), PagePerms::READ_ONLY, PageSize::Base4K, true)
-            .unwrap();
+        t.map_with_cow(
+            Vpn::new(7),
+            Ppn::new(1),
+            PagePerms::READ_ONLY,
+            PageSize::Base4K,
+            true,
+        )
+        .unwrap();
         assert!(t.peek(Vpn::new(7)).unwrap().copy_on_write);
         t.set_copy_on_write(Vpn::new(7), false).unwrap();
         assert!(!t.peek(Vpn::new(7)).unwrap().copy_on_write);
@@ -509,8 +570,13 @@ mod tests {
     #[test]
     fn remap_replaces_frame() {
         let mut t = pt();
-        t.map(Vpn::new(7), Ppn::new(1), PagePerms::READ_WRITE, PageSize::Base4K)
-            .unwrap();
+        t.map(
+            Vpn::new(7),
+            Ppn::new(1),
+            PagePerms::READ_WRITE,
+            PageSize::Base4K,
+        )
+        .unwrap();
         let old = t.remap(Vpn::new(7), Ppn::new(99)).unwrap();
         assert_eq!(old, Ppn::new(1));
         assert_eq!(t.peek(Vpn::new(7)).unwrap().ppn, Ppn::new(99));
@@ -519,22 +585,37 @@ mod tests {
     #[test]
     fn unmap_removes_and_reports() {
         let mut t = pt();
-        t.map(Vpn::new(7), Ppn::new(1), PagePerms::READ_WRITE, PageSize::Base4K)
-            .unwrap();
+        t.map(
+            Vpn::new(7),
+            Ppn::new(1),
+            PagePerms::READ_WRITE,
+            PageSize::Base4K,
+        )
+        .unwrap();
         let tr = t.unmap(Vpn::new(7)).unwrap();
         assert_eq!(tr.ppn, Ppn::new(1));
         assert_eq!(t.mapped_base_pages(), 0);
         assert!(t.peek(Vpn::new(7)).is_err());
         // Remapping after unmap works.
-        t.map(Vpn::new(7), Ppn::new(2), PagePerms::READ_ONLY, PageSize::Base4K)
-            .unwrap();
+        t.map(
+            Vpn::new(7),
+            Ppn::new(2),
+            PagePerms::READ_ONLY,
+            PageSize::Base4K,
+        )
+        .unwrap();
     }
 
     #[test]
     fn walk_stats_accumulate() {
         let mut t = pt();
-        t.map(Vpn::new(1), Ppn::new(1), PagePerms::READ_ONLY, PageSize::Base4K)
-            .unwrap();
+        t.map(
+            Vpn::new(1),
+            Ppn::new(1),
+            PagePerms::READ_ONLY,
+            PageSize::Base4K,
+        )
+        .unwrap();
         t.translate(Vpn::new(1)).unwrap();
         t.translate(Vpn::new(1)).unwrap();
         assert_eq!(t.walks(), 2);
@@ -547,8 +628,13 @@ mod tests {
         // Spread mappings across distinct radix subtrees.
         let vpns = [1u64, 511, 512, 1 << 18, (1 << 27) + 5];
         for (i, &v) in vpns.iter().enumerate() {
-            t.map(Vpn::new(v), Ppn::new(i as u64 + 1), PagePerms::READ_ONLY, PageSize::Base4K)
-                .unwrap();
+            t.map(
+                Vpn::new(v),
+                Ppn::new(i as u64 + 1),
+                PagePerms::READ_ONLY,
+                PageSize::Base4K,
+            )
+            .unwrap();
         }
         let mut seen = t.mapped_vpns();
         seen.sort();
@@ -561,14 +647,35 @@ mod tests {
     fn distant_vpns_do_not_collide() {
         let mut t = pt();
         // Same low 9 bits, different upper levels.
-        t.map(Vpn::new(3), Ppn::new(1), PagePerms::READ_ONLY, PageSize::Base4K)
-            .unwrap();
-        t.map(Vpn::new(3 + (1 << 9)), Ppn::new(2), PagePerms::READ_ONLY, PageSize::Base4K)
-            .unwrap();
-        t.map(Vpn::new(3 + (1 << 18)), Ppn::new(3), PagePerms::READ_ONLY, PageSize::Base4K)
-            .unwrap();
+        t.map(
+            Vpn::new(3),
+            Ppn::new(1),
+            PagePerms::READ_ONLY,
+            PageSize::Base4K,
+        )
+        .unwrap();
+        t.map(
+            Vpn::new(3 + (1 << 9)),
+            Ppn::new(2),
+            PagePerms::READ_ONLY,
+            PageSize::Base4K,
+        )
+        .unwrap();
+        t.map(
+            Vpn::new(3 + (1 << 18)),
+            Ppn::new(3),
+            PagePerms::READ_ONLY,
+            PageSize::Base4K,
+        )
+        .unwrap();
         assert_eq!(t.translate(Vpn::new(3)).unwrap().ppn, Ppn::new(1));
-        assert_eq!(t.translate(Vpn::new(3 + (1 << 9))).unwrap().ppn, Ppn::new(2));
-        assert_eq!(t.translate(Vpn::new(3 + (1 << 18))).unwrap().ppn, Ppn::new(3));
+        assert_eq!(
+            t.translate(Vpn::new(3 + (1 << 9))).unwrap().ppn,
+            Ppn::new(2)
+        );
+        assert_eq!(
+            t.translate(Vpn::new(3 + (1 << 18))).unwrap().ppn,
+            Ppn::new(3)
+        );
     }
 }

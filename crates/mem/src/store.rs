@@ -125,7 +125,10 @@ mod tests {
         let mut m = PhysMemStore::new();
         m.write(PhysAddr::new(0x1010), &[1, 2, 3, 4]);
         assert_eq!(m.read_vec(PhysAddr::new(0x1010), 4), vec![1, 2, 3, 4]);
-        assert_eq!(m.read_vec(PhysAddr::new(0x100E), 8), vec![0, 0, 1, 2, 3, 4, 0, 0]);
+        assert_eq!(
+            m.read_vec(PhysAddr::new(0x100E), 8),
+            vec![0, 0, 1, 2, 3, 4, 0, 0]
+        );
     }
 
     #[test]

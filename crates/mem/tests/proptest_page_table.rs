@@ -16,10 +16,17 @@ enum Op {
 fn op_strategy() -> impl Strategy<Value = Op> {
     // Small VPN space to provoke collisions, but with bits in several
     // radix levels.
-    let vpn = prop_oneof![0u64..64, (1u64 << 9)..(1u64 << 9) + 8, (1u64 << 27)..(1u64 << 27) + 8];
+    let vpn = prop_oneof![
+        0u64..64,
+        (1u64 << 9)..(1u64 << 9) + 8,
+        (1u64 << 27)..(1u64 << 27) + 8
+    ];
     prop_oneof![
-        (vpn.clone(), 1u64..1000, any::<bool>())
-            .prop_map(|(vpn, ppn, write)| Op::Map { vpn, ppn, write }),
+        (vpn.clone(), 1u64..1000, any::<bool>()).prop_map(|(vpn, ppn, write)| Op::Map {
+            vpn,
+            ppn,
+            write
+        }),
         vpn.clone().prop_map(|vpn| Op::Unmap { vpn }),
         (vpn.clone(), any::<bool>()).prop_map(|(vpn, write)| Op::Protect { vpn, write }),
         (vpn, 1u64..1000).prop_map(|(vpn, ppn)| Op::Remap { vpn, ppn }),
@@ -39,11 +46,11 @@ proptest! {
                 Op::Map { vpn, ppn, write } => {
                     let perms = if write { PagePerms::READ_WRITE } else { PagePerms::READ_ONLY };
                     let r = table.map(Vpn::new(vpn), Ppn::new(ppn), perms, PageSize::Base4K);
-                    if model.contains_key(&vpn) {
-                        prop_assert_eq!(r, Err(MapError::AlreadyMapped(Vpn::new(vpn))));
-                    } else {
+                    if let std::collections::hash_map::Entry::Vacant(e) = model.entry(vpn) {
                         prop_assert!(r.is_ok());
-                        model.insert(vpn, (ppn, perms));
+                        e.insert((ppn, perms));
+                    } else {
+                        prop_assert_eq!(r, Err(MapError::AlreadyMapped(Vpn::new(vpn))));
                     }
                 }
                 Op::Unmap { vpn } => {

@@ -223,7 +223,8 @@ impl Kernel {
         }
         let mappings: Vec<(Vpn, Translation)> = {
             let mut v = Vec::new();
-            proc.page_table().for_each_mapping(|vpn, tr| v.push((vpn, tr)));
+            proc.page_table()
+                .for_each_mapping(|vpn, tr| v.push((vpn, tr)));
             v
         };
         for (vpn, tr) in &mappings {
@@ -329,8 +330,12 @@ impl Kernel {
         self.map_lazy_region(dst, dst_base, pages, perms)?;
         for (i, ppn) in frames.into_iter().enumerate() {
             let proc = self.process_mut(dst)?;
-            proc.page_table_mut()
-                .map(dst_base.vpn().add(i as u64), ppn, perms, PageSize::Base4K)?;
+            proc.page_table_mut().map(
+                dst_base.vpn().add(i as u64),
+                ppn,
+                perms,
+                PageSize::Base4K,
+            )?;
             // Now referenced by both src and dst.
             let n = self.frame_refs.entry(ppn.as_u64()).or_insert(1);
             *n += 1;
@@ -383,9 +388,7 @@ impl Kernel {
                 faulted: false,
             }),
             Err(TranslateError::NotMapped(_)) => {
-                let vma = *proc
-                    .vma_covering(vpn)
-                    .ok_or(OsError::Segfault(asid, vpn))?;
+                let vma = *proc.vma_covering(vpn).ok_or(OsError::Segfault(asid, vpn))?;
                 let ppn = self.frames.alloc().map_err(|_| OsError::OutOfMemory)?;
                 self.store.zero_page(ppn);
                 self.minor_faults.inc();
@@ -407,9 +410,7 @@ impl Kernel {
     ///
     /// Returns the underlying [`TranslateError`] if unmapped.
     pub fn translate(&self, asid: Asid, vpn: Vpn) -> Result<Translation, OsError> {
-        let proc = self
-            .process(asid)
-            .ok_or(OsError::NoSuchProcess(asid))?;
+        let proc = self.process(asid).ok_or(OsError::NoSuchProcess(asid))?;
         Ok(proc.page_table().peek(vpn)?)
     }
 
@@ -506,11 +507,10 @@ impl Kernel {
     /// Fails for an unknown parent.
     pub fn fork_cow(&mut self, parent: Asid) -> Result<Asid, OsError> {
         let mappings: Vec<(Vpn, Translation)> = {
-            let proc = self
-                .process(parent)
-                .ok_or(OsError::NoSuchProcess(parent))?;
+            let proc = self.process(parent).ok_or(OsError::NoSuchProcess(parent))?;
             let mut v = Vec::new();
-            proc.page_table().for_each_mapping(|vpn, tr| v.push((vpn, tr)));
+            proc.page_table()
+                .for_each_mapping(|vpn, tr| v.push((vpn, tr)));
             v
         };
         let vmas: Vec<Vma> = self.process(parent).unwrap().vmas().to_vec();
@@ -545,13 +545,9 @@ impl Kernel {
     /// Fails if the page is not CoW or memory is exhausted.
     pub fn resolve_cow(&mut self, asid: Asid, vpn: Vpn) -> Result<Translation, OsError> {
         let (old, vma_perms) = {
-            let proc = self
-                .process(asid)
-                .ok_or(OsError::NoSuchProcess(asid))?;
+            let proc = self.process(asid).ok_or(OsError::NoSuchProcess(asid))?;
             let tr = proc.page_table().peek(vpn)?;
-            let vma = proc
-                .vma_covering(vpn)
-                .ok_or(OsError::Segfault(asid, vpn))?;
+            let vma = proc.vma_covering(vpn).ok_or(OsError::Segfault(asid, vpn))?;
             (tr, vma.perms)
         };
         if !old.copy_on_write {
@@ -592,7 +588,11 @@ impl Kernel {
         while !remaining.is_empty() {
             let ft = self.touch(asid, cur.vpn())?;
             if !ft.translation.perms.writable() {
-                return Err(OsError::AccessDenied(asid, cur.vpn(), PagePerms::WRITE_ONLY));
+                return Err(OsError::AccessDenied(
+                    asid,
+                    cur.vpn(),
+                    PagePerms::WRITE_ONLY,
+                ));
             }
             let offset = cur.page_offset();
             let space = (PAGE_SIZE - offset) as usize;
@@ -622,8 +622,10 @@ impl Kernel {
             let offset = cur.page_offset();
             let space = (PAGE_SIZE - offset) as usize;
             let take = space.min(len - filled);
-            self.store
-                .read_into(ft.translation.ppn.byte(offset), &mut out[filled..filled + take]);
+            self.store.read_into(
+                ft.translation.ppn.byte(offset),
+                &mut out[filled..filled + take],
+            );
             filled += take;
             cur = cur.offset(take as u64);
         }
@@ -731,7 +733,9 @@ mod tests {
         k.map_region(pid, VirtAddr::new(0x10000), 4, PagePerms::READ_WRITE)
             .unwrap();
         for i in 0..4 {
-            let tr = k.translate(pid, VirtAddr::new(0x10000).vpn().add(i)).unwrap();
+            let tr = k
+                .translate(pid, VirtAddr::new(0x10000).vpn().add(i))
+                .unwrap();
             assert_eq!(tr.perms, PagePerms::READ_WRITE);
         }
         assert_eq!(k.frames_allocated(), 4);
@@ -759,7 +763,10 @@ mod tests {
         let pid = k.create_process();
         k.map_lazy_region(pid, VirtAddr::new(0), 1, PagePerms::READ_ONLY)
             .unwrap();
-        assert_eq!(k.touch(pid, Vpn::new(5)), Err(OsError::Segfault(pid, Vpn::new(5))));
+        assert_eq!(
+            k.touch(pid, Vpn::new(5)),
+            Err(OsError::Segfault(pid, Vpn::new(5)))
+        );
     }
 
     #[test]
@@ -780,14 +787,19 @@ mod tests {
         let pid = k.create_process();
         k.map_region(pid, VirtAddr::new(0), 1, PagePerms::READ_WRITE)
             .unwrap();
-        let req = k.protect_page(pid, Vpn::new(0), PagePerms::READ_ONLY).unwrap();
+        let req = k
+            .protect_page(pid, Vpn::new(0), PagePerms::READ_ONLY)
+            .unwrap();
         assert!(req.is_downgrade());
         assert!(req.may_have_dirty_data());
         assert_eq!(k.downgrades(), 1);
         let reqs = k.take_shootdowns();
         assert_eq!(reqs.len(), 1);
         assert!(k.take_shootdowns().is_empty(), "drained");
-        assert_eq!(k.translate(pid, Vpn::new(0)).unwrap().perms, PagePerms::READ_ONLY);
+        assert_eq!(
+            k.translate(pid, Vpn::new(0)).unwrap().perms,
+            PagePerms::READ_ONLY
+        );
     }
 
     #[test]
@@ -796,7 +808,9 @@ mod tests {
         let pid = k.create_process();
         k.map_region(pid, VirtAddr::new(0), 1, PagePerms::READ_ONLY)
             .unwrap();
-        let req = k.protect_page(pid, Vpn::new(0), PagePerms::READ_WRITE).unwrap();
+        let req = k
+            .protect_page(pid, Vpn::new(0), PagePerms::READ_WRITE)
+            .unwrap();
         assert!(!req.is_downgrade());
         assert_eq!(k.downgrades(), 0);
     }
@@ -850,7 +864,10 @@ mod tests {
         assert!(ctr.copy_on_write && ptr.copy_on_write);
 
         // Parent's downgrade queued a shootdown.
-        assert!(k.take_shootdowns().iter().any(|r| r.asid == parent && r.is_downgrade()));
+        assert!(k
+            .take_shootdowns()
+            .iter()
+            .any(|r| r.asid == parent && r.is_downgrade()));
 
         // Child write resolves CoW into a private frame.
         let resolved = k.resolve_cow(child, Vpn::new(0)).unwrap();
@@ -925,7 +942,8 @@ mod tests {
         let shadow = k.create_process();
         k.map_region(owner, VirtAddr::new(0x10000), 2, PagePerms::READ_WRITE)
             .unwrap();
-        k.write_virt(owner, VirtAddr::new(0x10000), b"shared!").unwrap();
+        k.write_virt(owner, VirtAddr::new(0x10000), b"shared!")
+            .unwrap();
         k.map_shared(
             shadow,
             VirtAddr::new(0x9000_0000),
@@ -937,7 +955,9 @@ mod tests {
         .unwrap();
         // Same frames, restricted permissions.
         let o = k.translate(owner, VirtAddr::new(0x10000).vpn()).unwrap();
-        let s = k.translate(shadow, VirtAddr::new(0x9000_0000).vpn()).unwrap();
+        let s = k
+            .translate(shadow, VirtAddr::new(0x9000_0000).vpn())
+            .unwrap();
         assert_eq!(o.ppn, s.ppn);
         assert_eq!(s.perms, PagePerms::READ_ONLY);
         assert_eq!(
@@ -981,7 +1001,8 @@ mod tests {
         k.write_virt(pid, VirtAddr::new(0x4000_0000 + 4096 * 700), b"huge")
             .unwrap();
         assert_eq!(
-            k.read_virt(pid, VirtAddr::new(0x4000_0000 + 4096 * 700), 4).unwrap(),
+            k.read_virt(pid, VirtAddr::new(0x4000_0000 + 4096 * 700), 4)
+                .unwrap(),
             b"huge"
         );
     }

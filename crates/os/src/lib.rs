@@ -36,7 +36,7 @@ mod violation;
 mod vmm;
 
 pub use kernel::{Kernel, KernelConfig, OsError};
-pub use vmm::{GuestId, Vmm};
 pub use process::{Process, ProcessState, Vma};
 pub use shootdown::{ShootdownRequest, ShootdownScope};
 pub use violation::{Violation, ViolationKind, ViolationPolicy};
+pub use vmm::{GuestId, Vmm};

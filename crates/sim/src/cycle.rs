@@ -22,7 +22,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(done.as_u64(), 125);
 /// assert_eq!(done - start, 25);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Cycle(u64);
 
 impl Cycle {
@@ -159,11 +161,9 @@ impl Frequency {
     /// Returns `u64::MAX` when `events_per_second` is zero (the event never
     /// occurs), which composes conveniently with event scheduling.
     pub fn cycles_per_event(self, events_per_second: u64) -> u64 {
-        if events_per_second == 0 {
-            u64::MAX
-        } else {
-            self.hertz / events_per_second
-        }
+        self.hertz
+            .checked_div(events_per_second)
+            .unwrap_or(u64::MAX)
     }
 
     /// Converts a byte-per-second bandwidth into bytes per cycle at this
@@ -175,9 +175,9 @@ impl Frequency {
 
 impl fmt::Display for Frequency {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.hertz % 1_000_000_000 == 0 {
+        if self.hertz.is_multiple_of(1_000_000_000) {
             write!(f, "{} GHz", self.hertz / 1_000_000_000)
-        } else if self.hertz % 1_000_000 == 0 {
+        } else if self.hertz.is_multiple_of(1_000_000) {
             write!(f, "{} MHz", self.hertz / 1_000_000)
         } else {
             write!(f, "{} Hz", self.hertz)

@@ -70,11 +70,7 @@ impl Port {
             .next_back()
             .into_iter()
             .map(|(s, e)| (*s, *e))
-            .chain(
-                self.busy
-                    .range(candidate + 1..)
-                    .map(|(s, e)| (*s, *e)),
-            );
+            .chain(self.busy.range(candidate + 1..).map(|(s, e)| (*s, *e)));
         for (s, e) in iter.by_ref() {
             if e <= candidate {
                 continue;
@@ -314,7 +310,7 @@ mod tests {
         let mut p = Port::new();
         p.serve(Cycle::new(0), 10); // [0,10)
         p.serve(Cycle::new(20), 10); // [20,30)
-        // A 10-cycle request at 10 fits exactly in [10,20).
+                                     // A 10-cycle request at 10 fits exactly in [10,20).
         assert_eq!(p.serve(Cycle::new(10), 10), Cycle::new(20));
         // Now fully packed 0..30.
         assert_eq!(p.serve(Cycle::new(0), 5), Cycle::new(35));

@@ -328,7 +328,8 @@ impl StatsTable {
 
     /// Appends a percentage row (`value` is a fraction in `[0, 1]`).
     pub fn push_pct(&mut self, name: impl Into<String>, value: f64) {
-        self.rows.push((name.into(), format!("{:.2}%", value * 100.0)));
+        self.rows
+            .push((name.into(), format!("{:.2}%", value * 100.0)));
     }
 
     /// Title given at construction.
@@ -441,7 +442,7 @@ mod tests {
         let p90 = h.quantile(0.9);
         let p99 = h.quantile(0.99);
         assert!(p50 <= p90 && p90 <= p99);
-        assert!(p50 >= 256 && p50 <= 512, "p50 bucket was {p50}");
+        assert!((256..=512).contains(&p50), "p50 bucket was {p50}");
         assert!(!h.to_string().is_empty());
     }
 

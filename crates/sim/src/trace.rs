@@ -57,7 +57,13 @@ pub struct TraceEvent {
 
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:>12}] {:<9} {}", self.at.as_u64(), self.kind, self.detail)
+        write!(
+            f,
+            "[{:>12}] {:<9} {}",
+            self.at.as_u64(),
+            self.kind,
+            self.detail
+        )
     }
 }
 
@@ -185,7 +191,9 @@ mod tests {
     #[test]
     fn display_formats() {
         let mut t = Tracer::new(true, 10);
-        t.record(Cycle::new(42), TraceKind::Violation, || "write to PPN:0x9".into());
+        t.record(Cycle::new(42), TraceKind::Violation, || {
+            "write to PPN:0x9".into()
+        });
         let s = t.render();
         assert!(s.contains("42"));
         assert!(s.contains("VIOLATION"));

@@ -12,6 +12,8 @@ fn main() {
         let mut sys = System::build(&c).unwrap();
         let r = sys.run();
         println!("{}", r.stats_table());
-        for (i,h) in sys.dram().queue_delays().iter().enumerate() { println!("  dram ch{i}: {h}"); }
+        for (i, h) in sys.dram().queue_delays().iter().enumerate() {
+            println!("  dram ch{i}: {h}");
+        }
     }
 }

@@ -173,7 +173,8 @@ impl SystemConfig {
 
     /// Cycles between injected downgrades, or `u64::MAX` when disabled.
     pub fn downgrade_period_cycles(&self) -> u64 {
-        self.gpu_clock().cycles_per_event(self.downgrades_per_second)
+        self.gpu_clock()
+            .cycles_per_event(self.downgrades_per_second)
     }
 
     /// The GPU structural configuration implied by the safety model and
@@ -194,16 +195,13 @@ impl SystemConfig {
     /// The Border Control configuration implied by the safety model, if
     /// Border Control is present.
     pub fn effective_bc_config(&self) -> Option<BorderControlConfig> {
-        match self.safety.has_bcc() {
-            None => None,
-            Some(with_bcc) => Some(BorderControlConfig {
-                bcc: with_bcc.then_some(self.bcc),
-                parallel_read_check: self.parallel_read_check,
-                flush_policy: self.flush_policy,
-                check_occupancy: 1,
-                record_stream: self.record_check_stream,
-            }),
-        }
+        self.safety.has_bcc().map(|with_bcc| BorderControlConfig {
+            bcc: with_bcc.then_some(self.bcc),
+            parallel_read_check: self.parallel_read_check,
+            flush_policy: self.flush_policy,
+            check_occupancy: 1,
+            record_stream: self.record_check_stream,
+        })
     }
 }
 

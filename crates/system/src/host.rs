@@ -211,8 +211,11 @@ mod tests {
             },
             1,
         );
-        let (va, write, shared) =
-            h.next_access(VirtAddr::new(0x1000_0000), 1 << 20, VirtAddr::new(0x9000_0000));
+        let (va, write, shared) = h.next_access(
+            VirtAddr::new(0x1000_0000),
+            1 << 20,
+            VirtAddr::new(0x9000_0000),
+        );
         assert!(shared && write);
         assert!(va.as_u64() >= 0x1000_0000 && va.as_u64() < 0x1000_0000 + (1 << 20));
         assert_eq!(h.shared_touches(), 1);
@@ -225,8 +228,11 @@ mod tests {
             },
             1,
         );
-        let (va, write, shared) =
-            h0.next_access(VirtAddr::new(0x1000_0000), 1 << 20, VirtAddr::new(0x9000_0000));
+        let (va, write, shared) = h0.next_access(
+            VirtAddr::new(0x1000_0000),
+            1 << 20,
+            VirtAddr::new(0x9000_0000),
+        );
         assert!(!shared && !write);
         assert!(va.as_u64() >= 0x9000_0000);
     }
@@ -244,7 +250,7 @@ mod tests {
         let mut h = host();
         let pa = PhysAddr::new(0x8000);
         h.access(pa, true); // dirty in L2 (and resident in L1 clean-ish)
-        // GPU writes the block: CPU must give it up, supplying dirty data.
+                            // GPU writes the block: CPU must give it up, supplying dirty data.
         let dirty = h.snoop(pa, true);
         assert_eq!(dirty, Some(pa));
         assert!(!h.l1.contains(pa) && !h.l2.contains(pa));

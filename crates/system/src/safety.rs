@@ -187,7 +187,12 @@ mod tests {
         use SafetyModel as S;
         // Safe?
         assert!(!S::AtsOnlyIommu.is_safe());
-        for s in [S::FullIommu, S::CapiLike, S::BorderControlNoBcc, S::BorderControlBcc] {
+        for s in [
+            S::FullIommu,
+            S::CapiLike,
+            S::BorderControlNoBcc,
+            S::BorderControlBcc,
+        ] {
             assert!(s.is_safe(), "{s} should be safe");
         }
         // L1 / L1 TLB rows.
@@ -208,16 +213,18 @@ mod tests {
     fn border_control_unique_in_table1() {
         // The paper's claim: only Border Control gets all three.
         for row in table1() {
-            let all_three = row.protects_os
-                && row.protection_between_processes
-                && row.direct_physical_access;
+            let all_three =
+                row.protects_os && row.protection_between_processes && row.direct_physical_access;
             assert_eq!(all_three, row.approach == "Border Control");
         }
     }
 
     #[test]
     fn labels_are_figure_labels() {
-        assert_eq!(SafetyModel::BorderControlBcc.to_string(), "Border Control-BCC");
+        assert_eq!(
+            SafetyModel::BorderControlBcc.to_string(),
+            "Border Control-BCC"
+        );
         assert_eq!(SafetyModel::ALL.len(), 5);
     }
 

@@ -59,10 +59,17 @@ impl From<OsError> for BuildError {
 enum Event {
     /// A wavefront is ready to fetch its next op and contend for the CU
     /// issue pipeline.
-    WavefrontReady { cu: usize, wf: usize },
+    WavefrontReady {
+        cu: usize,
+        wf: usize,
+    },
     /// An op's compute slots retired; its memory accesses issue *now*, so
     /// every shared resource sees arrivals in global time order.
-    IssueOp { cu: usize, wf: usize, op: bc_workloads::WarpOp },
+    IssueOp {
+        cu: usize,
+        wf: usize,
+        op: bc_workloads::WarpOp,
+    },
     Downgrade,
     /// The host CPU issues its next memory operation.
     CpuTick,
@@ -288,7 +295,10 @@ impl System {
     /// Drains the recorded border-check stream (see
     /// [`SystemConfig::record_check_stream`]).
     pub fn take_check_stream(&mut self) -> Vec<(bc_mem::Ppn, bool)> {
-        self.bc.as_mut().map(|b| b.take_stream()).unwrap_or_default()
+        self.bc
+            .as_mut()
+            .map(|b| b.take_stream())
+            .unwrap_or_default()
     }
 
     /// The post-mortem event trace (empty unless [`SystemConfig::trace`]
@@ -379,10 +389,7 @@ impl System {
 
         // Malicious hardware: forge a physical probe alongside real work.
         let ops_issued = self.gpu.cus[cu].wavefronts[wf].ops_issued;
-        if let Some((ppn, write)) = self
-            .gpu
-            .maybe_probe(ops_issued, self.kernel.total_frames())
-        {
+        if let Some((ppn, write)) = self.gpu.maybe_probe(ops_issued, self.kernel.total_frames()) {
             self.issue_probe(at, ppn, write);
             if self.aborted {
                 return;
@@ -412,9 +419,10 @@ impl System {
         let vpn = access.va.vpn();
         // Every request rides the interconnect to the distant IOMMU and
         // occupies one of its translation pipelines.
-        let at = self
-            .iommu_port
-            .serve(at + self.config.iommu_hop_latency, self.config.iommu_service);
+        let at = self.iommu_port.serve(
+            at + self.config.iommu_hop_latency,
+            self.config.iommu_service,
+        );
         let resp = match self
             .ats
             .translate(at, &mut self.kernel, &mut self.dram, self.asid, vpn)
@@ -468,7 +476,14 @@ impl System {
             .l2
             .as_mut()
             .expect("CAPI keeps a (trusted) L2")
-            .access(pa, if access.write { Access::Write } else { Access::Read });
+            .access(
+                pa,
+                if access.write {
+                    Access::Write
+                } else {
+                    Access::Read
+                },
+            );
         match result {
             LookupResult::Hit => {
                 let done = t + l2_latency;
@@ -548,7 +563,11 @@ impl System {
         };
 
         let pa = Self::phys_block_from_entry(&entry, access.va);
-        let kind = if access.write { Access::Write } else { Access::Read };
+        let kind = if access.write {
+            Access::Write
+        } else {
+            Access::Read
+        };
 
         // Private write-through L1.
         let l1_result = self.gpu.cus[cu]
@@ -724,7 +743,9 @@ impl System {
     /// caches; a dirty host copy is written back (and invalidated on
     /// GetM / downgraded on GetS) before the GPU may read memory.
     fn snoop_host(&mut self, at: Cycle, pa: PhysAddr, gpu_writes: bool) -> Cycle {
-        let Some(host) = &mut self.host else { return at };
+        let Some(host) = &mut self.host else {
+            return at;
+        };
         if let Some(dirty) = host.snoop(pa, gpu_writes) {
             // Trusted CPU writeback straight to DRAM; the GPU's fill
             // waits for the data to land.
@@ -741,11 +762,8 @@ impl System {
             return;
         }
         let Some(host) = &mut self.host else { return };
-        let (va, mut write, _shared) = host.next_access(
-            self.shared_base,
-            self.shared_bytes,
-            self.host_private_base,
-        );
+        let (va, mut write, _shared) =
+            host.next_access(self.shared_base, self.shared_bytes, self.host_private_base);
         let period = host.config().period;
 
         if let Ok(tr) = self.kernel.translate(self.asid, va.vpn()) {
@@ -857,7 +875,8 @@ impl System {
     // ---- OS interaction -----------------------------------------------------
 
     fn on_violation(&mut self, v: Violation) {
-        self.tracer.record(self.now, TraceKind::Violation, || v.to_string());
+        self.tracer
+            .record(self.now, TraceKind::Violation, || v.to_string());
         self.violations.push(v);
         let policy = self.kernel.report_violation(v);
         match policy {
@@ -925,7 +944,7 @@ impl System {
         let mut flush_done = t;
         for ev in flushed.iter().filter(|e| e.dirty) {
             self.border_write(flush_done, ev.addr);
-            flush_done = flush_done + 1; // back-to-back writeback issue
+            flush_done += 1; // back-to-back writeback issue
         }
         let bc = self.bc.as_mut().expect("still configured");
         let commit_done =
@@ -962,7 +981,11 @@ impl System {
         });
 
         // Downgrade (e.g. context switch away / swap preparation)...
-        if self.kernel.protect_page(self.asid, vpn, PagePerms::READ_ONLY).is_err() {
+        if self
+            .kernel
+            .protect_page(self.asid, vpn, PagePerms::READ_ONLY)
+            .is_err()
+        {
             return;
         }
         // Even a trusted accelerator pays the drain: outstanding requests
@@ -973,7 +996,9 @@ impl System {
         self.drain_shootdowns();
 
         // ...and restore (switched back): an upgrade, no flush needed.
-        let _ = self.kernel.protect_page(self.asid, vpn, PagePerms::READ_WRITE);
+        let _ = self
+            .kernel
+            .protect_page(self.asid, vpn, PagePerms::READ_WRITE);
         self.drain_shootdowns();
     }
 
@@ -1060,9 +1085,10 @@ impl System {
                 self.probes_blocked,
                 self.probes_succeeded,
             ),
-            host: self.host.as_ref().map(|h| {
-                (h.accesses(), h.shared_touches(), h.recalls_from_gpu())
-            }),
+            host: self
+                .host
+                .as_ref()
+                .map(|h| (h.accesses(), h.shared_touches(), h.recalls_from_gpu())),
         }
     }
 }
@@ -1107,7 +1133,11 @@ mod tests {
 
     #[test]
     fn runs_are_deterministic() {
-        let run = || System::build(&tiny(SafetyModel::BorderControlBcc)).unwrap().run();
+        let run = || {
+            System::build(&tiny(SafetyModel::BorderControlBcc))
+                .unwrap()
+                .run()
+        };
         let a = run();
         let b = run();
         assert_eq!(a.cycles, b.cycles);
@@ -1123,7 +1153,10 @@ mod tests {
         let capi = cycles(SafetyModel::CapiLike);
         let bcc = cycles(SafetyModel::BorderControlBcc);
         assert!(full > base, "full IOMMU must be slower ({full} vs {base})");
-        assert!(capi >= base, "CAPI-like at least as slow ({capi} vs {base})");
+        assert!(
+            capi >= base,
+            "CAPI-like at least as slow ({capi} vs {base})"
+        );
         assert!(
             (bcc as f64) < (base as f64) * 1.10,
             "BC-BCC should be within 10% of unsafe ({bcc} vs {base})"
@@ -1144,7 +1177,10 @@ mod tests {
         let base = cycles(SafetyModel::AtsOnlyIommu);
         let full = cycles(SafetyModel::FullIommu);
         let capi = cycles(SafetyModel::CapiLike);
-        assert!(capi > base, "CAPI pays for losing the L1 ({capi} vs {base})");
+        assert!(
+            capi > base,
+            "CAPI pays for losing the L1 ({capi} vs {base})"
+        );
         assert!(
             full as f64 > capi as f64 * 1.3,
             "full IOMMU should be much slower than CAPI-like ({full} vs {capi})"
@@ -1153,12 +1189,18 @@ mod tests {
 
     #[test]
     fn bc_checks_happen_only_with_border_control() {
-        let r = System::build(&tiny(SafetyModel::AtsOnlyIommu)).unwrap().run();
+        let r = System::build(&tiny(SafetyModel::AtsOnlyIommu))
+            .unwrap()
+            .run();
         assert_eq!(r.bc_checks, 0);
-        let r = System::build(&tiny(SafetyModel::BorderControlBcc)).unwrap().run();
+        let r = System::build(&tiny(SafetyModel::BorderControlBcc))
+            .unwrap()
+            .run();
         assert!(r.bc_checks > 0);
         assert!(r.bcc_hits_misses.is_some());
-        let r = System::build(&tiny(SafetyModel::BorderControlNoBcc)).unwrap().run();
+        let r = System::build(&tiny(SafetyModel::BorderControlNoBcc))
+            .unwrap()
+            .run();
         assert!(r.bc_checks > 0);
         assert!(r.bcc_hits_misses.is_none());
         assert!(r.pt_reads_writes.0 > 0, "noBCC reads the table every check");
@@ -1206,7 +1248,10 @@ mod tests {
         c.downgrades_per_second = 100_000; // every 7000 cycles at 700 MHz
         let r = System::build(&c).unwrap().run();
         assert!(r.downgrades > 0, "injector should fire");
-        assert_eq!(r.violation_count, 0, "correct accel + BC flush = no violations");
+        assert_eq!(
+            r.violation_count, 0,
+            "correct accel + BC flush = no violations"
+        );
     }
 
     #[test]
@@ -1222,7 +1267,10 @@ mod tests {
         let ats_hi = run(SafetyModel::AtsOnlyIommu, 200_000);
         let bc_over = bc_hi as f64 / bc0 as f64 - 1.0;
         let ats_over = ats_hi as f64 / ats0 as f64 - 1.0;
-        assert!(bc_over > ats_over, "BC downgrades cost more ({bc_over:.4} vs {ats_over:.4})");
+        assert!(
+            bc_over > ats_over,
+            "BC downgrades cost more ({bc_over:.4} vs {ats_over:.4})"
+        );
     }
 
     #[test]
@@ -1264,14 +1312,19 @@ mod tests {
             recalls > 0,
             "a stencil with writes must have dirty GPU blocks for the CPU to recall"
         );
-        assert_eq!(r.violation_count, 0, "recalled writebacks pass the border check");
+        assert_eq!(
+            r.violation_count, 0,
+            "recalled writebacks pass the border check"
+        );
     }
 
     #[test]
     fn host_cpu_interference_slows_the_gpu() {
         use crate::host::HostActivityConfig;
 
-        let quiet = System::build(&tiny(SafetyModel::AtsOnlyIommu)).unwrap().run();
+        let quiet = System::build(&tiny(SafetyModel::AtsOnlyIommu))
+            .unwrap()
+            .run();
         let mut c = tiny(SafetyModel::AtsOnlyIommu);
         c.host_activity = Some(HostActivityConfig {
             period: 2,
@@ -1324,8 +1377,14 @@ mod tests {
         let mut sys = System::build(&c).unwrap();
         sys.run();
         let trace = sys.trace();
-        assert!(trace.of_kind(TraceKind::Violation).count() > 0, "violations traced");
-        assert!(trace.of_kind(TraceKind::Downgrade).count() > 0, "downgrades traced");
+        assert!(
+            trace.of_kind(TraceKind::Violation).count() > 0,
+            "violations traced"
+        );
+        assert!(
+            trace.of_kind(TraceKind::Downgrade).count() > 0,
+            "downgrades traced"
+        );
         let rendered = trace.render();
         assert!(rendered.contains("VIOLATION"));
 
@@ -1343,7 +1402,9 @@ mod tests {
 
     #[test]
     fn report_table_renders() {
-        let r = System::build(&tiny(SafetyModel::BorderControlBcc)).unwrap().run();
+        let r = System::build(&tiny(SafetyModel::BorderControlBcc))
+            .unwrap()
+            .run();
         let s = r.stats_table().to_string();
         assert!(s.contains("Border Control-BCC"));
         assert!(s.contains("cycles"));

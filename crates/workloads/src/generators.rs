@@ -125,7 +125,7 @@ pub mod backprop {
             let output_off =
                 self.w.input_bytes + self.w.weight_bytes + (wblock * 16) % self.w.output_bytes;
             let mut blocks = vec![read(input_off), read(weight_off)];
-            if self.pass == 1 && wblock % 8 == 0 {
+            if self.pass == 1 && wblock.is_multiple_of(8) {
                 blocks.push(write(output_off));
             }
             Some(WarpOp { think: 120, blocks })
@@ -202,9 +202,9 @@ pub mod bfs {
             }
             self.i += 1;
             // Read the frontier entry (sequential, good locality)...
-            let mut blocks = vec![read((frontier_slot * 4) % self.w.visited_bytes
-                + self.w.node_bytes
-                + self.w.edge_bytes)];
+            let mut blocks = vec![read(
+                (frontier_slot * 4) % self.w.visited_bytes + self.w.node_bytes + self.w.edge_bytes,
+            )];
             // ...then gather the node and its (contiguous) edge list.
             // Real frontiers have community structure: most gathers land
             // in a hot window that drifts with the frontier, with an
@@ -431,9 +431,9 @@ pub mod lud {
                 let r = self.k + 1 + my_idx / trailing;
                 let c = self.k + 1 + my_idx % trailing;
                 let blocks = vec![
-                    read(self.w.at(self.k, c)),  // pivot row (reused heavily)
-                    read(self.w.at(r, self.k)),  // pivot column
-                    write(self.w.at(r, c)),      // update target
+                    read(self.w.at(self.k, c)), // pivot row (reused heavily)
+                    read(self.w.at(r, self.k)), // pivot column
+                    write(self.w.at(r, c)),     // update target
                 ];
                 return Some(WarpOp { think: 30, blocks });
             }
@@ -480,7 +480,14 @@ pub mod nn {
         fn make_stream(&self, wf: u32, total_wfs: u32, _seed: u64) -> Box<dyn AccessStream> {
             let blocks = self.record_bytes / BLOCK;
             let (start, end) = slice_of(blocks, wf, total_wfs);
-            Box::new(RepeatStream::new(Stream { w: *self, cur: start, end }, 2))
+            Box::new(RepeatStream::new(
+                Stream {
+                    w: *self,
+                    cur: start,
+                    end,
+                },
+                2,
+            ))
         }
     }
 
@@ -498,7 +505,7 @@ pub mod nn {
             let b = self.cur;
             self.cur += 1;
             let mut blocks = vec![read(b * BLOCK)];
-            if b % 16 == 0 {
+            if b.is_multiple_of(16) {
                 blocks.push(write(
                     self.w.record_bytes + (b / 16 * BLOCK) % self.w.result_bytes,
                 ));
@@ -721,7 +728,11 @@ mod tests {
 
     #[test]
     fn slice_handles_degenerate_inputs() {
-        assert_eq!(slice_of(10, 0, 0), (0, 10), "zero wavefronts treated as one");
+        assert_eq!(
+            slice_of(10, 0, 0),
+            (0, 10),
+            "zero wavefronts treated as one"
+        );
         assert_eq!(slice_of(0, 0, 4), (0, 0));
     }
 

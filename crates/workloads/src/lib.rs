@@ -186,7 +186,15 @@ mod tests {
             .collect();
         assert_eq!(
             names,
-            vec!["backprop", "bfs", "hotspot", "lud", "nn", "nw", "pathfinder"]
+            vec![
+                "backprop",
+                "bfs",
+                "hotspot",
+                "lud",
+                "nn",
+                "nw",
+                "pathfinder"
+            ]
         );
     }
 
@@ -353,7 +361,9 @@ mod tests {
             }
         }
         let mut r = RepeatStream::new(Three(2), 3);
-        let thinks: Vec<u64> = std::iter::from_fn(|| r.next_op()).map(|o| o.think).collect();
+        let thinks: Vec<u64> = std::iter::from_fn(|| r.next_op())
+            .map(|o| o.think)
+            .collect();
         assert_eq!(thinks, vec![1, 1, 1, 0, 0, 0]);
         // Factor 0 is clamped to 1.
         let mut r = RepeatStream::new(Three(1), 0);

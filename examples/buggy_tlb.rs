@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Legitimate translation, cached in the (buggy) accelerator's TLB
     //    and observed by Border Control (Fig 3b).
     let tr = kernel.translate(accel_process, va.vpn())?;
-    let mut stale_tlb = Tlb::new(TlbConfig { entries: 64, ways: 64 });
+    let mut stale_tlb = Tlb::new(TlbConfig {
+        entries: 64,
+        ways: 64,
+    });
     let entry = TlbEntry {
         asid: accel_process,
         vpn: va.vpn(),
@@ -45,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     stale_tlb.insert(entry);
     bc.on_translation(Cycle::ZERO, &entry, kernel.store_mut(), &mut dram);
-    println!("accelerator holds translation {} -> {} (rw)", va.vpn(), tr.ppn);
+    println!(
+        "accelerator holds translation {} -> {} (rw)",
+        va.vpn(),
+        tr.ppn
+    );
 
     // 2. The OS compacts memory: the page moves, and the old frame is
     //    handed to another process, which stores its own data there.
@@ -56,7 +63,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     bc.commit_downgrade(Cycle::ZERO, &req, kernel.store_mut(), &mut dram);
     // The shootdown is broadcast... and the buggy accelerator IGNORES it:
     // `stale_tlb` still holds the old translation.
-    kernel.map_region(victim_owner, VirtAddr::new(0x7000_0000), 1, PagePerms::READ_WRITE)?;
+    kernel.map_region(
+        victim_owner,
+        VirtAddr::new(0x7000_0000),
+        1,
+        PagePerms::READ_WRITE,
+    )?;
 
     // 3. The buggy accelerator uses the stale entry to write "its" page —
     //    which is now someone else's frame.
@@ -77,11 +89,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "stale write to {}: {}",
         stale.ppn,
-        if outcome.allowed { "ALLOWED (!!)" } else { "BLOCKED" }
+        if outcome.allowed {
+            "ALLOWED (!!)"
+        } else {
+            "BLOCKED"
+        }
     );
-    let v = outcome.violation.expect("blocked request carries a violation report");
+    let v = outcome
+        .violation
+        .expect("blocked request carries a violation report");
     println!("reported to the OS: {v}");
-    assert!(!outcome.allowed, "Border Control must block the stale write");
+    assert!(
+        !outcome.allowed,
+        "Border Control must block the stale write"
+    );
 
     // The legitimate path still works: a fresh translation of the moved
     // page re-inserts permissions for the *new* frame.
@@ -111,7 +132,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "fresh write to the moved page at {}: {}",
         fresh.ppn,
-        if ok.allowed { "allowed" } else { "blocked (!!)" }
+        if ok.allowed {
+            "allowed"
+        } else {
+            "blocked (!!)"
+        }
     );
     Ok(())
 }

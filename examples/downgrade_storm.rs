@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     println!("hotspot, moderately threaded GPU, increasing downgrade pressure:\n");
-    println!("{:>12}  {:>16}  {:>12}  {:>10}", "downgrades/s", "BC-BCC cycles", "downgrades", "violations");
+    println!(
+        "{:>12}  {:>16}  {:>12}  {:>10}",
+        "downgrades/s", "BC-BCC cycles", "downgrades", "violations"
+    );
     let baseline = System::build(&base(SafetyModel::BorderControlBcc, 0))?.run();
     for rate in [0u64, 50_000, 100_000, 200_000, 400_000] {
         let report = System::build(&base(SafetyModel::BorderControlBcc, rate))?.run();

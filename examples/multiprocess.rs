@@ -7,11 +7,11 @@
 //! cargo run --release --example multiprocess
 //! ```
 
+use border_control::cache::TlbEntry;
 use border_control::core::{BorderControl, BorderControlConfig, MemRequest};
 use border_control::mem::{Dram, DramConfig, PagePerms, VirtAddr};
 use border_control::os::{Kernel, KernelConfig};
 use border_control::sim::Cycle;
-use border_control::cache::TlbEntry;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut kernel = Kernel::new(KernelConfig::default());
@@ -45,7 +45,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         bc.on_translation(
             Cycle::ZERO,
-            &TlbEntry { asid, vpn, ppn: tr.ppn, perms: tr.perms, size: tr.size },
+            &TlbEntry {
+                asid,
+                vpn,
+                ppn: tr.ppn,
+                perms: tr.perms,
+                size: tr.size,
+            },
             kernel.store_mut(),
             &mut dram,
         );
@@ -56,11 +62,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // permissions we use are the union of those for all processes
     // currently running on the accelerator").
     let check = |bc: &mut BorderControl, kernel: &mut Kernel, dram: &mut Dram, ppn, write| {
-        bc.check(Cycle::ZERO, MemRequest { ppn, write, asid: None }, kernel.store_mut(), dram)
-            .allowed
+        bc.check(
+            Cycle::ZERO,
+            MemRequest {
+                ppn,
+                write,
+                asid: None,
+            },
+            kernel.store_mut(),
+            dram,
+        )
+        .allowed
     };
-    println!("write to A's page: {}", check(&mut bc, &mut kernel, &mut dram, tr_a.ppn, true));
-    println!("read  of B's page: {}", check(&mut bc, &mut kernel, &mut dram, tr_b.ppn, false));
+    println!(
+        "write to A's page: {}",
+        check(&mut bc, &mut kernel, &mut dram, tr_a.ppn, true)
+    );
+    println!(
+        "read  of B's page: {}",
+        check(&mut bc, &mut kernel, &mut dram, tr_b.ppn, false)
+    );
     println!(
         "write to B's page: {} (read-only everywhere: blocked)",
         check(&mut bc, &mut kernel, &mut dram, tr_b.ppn, true)
@@ -69,8 +90,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Process B finishes (Fig 3e): the table is zeroed — *all* cached
     // permissions are revoked, and A's next request lazily re-inserts.
     let blocks = bc.detach_process(&mut kernel, b);
-    println!("\nB detached: {blocks} Protection Table blocks zeroed, use count = {}",
-        bc.attached().len());
+    println!(
+        "\nB detached: {blocks} Protection Table blocks zeroed, use count = {}",
+        bc.attached().len()
+    );
     println!(
         "write to A's page now: {} (revoked until the ATS re-inserts it)",
         check(&mut bc, &mut kernel, &mut dram, tr_a.ppn, true)

@@ -25,10 +25,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", report.stats_table());
 
     println!("Border Control summary:");
-    println!("  every one of the {} requests that crossed the", report.bc_checks);
+    println!(
+        "  every one of the {} requests that crossed the",
+        report.bc_checks
+    );
     println!("  untrusted-to-trusted border was permission-checked;");
     if let Some(miss) = report.bcc_miss_ratio() {
-        println!("  the Border Control Cache missed {:.3}% of them,", miss * 100.0);
+        println!(
+            "  the Border Control Cache missed {:.3}% of them,",
+            miss * 100.0
+        );
     }
     println!(
         "  and {} Protection Table memory reads were needed.",

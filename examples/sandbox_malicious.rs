@@ -54,9 +54,10 @@ fn run_scenario(safety: SafetyModel) -> Result<(), Box<dyn std::error::Error>> {
     // Count victim pages whose contents changed.
     let mut corrupted = 0;
     for page in 0..64u64 {
-        let bytes = system
-            .kernel_mut()
-            .read_virt(victim, secret_va.offset(page * 4096), SECRET.len())?;
+        let bytes =
+            system
+                .kernel_mut()
+                .read_virt(victim, secret_va.offset(page * 4096), SECRET.len())?;
         if bytes != SECRET {
             corrupted += 1;
         }
@@ -65,10 +66,17 @@ fn run_scenario(safety: SafetyModel) -> Result<(), Box<dyn std::error::Error>> {
     println!("--- {safety} ---");
     let (attempted, blocked, succeeded) = report.probes;
     println!("  forged write probes: {attempted} attempted, {succeeded} landed, {blocked} blocked");
-    println!("  violations reported to the OS: {}", report.violation_count);
+    println!(
+        "  violations reported to the OS: {}",
+        report.violation_count
+    );
     println!(
         "  offending process: {}",
-        if report.aborted { "KILLED by the kernel" } else { "ran to completion" }
+        if report.aborted {
+            "KILLED by the kernel"
+        } else {
+            "ran to completion"
+        }
     );
     println!(
         "  victim's secret pages: {}",

@@ -68,7 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut check = |bc: &mut BorderControl, vmm: &mut Vmm, ppn, label: &str| {
         let out = bc.check(
             Cycle::ZERO,
-            MemRequest { ppn, write: true, asid: Some(pid_a) },
+            MemRequest {
+                ppn,
+                write: true,
+                asid: Some(pid_a),
+            },
             vmm.host_kernel_mut().store_mut(),
             &mut dram,
         );
@@ -81,7 +85,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(check(&mut bc, &mut vmm, tr_a.ppn, "its own frame"));
     assert!(!check(&mut bc, &mut vmm, tr_b.ppn, "guest B's frame"));
     let table = bc.table().unwrap().base();
-    assert!(!check(&mut bc, &mut vmm, table, "the Protection Table itself"));
+    assert!(!check(
+        &mut bc,
+        &mut vmm,
+        table,
+        "the Protection Table itself"
+    ));
 
     println!("\ncross-VM isolation enforced by the unmodified engine — the table");
     println!("indexes bare-metal physical addresses, so nothing had to change.");

@@ -1,0 +1,157 @@
+//! Fast figure-regression tests: the paper's shape invariants asserted at
+//! `WorkloadSize::Tiny` so they run in seconds under `cargo test`.
+//!
+//! These do not pin exact numbers (tiny inputs are noisy); they pin the
+//! *shape* of Figures 4 and 6 that the paper's argument rests on:
+//!
+//! - Fig 4: safety is never free in the wrong direction — every safe
+//!   scheme costs at least as many cycles as the unsafe ATS-only baseline
+//!   (within noise), and Border Control with a BCC is always cheaper than
+//!   the full-IOMMU strawman.
+//! - Fig 6: the BCC miss ratio is non-increasing in BCC size, and large
+//!   entries (512 pages/entry) never lose to single-page entries.
+
+use bc_core::{Bcc, BccConfig};
+use bc_experiments::{base_config, SweepMatrix, SweepOptions};
+use bc_mem::{PagePerms, Ppn};
+use bc_system::{GpuClass, SafetyModel, System};
+use bc_workloads::WorkloadSize;
+
+/// Multiplicative slack for run-to-run shape comparisons at tiny size:
+/// BC-BCC can land a fraction of a percent *below* the unsafe baseline
+/// (cache-alignment noise, see EXPERIMENTS.md), never multiple percent.
+const NOISE: f64 = 0.97;
+
+const FIG4_WORKLOADS: [&str; 3] = ["bfs", "hotspot", "nn"];
+
+#[test]
+fn fig4_safe_schemes_cost_at_least_the_unsafe_baseline() {
+    let results = SweepMatrix::new(WorkloadSize::Tiny)
+        .gpus(&[GpuClass::HighlyThreaded])
+        .safeties(&SafetyModel::ALL)
+        .workloads(&FIG4_WORKLOADS)
+        .run(&SweepOptions::with_jobs(4));
+    assert_eq!(results.failures(), 0, "sweep had failed cells");
+
+    for (wi, workload) in FIG4_WORKLOADS.iter().enumerate() {
+        // SafetyModel::ALL starts with the unsafe ATS-only baseline.
+        let baseline = results.report([0, 0, 0, wi]);
+        for (si, safety) in SafetyModel::ALL.iter().enumerate().skip(1) {
+            let report = results.report([0, 0, si, wi]);
+            assert!(
+                report.cycles as f64 >= baseline.cycles as f64 * NOISE,
+                "{workload}: safe scheme {} ran in {} cycles, well below the \
+                 unsafe baseline's {}",
+                safety.label(),
+                report.cycles,
+                baseline.cycles,
+            );
+        }
+    }
+}
+
+#[test]
+fn fig4_border_control_bcc_beats_the_full_iommu_strawman() {
+    let results = SweepMatrix::new(WorkloadSize::Tiny)
+        .gpus(&[GpuClass::HighlyThreaded])
+        .safeties(&[
+            SafetyModel::AtsOnlyIommu,
+            SafetyModel::FullIommu,
+            SafetyModel::BorderControlBcc,
+        ])
+        .workloads(&FIG4_WORKLOADS)
+        .run(&SweepOptions::with_jobs(4));
+    assert_eq!(results.failures(), 0, "sweep had failed cells");
+
+    for (wi, workload) in FIG4_WORKLOADS.iter().enumerate() {
+        let baseline = results.report([0, 0, 0, wi]);
+        let full_iommu = results.report([0, 0, 1, wi]).overhead_vs(baseline);
+        let bc_bcc = results.report([0, 0, 2, wi]).overhead_vs(baseline);
+        assert!(
+            bc_bcc < full_iommu,
+            "{workload}: BC-BCC overhead {bc_bcc:.4} not below full-IOMMU \
+             overhead {full_iommu:.4}"
+        );
+        assert!(
+            full_iommu >= 0.10,
+            "{workload}: full-IOMMU overhead {full_iommu:.4} implausibly low — \
+             the strawman should hurt badly on a highly threaded GPU"
+        );
+    }
+}
+
+/// Replays a captured border-crossing stream through one BCC geometry and
+/// returns the miss ratio (mirrors the `fig6` binary's methodology).
+fn replay(stream: &[(Ppn, bool)], config: BccConfig) -> f64 {
+    let mut bcc = Bcc::new(config);
+    let block = [PagePerms::READ_WRITE; 512];
+    for (ppn, _) in stream {
+        if bcc.lookup(*ppn).is_none() {
+            bcc.fill(*ppn, &block);
+        }
+    }
+    bcc.stats().miss_ratio()
+}
+
+#[test]
+fn fig6_miss_ratio_is_non_increasing_in_bcc_size() {
+    let mut config = base_config("nn", GpuClass::HighlyThreaded, WorkloadSize::Tiny);
+    config.safety = SafetyModel::BorderControlBcc;
+    config.record_check_stream = true;
+    let mut sys = System::build(&config).expect("build");
+    sys.run();
+    let stream = sys.take_check_stream();
+    assert!(!stream.is_empty(), "BC-BCC run produced no border checks");
+
+    let entry_counts = [2usize, 4, 8, 16, 32, 64, 128, 256];
+    for ppe in [1u64, 512] {
+        let ratios: Vec<f64> = entry_counts
+            .iter()
+            .map(|&entries| {
+                replay(
+                    &stream,
+                    BccConfig {
+                        entries,
+                        pages_per_entry: ppe,
+                        ways: entries.min(8),
+                        latency: 10,
+                    },
+                )
+            })
+            .collect();
+        for pair in ratios.windows(2) {
+            assert!(
+                pair[1] <= pair[0] + 1e-9,
+                "{ppe} pages/entry: miss ratio increased with BCC size: {ratios:?}"
+            );
+        }
+    }
+
+    // Large entries exploit spatial locality: at every size, 512
+    // pages/entry must do at least as well as single-page entries.
+    for &entries in &entry_counts {
+        let small = replay(
+            &stream,
+            BccConfig {
+                entries,
+                pages_per_entry: 1,
+                ways: entries.min(8),
+                latency: 10,
+            },
+        );
+        let large = replay(
+            &stream,
+            BccConfig {
+                entries,
+                pages_per_entry: 512,
+                ways: entries.min(8),
+                latency: 10,
+            },
+        );
+        assert!(
+            large <= small + 1e-9,
+            "at {entries} entries, 512 pages/entry ({large:.4}) lost to \
+             1 page/entry ({small:.4})"
+        );
+    }
+}

@@ -26,7 +26,8 @@ fn every_workload_runs_under_every_safety_model() {
                 assert!(!report.aborted, "{} {safety} {gpu:?} aborted", w.name());
                 assert!(report.cycles > 0 && report.ops > 0);
                 assert_eq!(
-                    report.violation_count, 0,
+                    report.violation_count,
+                    0,
                     "{} under {safety}: a correct accelerator must never violate",
                     w.name()
                 );
@@ -73,8 +74,14 @@ fn figure4_ordering_holds_end_to_end() {
     let full = cycles(SafetyModel::FullIommu);
     let capi = cycles(SafetyModel::CapiLike);
     let bcc = cycles(SafetyModel::BorderControlBcc);
-    assert!(full > capi, "full IOMMU ({full}) must exceed CAPI-like ({capi})");
-    assert!(capi > base, "CAPI-like ({capi}) must exceed baseline ({base})");
+    assert!(
+        full > capi,
+        "full IOMMU ({full}) must exceed CAPI-like ({capi})"
+    );
+    assert!(
+        capi > base,
+        "CAPI-like ({capi}) must exceed baseline ({base})"
+    );
     let overhead = bcc as f64 / base as f64 - 1.0;
     assert!(
         overhead.abs() < 0.05,
@@ -104,7 +111,11 @@ fn identical_seeds_give_identical_runs() {
 #[test]
 fn different_seeds_change_irregular_workloads() {
     let run = |seed| {
-        let mut c = config(SafetyModel::AtsOnlyIommu, GpuClass::ModeratelyThreaded, "bfs");
+        let mut c = config(
+            SafetyModel::AtsOnlyIommu,
+            GpuClass::ModeratelyThreaded,
+            "bfs",
+        );
         c.seed = seed;
         System::build(&c).unwrap().run()
     };
@@ -121,7 +132,10 @@ fn downgrade_storm_is_safe_and_costs_more_under_bc() {
     let quiet = run(SafetyModel::BorderControlBcc, 0);
     let storm = run(SafetyModel::BorderControlBcc, 300_000);
     assert!(storm.downgrades > 0, "injector must fire");
-    assert_eq!(storm.violation_count, 0, "downgrades cost time, never safety");
+    assert_eq!(
+        storm.violation_count, 0,
+        "downgrades cost time, never safety"
+    );
     assert!(storm.cycles > quiet.cycles);
 
     let ats_quiet = run(SafetyModel::AtsOnlyIommu, 0);
@@ -146,7 +160,10 @@ fn bcc_reach_contains_small_working_sets() {
     .unwrap()
     .run();
     let miss = report.bcc_miss_ratio().expect("BCC present");
-    assert!(miss < 0.01, "BCC miss ratio {miss} too high for a 4 MiB footprint");
+    assert!(
+        miss < 0.01,
+        "BCC miss ratio {miss} too high for a 4 MiB footprint"
+    );
 }
 
 #[test]
@@ -162,7 +179,10 @@ fn full_iommu_translates_every_request() {
         report.ats_translations_walks.0, report.block_accesses,
         "full IOMMU must translate every accelerator request"
     );
-    assert!(report.l1.is_none() && report.l1_tlb.is_none(), "no accel structures");
+    assert!(
+        report.l1.is_none() && report.l1_tlb.is_none(),
+        "no accel structures"
+    );
 }
 
 #[test]

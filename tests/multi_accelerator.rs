@@ -44,7 +44,11 @@ fn allowed(
 ) -> bool {
     bc.check(
         Cycle::ZERO,
-        MemRequest { ppn, write, asid: None },
+        MemRequest {
+            ppn,
+            write,
+            asid: None,
+        },
         kernel.store_mut(),
         dram,
     )
@@ -62,8 +66,12 @@ fn per_accelerator_tables_isolate_independently() {
     let pid_a = kernel.create_process();
     let pid_b = kernel.create_process();
     let va = VirtAddr::new(0x1000_0000);
-    kernel.map_region(pid_a, va, 2, PagePerms::READ_WRITE).unwrap();
-    kernel.map_region(pid_b, va, 2, PagePerms::READ_WRITE).unwrap();
+    kernel
+        .map_region(pid_a, va, 2, PagePerms::READ_WRITE)
+        .unwrap();
+    kernel
+        .map_region(pid_b, va, 2, PagePerms::READ_WRITE)
+        .unwrap();
 
     let mut bc0 = BorderControl::new(0, BorderControlConfig::default());
     let mut bc1 = BorderControl::new(1, BorderControlConfig::default());
@@ -111,7 +119,9 @@ fn one_process_on_two_accelerators_gets_two_tables() {
     let mut dram = Dram::new(DramConfig::default());
     let pid = kernel.create_process();
     let va = VirtAddr::new(0x2000_0000);
-    kernel.map_region(pid, va, 1, PagePerms::READ_WRITE).unwrap();
+    kernel
+        .map_region(pid, va, 1, PagePerms::READ_WRITE)
+        .unwrap();
 
     let mut bc0 = BorderControl::new(0, BorderControlConfig::default());
     let mut bc1 = BorderControl::new(1, BorderControlConfig::default());

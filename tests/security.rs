@@ -2,9 +2,7 @@
 
 use border_control::accel::Behavior;
 use border_control::cache::{Tlb, TlbConfig, TlbEntry};
-use border_control::core::{
-    BorderControl, BorderControlConfig, DowngradeAction, MemRequest,
-};
+use border_control::core::{BorderControl, BorderControlConfig, DowngradeAction, MemRequest};
 use border_control::mem::{Dram, DramConfig, PagePerms, VirtAddr};
 use border_control::os::{Kernel, KernelConfig, ProcessState, ViolationKind, ViolationPolicy};
 use border_control::sim::Cycle;
@@ -95,7 +93,10 @@ fn integrity_writes_blocked_and_victim_intact() {
             }
         }
         if expect_corruption {
-            assert!(corrupted > 0, "{safety}: attack should land on the baseline");
+            assert!(
+                corrupted > 0,
+                "{safety}: attack should land on the baseline"
+            );
         } else {
             assert_eq!(corrupted, 0, "{safety}: victim must stay intact");
         }
@@ -140,12 +141,17 @@ fn stale_translation_writeback_blocked() {
 
     let pid = kernel.create_process();
     let va = VirtAddr::new(0x1000_0000);
-    kernel.map_region(pid, va, 1, PagePerms::READ_WRITE).unwrap();
+    kernel
+        .map_region(pid, va, 1, PagePerms::READ_WRITE)
+        .unwrap();
     bc.attach_process(&mut kernel, pid).unwrap();
 
     // Legitimate translation, cached by the buggy accelerator.
     let tr = kernel.translate(pid, va.vpn()).unwrap();
-    let mut buggy_tlb = Tlb::new(TlbConfig { entries: 16, ways: 16 });
+    let mut buggy_tlb = Tlb::new(TlbConfig {
+        entries: 16,
+        ways: 16,
+    });
     let entry = TlbEntry {
         asid: pid,
         vpn: va.vpn(),
@@ -160,7 +166,11 @@ fn stale_translation_writeback_blocked() {
     assert!(
         bc.check(
             Cycle::ZERO,
-            MemRequest { ppn: tr.ppn, write: true, asid: Some(pid) },
+            MemRequest {
+                ppn: tr.ppn,
+                write: true,
+                asid: Some(pid)
+            },
             kernel.store_mut(),
             &mut dram,
         )
@@ -168,8 +178,13 @@ fn stale_translation_writeback_blocked() {
     );
 
     // The OS downgrades the page to read-only (e.g. CoW marking).
-    let req = kernel.protect_page(pid, va.vpn(), PagePerms::READ_ONLY).unwrap();
-    assert!(matches!(bc.downgrade_action(&req), DowngradeAction::FlushAll));
+    let req = kernel
+        .protect_page(pid, va.vpn(), PagePerms::READ_ONLY)
+        .unwrap();
+    assert!(matches!(
+        bc.downgrade_action(&req),
+        DowngradeAction::FlushAll
+    ));
     // The buggy accelerator ignores the shootdown AND the flush; Border
     // Control commits the downgrade regardless.
     bc.commit_downgrade(Cycle::ZERO, &req, kernel.store_mut(), &mut dram);
@@ -179,7 +194,11 @@ fn stale_translation_writeback_blocked() {
     assert!(stale.perms.writable(), "the TLB still *claims* writability");
     let out = bc.check(
         Cycle::ZERO,
-        MemRequest { ppn: stale.ppn, write: true, asid: Some(pid) },
+        MemRequest {
+            ppn: stale.ppn,
+            write: true,
+            asid: Some(pid),
+        },
         kernel.store_mut(),
         &mut dram,
     );
@@ -207,8 +226,12 @@ fn shadow_page_table_confines_os_kernels() {
     let os_space = kernel.create_process();
     let buffers = VirtAddr::new(0x1000_0000);
     let secrets = VirtAddr::new(0x2000_0000);
-    kernel.map_region(os_space, buffers, 4, PagePerms::READ_WRITE).unwrap();
-    kernel.map_region(os_space, secrets, 4, PagePerms::READ_WRITE).unwrap();
+    kernel
+        .map_region(os_space, buffers, 4, PagePerms::READ_WRITE)
+        .unwrap();
+    kernel
+        .map_region(os_space, secrets, 4, PagePerms::READ_WRITE)
+        .unwrap();
 
     // Instead of attaching os_space, the OS builds a shadow address
     // space exposing only the buffers, and runs the accelerator there.
@@ -235,7 +258,11 @@ fn shadow_page_table_confines_os_kernels() {
     assert!(
         bc.check(
             Cycle::ZERO,
-            MemRequest { ppn: tr.ppn, write: true, asid: Some(shadow) },
+            MemRequest {
+                ppn: tr.ppn,
+                write: true,
+                asid: Some(shadow)
+            },
             kernel.store_mut(),
             &mut dram,
         )
@@ -248,11 +275,18 @@ fn shadow_page_table_confines_os_kernels() {
     for write in [false, true] {
         let out = bc.check(
             Cycle::ZERO,
-            MemRequest { ppn: secret_tr.ppn, write, asid: Some(shadow) },
+            MemRequest {
+                ppn: secret_tr.ppn,
+                write,
+                asid: Some(shadow),
+            },
             kernel.store_mut(),
             &mut dram,
         );
-        assert!(!out.allowed, "secret page reachable through shadow (write={write})");
+        assert!(
+            !out.allowed,
+            "secret page reachable through shadow (write={write})"
+        );
     }
     // And the shadow table cannot even *name* the secrets: a translation
     // request for that VA simply segfaults.
@@ -274,18 +308,34 @@ fn third_party_process_memory_unreachable() {
     let accel_pid = kernel.create_process();
     let other_pid = kernel.create_process();
     kernel
-        .map_region(accel_pid, VirtAddr::new(0x1000_0000), 2, PagePerms::READ_WRITE)
+        .map_region(
+            accel_pid,
+            VirtAddr::new(0x1000_0000),
+            2,
+            PagePerms::READ_WRITE,
+        )
         .unwrap();
     kernel
-        .map_region(other_pid, VirtAddr::new(0x2000_0000), 2, PagePerms::READ_WRITE)
+        .map_region(
+            other_pid,
+            VirtAddr::new(0x2000_0000),
+            2,
+            PagePerms::READ_WRITE,
+        )
         .unwrap();
     bc.attach_process(&mut kernel, accel_pid).unwrap();
 
-    let foreign = kernel.translate(other_pid, VirtAddr::new(0x2000_0000).vpn()).unwrap();
+    let foreign = kernel
+        .translate(other_pid, VirtAddr::new(0x2000_0000).vpn())
+        .unwrap();
     for write in [false, true] {
         let out = bc.check(
             Cycle::ZERO,
-            MemRequest { ppn: foreign.ppn, write, asid: Some(accel_pid) },
+            MemRequest {
+                ppn: foreign.ppn,
+                write,
+                asid: Some(accel_pid),
+            },
             kernel.store_mut(),
             &mut dram,
         );

@@ -80,7 +80,10 @@ fn border_control_under_a_vmm_isolates_guests() {
     let tr_b = vmm
         .translate_for_accel(guest_b, pid_b, VirtAddr::new(0x1000_0000).vpn())
         .unwrap();
-    assert_ne!(tr_a.ppn, tr_b.ppn, "same guest addresses, different host frames");
+    assert_ne!(
+        tr_a.ppn, tr_b.ppn,
+        "same guest addresses, different host frames"
+    );
     for write in [false, true] {
         let out = bc.check(
             Cycle::ZERO,
@@ -92,7 +95,10 @@ fn border_control_under_a_vmm_isolates_guests() {
             vmm.host_kernel_mut().store_mut(),
             &mut dram,
         );
-        assert!(!out.allowed, "guest B's frame must be unreachable (write={write})");
+        assert!(
+            !out.allowed,
+            "guest B's frame must be unreachable (write={write})"
+        );
     }
 
     // The Protection Table itself is unreachable from the accelerator:

@@ -1,0 +1,262 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! The build container has no network access and no registry cache, so the
+//! real `criterion` cannot be fetched. This crate keeps the workspace's
+//! `harness = false` benches compiling and running with the same source:
+//! [`criterion_group!`]/[`criterion_main!`], [`Criterion::benchmark_group`],
+//! `bench_function`/`bench_with_input`, [`BenchmarkId`], [`black_box`] and
+//! [`Bencher::iter`].
+//!
+//! Measurement is deliberately simple: after a warm-up, each benchmark
+//! takes `sample_size` wall-clock samples (adaptively batching iterations
+//! so one sample is long enough to time) and reports min/median/mean
+//! nanoseconds per iteration to stdout. No plots, no statistics beyond
+//! that — enough to compare configurations and catch large regressions.
+//!
+//! When the bench binary is invoked by `cargo test` (which passes
+//! `--test`), benchmarks run a single iteration each, acting as smoke
+//! tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark context handed to `criterion_group!` targets.
+pub struct Criterion {
+    sample_size: usize,
+    smoke_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes `--bench`; `cargo test` passes `--test`.
+        // In test mode run one iteration per benchmark, purely as smoke.
+        let smoke_only = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 30,
+            smoke_only,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: None,
+        }
+    }
+
+    /// Benches a closure outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_bench(self.sample_size, self.smoke_only, &mut f);
+        print_report(&id.to_string(), &report);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benches a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let report = run_bench(samples, self.criterion.smoke_only, &mut f);
+        print_report(&format!("{}/{}", self.name, id), &report);
+        self
+    }
+
+    /// Benches a closure that receives `input` under `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Drives the closure under measurement.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back runs of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+struct Report {
+    min_ns: f64,
+    median_ns: f64,
+    mean_ns: f64,
+}
+
+fn time_once<F: FnMut(&mut Bencher)>(iters: u64, f: &mut F) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(samples: usize, smoke_only: bool, f: &mut F) -> Report {
+    if smoke_only {
+        let d = time_once(1, f);
+        let ns = d.as_nanos() as f64;
+        return Report {
+            min_ns: ns,
+            median_ns: ns,
+            mean_ns: ns,
+        };
+    }
+
+    // Warm up and pick an iteration count that makes one sample at least
+    // ~2 ms, so short closures are still measurable.
+    let mut iters = 1u64;
+    loop {
+        let d = time_once(iters, f);
+        if d >= Duration::from_millis(2) || iters >= 1 << 20 {
+            break;
+        }
+        iters = (iters * 4).min(1 << 20);
+    }
+
+    let mut per_iter: Vec<f64> = (0..samples.max(1))
+        .map(|_| time_once(iters, f).as_nanos() as f64 / iters as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let min_ns = per_iter[0];
+    let median_ns = per_iter[per_iter.len() / 2];
+    let mean_ns = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    Report {
+        min_ns,
+        median_ns,
+        mean_ns,
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn print_report(label: &str, r: &Report) {
+    println!(
+        "{label:<48} min {:>12}  median {:>12}  mean {:>12}",
+        fmt_ns(r.min_ns),
+        fmt_ns(r.median_ns),
+        fmt_ns(r.mean_ns),
+    );
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_compiles_and_runs() {
+        let mut c = Criterion {
+            sample_size: 3,
+            smoke_only: true,
+        };
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        c.bench_function(BenchmarkId::new("top", "level"), |b| b.iter(|| 1 + 1));
+    }
+}

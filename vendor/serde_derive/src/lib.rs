@@ -1,0 +1,22 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! The vendored `serde` facade implements [`Serialize`] for every `Debug`
+//! type via a blanket impl, so these derives do not need to generate any
+//! code — they exist so that `#[derive(Serialize, Deserialize)]` and the
+//! inert `#[serde(...)]` field attributes keep compiling unchanged.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; serialization comes from the vendored
+/// `serde` crate's blanket impl over `Debug`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; the vendored `serde` crate's blanket
+/// marker impl covers every type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
