@@ -286,6 +286,43 @@ impl Bcc {
         }
     }
 
+    /// Visits every cached page permission: `f(ppn, perms)` for each page
+    /// covered by a valid entry. Subblocked tags store the *full* group
+    /// number, so the page number reconstructs exactly. Used by the audit
+    /// layer's BCC ⊆ Protection-Table subset sweep; does not touch
+    /// LRU/stats.
+    pub fn for_each_valid(&self, mut f: impl FnMut(Ppn, PagePerms)) {
+        let ppe = self.config.pages_per_entry;
+        for set in &self.sets {
+            for e in set {
+                if !e.valid {
+                    continue;
+                }
+                for i in 0..ppe {
+                    f(Ppn::new(e.tag * ppe + i), e.perms_of(i));
+                }
+            }
+        }
+    }
+
+    /// Test-only fault injection: forcibly rewrites a cached page's
+    /// permissions *without* the engine's Protection-Table write-through,
+    /// breaking the subset invariant on purpose. Returns whether an entry
+    /// covering `ppn` was present to corrupt.
+    #[doc(hidden)]
+    pub fn debug_corrupt(&mut self, ppn: Ppn, perms: PagePerms) -> bool {
+        let group = self.group_of(ppn);
+        let index = ppn.as_u64() % self.config.pages_per_entry;
+        let set = self.set_of(group);
+        for e in &mut self.sets[set] {
+            if e.valid && e.tag == group {
+                e.set_perms(index, perms.border_enforceable());
+                return true;
+            }
+        }
+        false
+    }
+
     /// Number of valid entries.
     pub fn valid_entries(&self) -> usize {
         self.sets

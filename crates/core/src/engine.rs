@@ -6,6 +6,7 @@ use serde::{Deserialize, Serialize};
 use bc_cache::tlb::TlbEntry;
 use bc_mem::addr::{Asid, Ppn};
 use bc_mem::dram::Dram;
+use bc_mem::perms::PagePerms;
 
 use bc_mem::store::PhysMemStore;
 use bc_os::{Kernel, OsError, ShootdownRequest, ShootdownScope, Violation, ViolationKind};
@@ -501,6 +502,47 @@ impl BorderControl {
                 t
             }
         }
+    }
+
+    // ---- audit support ------------------------------------------------------------
+
+    /// Sweeps the BCC and returns every cached page whose permissions
+    /// disagree with the Protection Table — the BCC is write-through, so
+    /// a valid entry must always mirror the table exactly (§3.1.2: the
+    /// BCC "is always a subset view" of the table). Each mismatch is
+    /// `(page, cached, table)` with unix-style permission renderings.
+    /// Empty when no table or no BCC is configured. Read-only: touches
+    /// neither LRU state nor statistics, and charges no DRAM traffic
+    /// (the audit layer is pure observation).
+    pub fn audit_bcc_subset(&self, store: &PhysMemStore) -> Vec<(u64, String, String)> {
+        let (Some(table), Some(bcc)) = (self.table.as_ref(), self.bcc.as_ref()) else {
+            return Vec::new();
+        };
+        let mut mismatches = Vec::new();
+        bcc.for_each_valid(|ppn, cached| {
+            // The tail of a subblocked entry can extend past the bounds
+            // register; the bounds check blocks those pages before the
+            // BCC is ever consulted, so they carry no authority.
+            if !table.in_bounds(ppn) {
+                return;
+            }
+            let truth = table.lookup(store, ppn).border_enforceable();
+            if cached != truth {
+                mismatches.push((ppn.as_u64(), cached.to_string(), truth.to_string()));
+            }
+        });
+        mismatches
+    }
+
+    /// Test-only fault injection: corrupts the BCC entry covering `ppn`
+    /// without the table write-through, so the subset sweep has something
+    /// to catch. Returns whether an entry was present to corrupt.
+    #[doc(hidden)]
+    pub fn debug_corrupt_bcc(&mut self, ppn: Ppn, perms: PagePerms) -> bool {
+        self.bcc
+            .as_mut()
+            .map(|b| b.debug_corrupt(ppn, perms))
+            .unwrap_or(false)
     }
 
     // ---- statistics ---------------------------------------------------------------
@@ -1145,6 +1187,57 @@ mod tests {
             &mut dram,
         );
         assert_eq!(out.done.as_u64(), 500 + 7 + BccConfig::default().latency);
+    }
+
+    #[test]
+    fn bcc_subset_audit_clean_after_insert_and_downgrade() {
+        let config = BorderControlConfig {
+            flush_policy: FlushPolicy::Selective,
+            ..Default::default()
+        };
+        let (mut kernel, mut dram, mut bc, pid) = setup(config);
+        let vpn = VirtAddr::new(0x10000).vpn();
+        let tr = kernel.translate(pid, vpn).unwrap();
+        bc.on_translation(
+            Cycle::ZERO,
+            &tlb_entry(pid, vpn.as_u64(), tr.ppn, tr.perms),
+            kernel.store_mut(),
+            &mut dram,
+        );
+        assert!(bc.audit_bcc_subset(kernel.store()).is_empty());
+        let req = kernel.protect_page(pid, vpn, PagePerms::READ_ONLY).unwrap();
+        bc.commit_downgrade(Cycle::ZERO, &req, kernel.store_mut(), &mut dram);
+        assert!(bc.audit_bcc_subset(kernel.store()).is_empty());
+    }
+
+    #[test]
+    fn injected_downgrade_skip_is_caught_by_subset_audit() {
+        // Selective flush keeps the BCC entry alive across the commit, so
+        // a skipped write-through leaves a detectable stale entry.
+        let config = BorderControlConfig {
+            flush_policy: FlushPolicy::Selective,
+            ..Default::default()
+        };
+        let (mut kernel, mut dram, mut bc, pid) = setup(config);
+        let vpn = VirtAddr::new(0x10000).vpn();
+        let tr = kernel.translate(pid, vpn).unwrap();
+        bc.on_translation(
+            Cycle::ZERO,
+            &tlb_entry(pid, vpn.as_u64(), tr.ppn, tr.perms),
+            kernel.store_mut(),
+            &mut dram,
+        );
+        let req = kernel.protect_page(pid, vpn, PagePerms::READ_ONLY).unwrap();
+        bc.commit_downgrade(Cycle::ZERO, &req, kernel.store_mut(), &mut dram);
+        // Simulate a buggy downgrade that updated the table but skipped
+        // (or re-upgraded) the BCC: the cache now claims RW where the
+        // table says R.
+        assert!(bc.debug_corrupt_bcc(tr.ppn, PagePerms::READ_WRITE));
+        let mismatches = bc.audit_bcc_subset(kernel.store());
+        assert_eq!(mismatches.len(), 1);
+        assert_eq!(mismatches[0].0, tr.ppn.as_u64());
+        assert_eq!(mismatches[0].1, "rw-");
+        assert_eq!(mismatches[0].2, "r--");
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Property test for the invariant-audit layer itself: the shadow
+//! permission oracle (`bc_sim::audit::Auditor`) must agree with
+//! `BorderControl::check` on every allow/deny decision, for any
+//! interleaving of translations, downgrades, upgrades and (possibly
+//! forged) probes, under every flush policy and with or without a BCC.
+//!
+//! The oracle is maintained exactly the way `bc_system` maintains it —
+//! union-merge on translation, overwrite on a selective downgrade commit,
+//! wholesale revocation on a zeroing full flush — so a divergence here
+//! means the audit layer would raise false alarms (or miss real ones)
+//! when threaded through the simulator.
+
+use bc_cache::TlbEntry;
+use bc_core::{BccConfig, BorderControl, BorderControlConfig, FlushPolicy, MemRequest};
+use bc_mem::{Dram, DramConfig, PagePerms, VirtAddr, Vpn};
+use bc_os::{Kernel, KernelConfig, ShootdownScope};
+use bc_sim::audit::Auditor;
+use bc_sim::Cycle;
+use proptest::prelude::*;
+
+fn bc_config_strategy() -> impl Strategy<Value = BorderControlConfig> {
+    (any::<bool>(), any::<bool>()).prop_map(|(with_bcc, selective)| BorderControlConfig {
+        bcc: with_bcc.then(BccConfig::default),
+        flush_policy: if selective {
+            FlushPolicy::Selective
+        } else {
+            FlushPolicy::FullFlush
+        },
+        ..BorderControlConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn oracle_agrees_with_border_control_checks(
+        config in bc_config_strategy(),
+        events in proptest::collection::vec((0u8..10, 0u64..16, any::<bool>()), 1..120),
+    ) {
+        let mut kernel = Kernel::new(KernelConfig {
+            phys_bytes: 64 << 20,
+            ..KernelConfig::default()
+        });
+        let mut dram = Dram::new(DramConfig::default());
+        let selective = config.flush_policy == FlushPolicy::Selective;
+        let mut bc = BorderControl::new(0, config);
+
+        let asid = kernel.create_process();
+        let base = VirtAddr::new(0x1000_0000);
+        kernel.map_region(asid, base, 16, PagePerms::READ_WRITE).unwrap();
+        bc.attach_process(&mut kernel, asid).unwrap();
+
+        // Non-fatal so a divergence shrinks to a minimal event sequence
+        // instead of aborting the proptest runner mid-case.
+        let mut auditor = Auditor::new(false, 8);
+        auditor.set_oracle_bounds(kernel.total_frames());
+
+        for (at, (kind, page, flag)) in events.into_iter().enumerate() {
+            let vpn = Vpn::new(base.vpn().as_u64() + page);
+            match kind {
+                // ATS translation observed by Border Control; the oracle
+                // union-merges exactly like the Protection Table.
+                0..=3 => {
+                    if let Ok(tr) = kernel.translate(asid, vpn) {
+                        bc.on_translation(
+                            Cycle::ZERO,
+                            &TlbEntry { asid, vpn, ppn: tr.ppn, perms: tr.perms, size: tr.size },
+                            kernel.store_mut(),
+                            &mut dram,
+                        );
+                        let e = tr.perms.border_enforceable();
+                        auditor.grant(tr.ppn.as_u64(), e.readable(), e.writable());
+                    }
+                }
+                // OS permission change; downgrades commit through Border
+                // Control and are mirrored into the oracle per policy.
+                4 | 5 => {
+                    let new = if flag { PagePerms::READ_ONLY } else { PagePerms::READ_WRITE };
+                    if let Ok(req) = kernel.protect_page(asid, vpn, new) {
+                        if req.is_downgrade() {
+                            bc.commit_downgrade(Cycle::ZERO, &req, kernel.store_mut(), &mut dram);
+                            if selective {
+                                if let (Some(ppn), ShootdownScope::Page(_)) =
+                                    (req.old_ppn, req.scope)
+                                {
+                                    let e = new.border_enforceable();
+                                    auditor.set_perms(ppn.as_u64(), e.readable(), e.writable());
+                                }
+                            } else {
+                                // The zeroing full flush revokes everything.
+                                auditor.revoke_all();
+                            }
+                        }
+                    }
+                }
+                // Accelerator request — possibly forged — checked by both.
+                _ => {
+                    let ppn = if flag {
+                        kernel
+                            .translate(asid, vpn)
+                            .map(|t| t.ppn)
+                            .unwrap_or(bc_mem::Ppn::new(7))
+                    } else {
+                        bc_mem::Ppn::new(page * 97 + 13)
+                    };
+                    let write = page % 2 == 0;
+                    let out = bc.check(
+                        Cycle::ZERO,
+                        MemRequest { ppn, write, asid: Some(asid) },
+                        kernel.store_mut(),
+                        &mut dram,
+                    );
+                    auditor.check_decision(at as u64, ppn.as_u64(), write, out.allowed);
+                }
+            }
+        }
+
+        let report = auditor.report();
+        prop_assert!(
+            report.is_clean(),
+            "oracle diverged from BorderControl::check: {:?}",
+            report.findings
+        );
+    }
+}

@@ -1,14 +1,33 @@
 //! §2.1 threat vectors demonstrated against every configuration: a
 //! malicious accelerator forging physical write probes while running a
-//! real workload. The five safety configurations are independent cells on
-//! the parallel sweep engine.
+//! real workload. Two override slices share the sweep: a `LogOnly` census
+//! (every probe counted) and the default `KillProcess` response (what the
+//! paper's OS actually does on the first violation). The ten cells are
+//! independent on the parallel sweep engine.
 //!
-//! Usage: `attacks [--size tiny|small|reference] [--jobs N]`
+//! Usage: `attacks [--size tiny|small|reference] [--jobs N] [--audit]`
 
 use bc_accel::Behavior;
 use bc_experiments::{print_matrix, size_from_args, SweepMatrix, SweepOptions};
 use bc_os::ViolationPolicy;
-use bc_system::{GpuClass, SafetyModel};
+use bc_system::{GpuClass, RunReport, SafetyModel};
+
+fn malicious(c: &mut bc_system::SystemConfig) {
+    c.behavior = Behavior::Malicious {
+        probe_period: 200,
+        probe_writes: true,
+    };
+}
+
+/// What actually became of the victim process, from the run's abort
+/// reason — not inferred from probe counts.
+fn outcome(r: &RunReport) -> String {
+    match r.abort_reason {
+        Some(reason) => reason.label().to_string(),
+        None if r.accel_disabled => "accelerator fenced".to_string(),
+        None => "ran to completion".to_string(),
+    }
+}
 
 fn main() {
     let size = size_from_args();
@@ -16,28 +35,31 @@ fn main() {
         .gpus(&[GpuClass::ModeratelyThreaded])
         .safeties(&SafetyModel::ALL)
         .workloads(&["nn"])
-        .with_override("malicious", |c| {
-            c.behavior = Behavior::Malicious {
-                probe_period: 200,
-                probe_writes: true,
-            };
+        .with_override("malicious(log)", |c| {
+            malicious(c);
             // Log-only so the run completes and we can count every probe.
             c.violation_policy = ViolationPolicy::LogOnly;
+        })
+        .with_override("malicious(kill)", |c| {
+            malicious(c);
+            c.violation_policy = ViolationPolicy::KillProcess;
         });
     let results = matrix.run(&SweepOptions::default());
 
     let mut rows = Vec::new();
     for (si, safety) in SafetyModel::ALL.iter().enumerate() {
-        let r = results.report([0, 0, si, 0]);
-        let (attempted, blocked, succeeded) = r.probes;
+        let census = results.report([0, 0, si, 0]);
+        let killed = results.report([1, 0, si, 0]);
+        let (attempted, blocked, succeeded) = census.probes;
         rows.push((
             safety.label().to_string(),
             vec![
                 attempted.to_string(),
                 succeeded.to_string(),
                 blocked.to_string(),
-                r.violation_count.to_string(),
+                census.violation_count.to_string(),
                 if succeeded > 0 { "CORRUPTED" } else { "intact" }.to_string(),
+                outcome(killed),
             ],
         ));
     }
@@ -49,6 +71,7 @@ fn main() {
             "blocked".to_string(),
             "violations reported".to_string(),
             "host memory".to_string(),
+            "under KillProcess".to_string(),
         ],
         &rows,
     );
@@ -61,7 +84,8 @@ fn main() {
     println!("  Protection Table, blocked, and reported to the OS. A probe can only");
     println!("  'succeed' if it happens to hit a page the process legitimately owns —");
     println!("  which is not a violation of the threat model (§2.2).");
-    println!("\n(With the default KillProcess policy the very first violation kills the");
-    println!(" offending process; LogOnly is used here to census every probe.)");
+    println!("\n(The census column uses LogOnly; the last column reruns each cell under");
+    println!(" the default KillProcess policy and reports the run's abort reason —");
+    println!(" distinguishing a Border Control kill from a run that simply finished.)");
     eprintln!("\n{}", results.summary());
 }

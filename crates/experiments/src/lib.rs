@@ -65,6 +65,15 @@ pub fn csv_from_args() -> bool {
     std::env::args().any(|a| a == "--csv")
 }
 
+/// Whether `--audit` was passed: every sweep cell then runs with the
+/// runtime invariant auditor ([`bc_sim::audit`]) threaded through it —
+/// shadow permission oracle, BCC subset sweeps, timing monitors — and the
+/// sweep summary reports aggregate assertion/finding counts. Audited runs
+/// are cycle-identical to unaudited ones, just slower on the host.
+pub fn audit_from_args() -> bool {
+    std::env::args().any(|a| a == "--audit")
+}
+
 /// Parses `--jobs N` from argv (default: available parallelism). Values
 /// below 1 or unparsable values fall back to the default with a warning.
 pub fn jobs_from_args() -> usize {

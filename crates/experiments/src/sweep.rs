@@ -35,7 +35,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use bc_sim::stats::{Histogram, StatsTable};
-use bc_system::{GpuClass, RunReport, SafetyModel, System, SystemConfig};
+use bc_system::{AbortReason, GpuClass, RunReport, SafetyModel, System, SystemConfig};
 use bc_workloads::WorkloadSize;
 
 use crate::base_config;
@@ -111,12 +111,15 @@ pub struct SweepMatrix {
     workloads: Vec<String>,
     size: WorkloadSize,
     matrix_seed: u64,
+    audit: bool,
 }
 
 impl SweepMatrix {
     /// An empty matrix at `size`; fill the axes with the builder methods.
     /// Axes left empty default to a single entry (identity override,
-    /// highly-threaded GPU, Border Control-BCC, `nn`).
+    /// highly-threaded GPU, Border Control-BCC, `nn`). Auditing defaults
+    /// from the `--audit` flag (like [`SweepOptions::default`] defaults
+    /// jobs from `--jobs`), so every figure binary honours it for free.
     pub fn new(size: WorkloadSize) -> Self {
         SweepMatrix {
             overrides: Vec::new(),
@@ -125,6 +128,7 @@ impl SweepMatrix {
             workloads: Vec::new(),
             size,
             matrix_seed: 2015,
+            audit: crate::audit_from_args(),
         }
     }
 
@@ -159,6 +163,13 @@ impl SweepMatrix {
     /// Sets the seed all per-cell seeds are derived from.
     pub fn seed(mut self, seed: u64) -> Self {
         self.matrix_seed = seed;
+        self
+    }
+
+    /// Forces the runtime invariant auditor on (or off) for every cell,
+    /// overriding the `--audit` default.
+    pub fn audit(mut self, audit: bool) -> Self {
+        self.audit = audit;
         self
     }
 
@@ -200,6 +211,8 @@ impl SweepMatrix {
                     for (wi, workload) in workloads.iter().enumerate() {
                         let mut config = base_config(workload, gpu, self.size);
                         config.safety = safety;
+                        // Before the override, so an override can flip it.
+                        config.audit = self.audit;
                         let mut label_override = String::new();
                         if let Some((name, f)) = overrides.get(oi) {
                             f(&mut config);
@@ -379,8 +392,20 @@ impl SweepResults {
         self.outcomes.iter().filter(|o| o.result.is_err()).count()
     }
 
-    /// Sweep-level statistics: cell count, failures, throughput, and the
-    /// per-cell wall-time distribution, rendered via [`bc_sim::stats`].
+    /// Count of successful cells whose run aborted for `reason` — lets
+    /// error triage tell violation kills from runaway simulations without
+    /// digging through per-cell reports.
+    pub fn aborts_with(&self, reason: AbortReason) -> usize {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.result.as_ref().ok())
+            .filter(|r| r.abort_reason == Some(reason))
+            .count()
+    }
+
+    /// Sweep-level statistics: cell count, failures, abort-reason triage,
+    /// throughput, and the per-cell wall-time distribution, rendered via
+    /// [`bc_sim::stats`]. Audited sweeps add aggregate auditor counts.
     pub fn summary(&self) -> StatsTable {
         let mut wall = Histogram::new();
         for o in &self.outcomes {
@@ -390,6 +415,28 @@ impl SweepResults {
         let mut t = StatsTable::new(format!("sweep summary ({} jobs)", self.jobs));
         t.push("cells", self.outcomes.len());
         t.push("failures", self.failures());
+        for reason in [
+            AbortReason::ViolationKill,
+            AbortReason::CycleLimit,
+            AbortReason::FatalOsError,
+        ] {
+            let n = self.aborts_with(reason);
+            if n > 0 {
+                t.push(format!("aborted: {}", reason.label()), n);
+            }
+        }
+        let (mut assertions, mut findings, mut audited) = (0u64, 0u64, false);
+        for r in self.outcomes.iter().filter_map(|o| o.result.as_ref().ok()) {
+            if let Some(audit) = &r.audit {
+                audited = true;
+                assertions += audit.assertions;
+                findings += audit.findings.len() as u64;
+            }
+        }
+        if audited {
+            t.push("audit assertions", assertions);
+            t.push("audit findings", findings);
+        }
         t.push_f64("sweep wall (s)", total_secs);
         t.push_f64(
             "throughput (cells/s)",
@@ -495,6 +542,43 @@ mod tests {
         assert!(results.outcome([0, 0, 0, 0]).result.is_err());
         let summary = results.summary().to_string();
         assert!(summary.contains("failures"));
+    }
+
+    #[test]
+    fn audited_sweep_attaches_clean_reports_and_summary_counts() {
+        let m = SweepMatrix::new(WorkloadSize::Tiny)
+            .safeties(&[SafetyModel::AtsOnlyIommu, SafetyModel::BorderControlBcc])
+            .gpus(&[GpuClass::ModeratelyThreaded])
+            .workloads(&["nn"])
+            .audit(true);
+        assert!(m.cells().iter().all(|c| c.config.audit));
+        let results = m.run(&SweepOptions::with_jobs(2));
+        assert_eq!(results.failures(), 0);
+        for o in results.iter() {
+            let audit = o.result.as_ref().unwrap().audit.as_ref().unwrap();
+            assert!(audit.is_clean(), "{}: {:?}", o.label, audit.findings);
+        }
+        let summary = results.summary().to_string();
+        assert!(summary.contains("audit assertions"));
+        assert!(summary.contains("audit findings"));
+
+        // And off by default (no --audit in the test harness's argv).
+        let plain = SweepMatrix::new(WorkloadSize::Tiny).cells();
+        assert!(plain.iter().all(|c| !c.config.audit));
+    }
+
+    #[test]
+    fn summary_triages_abort_reasons() {
+        let m = SweepMatrix::new(WorkloadSize::Tiny)
+            .safeties(&[SafetyModel::AtsOnlyIommu])
+            .workloads(&["nn"])
+            .with_override("valve", |c| c.max_cycles = 50);
+        let results = m.run(&SweepOptions::with_jobs(1));
+        assert_eq!(results.aborts_with(AbortReason::CycleLimit), 1);
+        assert_eq!(results.aborts_with(AbortReason::ViolationKill), 0);
+        let summary = results.summary().to_string();
+        assert!(summary.contains("cycle valve tripped"));
+        assert!(!summary.contains("killed on violation"));
     }
 
     #[test]

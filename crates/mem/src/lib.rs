@@ -46,4 +46,4 @@ pub use dram::{Dram, DramConfig};
 pub use frames::FrameAllocator;
 pub use page_table::{MapError, PageTable, TranslateError, Translation};
 pub use perms::PagePerms;
-pub use store::PhysMemStore;
+pub use store::{PhysMemStore, WriteOrigin};

@@ -27,12 +27,57 @@ use crate::addr::{PhysAddr, Ppn, PAGE_SIZE};
 #[derive(Debug, Clone, Default)]
 pub struct PhysMemStore {
     pages: HashMap<Ppn, Box<[u8]>>,
+    /// When set, pages touched by accelerator-attributed writes are
+    /// appended to `accel_writes` for the audit layer to drain.
+    log_accel_writes: bool,
+    accel_writes: Vec<Ppn>,
+}
+
+/// Who issued a functional-memory write. The timing model does not care,
+/// but the audit layer must prove that every *accelerator* write held W
+/// permission at issue time — host writes are outside Border Control's
+/// jurisdiction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOrigin {
+    /// A CPU-side write (OS, host threads): never audited.
+    Host,
+    /// A write crossing the accelerator border: subject to the shadow
+    /// permission oracle.
+    Accelerator,
 }
 
 impl PhysMemStore {
     /// Creates an empty store.
     pub fn new() -> Self {
         PhysMemStore::default()
+    }
+
+    /// Turns accelerator-write logging on or off (off by default; the
+    /// audit layer switches it on).
+    pub fn set_accel_write_logging(&mut self, on: bool) {
+        self.log_accel_writes = on;
+        if !on {
+            self.accel_writes.clear();
+        }
+    }
+
+    /// Writes `data` at `addr` with an explicit origin. Identical byte
+    /// semantics to [`write`](Self::write); accelerator-origin writes are
+    /// additionally logged (page-granular) when logging is enabled.
+    pub fn write_as(&mut self, origin: WriteOrigin, addr: PhysAddr, data: &[u8]) {
+        if self.log_accel_writes && origin == WriteOrigin::Accelerator && !data.is_empty() {
+            let first = addr.ppn().as_u64();
+            let last = addr.offset(data.len() as u64 - 1).ppn().as_u64();
+            for ppn in first..=last {
+                self.accel_writes.push(Ppn::new(ppn));
+            }
+        }
+        self.write(addr, data);
+    }
+
+    /// Drains the pages written by the accelerator since the last drain.
+    pub fn take_accel_writes(&mut self) -> Vec<Ppn> {
+        std::mem::take(&mut self.accel_writes)
     }
 
     /// Number of pages that have been materialized.
@@ -157,6 +202,25 @@ mod tests {
         // Copying an unmaterialized page yields zeros.
         m.copy_page(Ppn::new(100), Ppn::new(101));
         assert_eq!(m.read_vec(Ppn::new(101).base(), 4), vec![0u8; 4]);
+    }
+
+    #[test]
+    fn accel_writes_logged_only_when_enabled() {
+        let mut m = PhysMemStore::new();
+        m.write_as(WriteOrigin::Accelerator, PhysAddr::new(0x1000), b"pre");
+        assert!(m.take_accel_writes().is_empty());
+        m.set_accel_write_logging(true);
+        m.write_as(WriteOrigin::Host, PhysAddr::new(0x2000), b"host");
+        // A cross-page accelerator write logs every spanned page.
+        m.write_as(
+            WriteOrigin::Accelerator,
+            PhysAddr::new(2 * PAGE_SIZE - 2),
+            &[7, 7, 7, 7],
+        );
+        assert_eq!(m.take_accel_writes(), vec![Ppn::new(1), Ppn::new(2)]);
+        assert!(m.take_accel_writes().is_empty());
+        // Byte semantics identical to plain write.
+        assert_eq!(m.read_vec(PhysAddr::new(2 * PAGE_SIZE - 2), 4), vec![7; 4]);
     }
 
     #[test]

@@ -28,6 +28,11 @@ use crate::Cycle;
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
+    /// Self-check state under the `audit` feature: pops must be globally
+    /// monotone in time (the defining min-heap property the run loop
+    /// relies on for `now` never moving backwards).
+    #[cfg(feature = "audit")]
+    last_popped: Cycle,
 }
 
 #[derive(Debug)]
@@ -68,6 +73,8 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            #[cfg(feature = "audit")]
+            last_popped: Cycle::ZERO,
         }
     }
 
@@ -80,7 +87,17 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest event, or `None` when empty.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
-        self.heap.pop().map(|e| (e.at, e.payload))
+        let popped = self.heap.pop().map(|e| (e.at, e.payload));
+        #[cfg(feature = "audit")]
+        if let Some((at, _)) = &popped {
+            assert!(
+                *at >= self.last_popped,
+                "event queue popped cycle {at} after already popping {}",
+                self.last_popped
+            );
+            self.last_popped = *at;
+        }
+        popped
     }
 
     /// The timestamp of the earliest pending event, if any.
@@ -101,6 +118,11 @@ impl<E> EventQueue<E> {
     /// Removes all pending events.
     pub fn clear(&mut self) {
         self.heap.clear();
+        #[cfg(feature = "audit")]
+        {
+            // A cleared queue starts a fresh logical schedule.
+            self.last_popped = Cycle::ZERO;
+        }
     }
 }
 

@@ -89,6 +89,8 @@ impl Port {
     pub fn serve(&mut self, arrival: Cycle, service: u64) -> Cycle {
         let start = self.earliest_start(arrival, service);
         let done = start + service;
+        #[cfg(feature = "audit")]
+        self.audit_booking(arrival, start, done);
         self.queue_delay.record(start - arrival);
         self.served.inc();
         self.busy_cycles += service;
@@ -98,6 +100,27 @@ impl Port {
         self.max_arrival = self.max_arrival.max(arrival.as_u64());
         self.prune();
         done
+    }
+
+    /// Self-check under the `audit` feature: a booking may never start
+    /// before its arrival, and must land in a gap — overlapping an
+    /// existing busy interval would double-book the server.
+    #[cfg(feature = "audit")]
+    fn audit_booking(&self, arrival: Cycle, start: Cycle, done: Cycle) {
+        assert!(
+            start >= arrival,
+            "port booked start {start} before arrival {arrival}"
+        );
+        let (s, e) = (start.as_u64(), done.as_u64());
+        if s == e {
+            return;
+        }
+        if let Some((&ps, &pe)) = self.busy.range(..e).next_back() {
+            assert!(
+                pe <= s,
+                "port double-booked: [{s},{e}) overlaps busy [{ps},{pe})"
+            );
+        }
     }
 
     fn insert_interval(&mut self, mut start: u64, mut end: u64) {

@@ -126,6 +126,13 @@ pub struct SystemConfig {
     pub max_ops_per_wavefront: Option<u64>,
     /// Hard safety valve on simulated cycles.
     pub max_cycles: u64,
+    /// Thread the runtime invariant auditor ([`bc_sim::audit`]) through
+    /// the run: shadow permission oracle, BCC ⊆ Protection-Table subset
+    /// sweeps, and timing monotonicity monitors. Pure observation —
+    /// audited runs are cycle-identical to unaudited ones — but costs
+    /// host time, so it is off by default and enabled by test harnesses
+    /// and the `--audit` sweep flag.
+    pub audit: bool,
 }
 
 impl SystemConfig {
@@ -163,6 +170,7 @@ impl SystemConfig {
             trace: false,
             max_ops_per_wavefront: None,
             max_cycles: 2_000_000_000,
+            audit: false,
         }
     }
 

@@ -29,6 +29,6 @@ mod system;
 
 pub use config::{GpuClass, SystemConfig};
 pub use host::{CpuLookup, HostActivityConfig, HostCpu};
-pub use report::RunReport;
+pub use report::{AbortReason, RunReport};
 pub use safety::{table1, SafetyModel, Table1Row};
 pub use system::{BuildError, System};

@@ -1,9 +1,43 @@
 //! Run reports: everything the experiment harness needs from one run.
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 
 use bc_os::Violation;
+use bc_sim::audit::AuditReport;
 use bc_sim::stats::StatsTable;
+
+/// Why a run stopped before its wavefronts drained. The old single
+/// `aborted` flag conflated "Border Control killed the process" with
+/// "the simulation's cycle valve tripped" — very different outcomes for
+/// the attacks binary and for sweep error triage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AbortReason {
+    /// A violation under the `KillProcess` policy terminated the process.
+    ViolationKill,
+    /// The `max_cycles` safety valve tripped (runaway / livelocked run).
+    CycleLimit,
+    /// A translation faulted fatally (segfaulting accelerator access).
+    FatalOsError,
+}
+
+impl AbortReason {
+    /// Short human-readable label for report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            AbortReason::ViolationKill => "killed on violation",
+            AbortReason::CycleLimit => "cycle valve tripped",
+            AbortReason::FatalOsError => "fatal OS fault",
+        }
+    }
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// The result of one full-system run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -23,6 +57,8 @@ pub struct RunReport {
     /// Whether the run was aborted (violation under a kill policy or the
     /// cycle safety valve).
     pub aborted: bool,
+    /// Why the run aborted; `None` when `aborted` is false.
+    pub abort_reason: Option<AbortReason>,
     /// Whether the accelerator was fenced off by the
     /// `DisableAccelerator` policy (the process survives on the CPU).
     pub accel_disabled: bool,
@@ -60,6 +96,10 @@ pub struct RunReport {
     /// Host-CPU activity, when enabled: (accesses, shared touches, dirty
     /// recalls pulled from the GPU across the border).
     pub host: Option<(u64, u64, u64)>,
+    /// Invariant-audit results, when [`SystemConfig::audit`] was set.
+    ///
+    /// [`SystemConfig::audit`]: crate::SystemConfig::audit
+    pub audit: Option<AuditReport>,
 }
 
 impl RunReport {
@@ -102,6 +142,9 @@ impl RunReport {
         t.push("ops", self.ops);
         t.push("block accesses", self.block_accesses);
         t.push("aborted", self.aborted);
+        if let Some(reason) = self.abort_reason {
+            t.push("abort reason", reason.label());
+        }
         t.push("violations", self.violation_count);
         t.push("BC checks", self.bc_checks);
         t.push_f64("BC checks/cycle", self.checks_per_cycle());
@@ -125,6 +168,10 @@ impl RunReport {
         t.push("IOTLB misses", self.iotlb.1);
         t.push("minor faults", self.minor_faults);
         t.push("downgrades", self.downgrades);
+        if let Some(audit) = &self.audit {
+            t.push("audit assertions", audit.assertions);
+            t.push("audit findings", audit.findings.len());
+        }
         t
     }
 }
@@ -142,6 +189,7 @@ mod tests {
             ops: 10,
             block_accesses: 20,
             aborted: false,
+            abort_reason: None,
             accel_disabled: false,
             violations: Vec::new(),
             violation_count: 0,
@@ -159,7 +207,21 @@ mod tests {
             downgrades: 0,
             probes: (0, 0, 0),
             host: None,
+            audit: None,
         }
+    }
+
+    #[test]
+    fn abort_reason_renders_when_present() {
+        let mut r = blank(100);
+        r.aborted = true;
+        r.abort_reason = Some(AbortReason::CycleLimit);
+        let s = r.stats_table().to_string();
+        assert!(s.contains("cycle valve tripped"));
+        assert_eq!(
+            AbortReason::ViolationKill.to_string(),
+            "killed on violation"
+        );
     }
 
     #[test]

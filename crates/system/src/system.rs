@@ -11,15 +11,18 @@ use bc_iommu::Ats;
 use bc_mem::addr::{Asid, PhysAddr, Vpn};
 use bc_mem::dram::Dram;
 use bc_mem::perms::PagePerms;
-use bc_mem::VirtAddr;
-use bc_os::{Kernel, KernelConfig, OsError, ShootdownRequest, Violation, ViolationPolicy};
+use bc_mem::{VirtAddr, WriteOrigin};
+use bc_os::{
+    Kernel, KernelConfig, OsError, ShootdownRequest, ShootdownScope, Violation, ViolationPolicy,
+};
+use bc_sim::audit::Auditor;
 use bc_sim::trace::{TraceKind, Tracer};
 use bc_sim::{Cycle, EventQueue, SimRng};
 use bc_workloads::{by_name, BlockAccess, BASE_VA};
 
 use crate::config::SystemConfig;
 use crate::host::{CpuLookup, HostCpu};
-use crate::report::RunReport;
+use crate::report::{AbortReason, RunReport};
 use crate::safety::SafetyModel;
 
 /// Errors from [`System::build`].
@@ -75,6 +78,17 @@ enum Event {
     CpuTick,
 }
 
+/// Splits a footprint of `pages` pages into `(read_only, read_write)`
+/// counts by the workload's writable fraction. An f64 multiply here used
+/// to under/over-count a page on large footprints; scale the fraction to
+/// 1/2^32 units once, then stay in integers (round to nearest, and
+/// `ro + rw == pages` by construction).
+fn split_footprint(pages: u64, writable_fraction: f64) -> (u64, u64) {
+    let wf_fp = (writable_fraction.clamp(0.0, 1.0) * (1u64 << 32) as f64).round() as u64;
+    let rw = (((pages as u128 * wf_fp as u128) + (1 << 31)) >> 32).min(pages as u128) as u64;
+    (pages - rw, rw)
+}
+
 /// The full simulated machine.
 ///
 /// Build one from a [`SystemConfig`], then [`System::run`] it to
@@ -94,6 +108,7 @@ pub struct System {
     block_accesses: u64,
     violations: Vec<Violation>,
     aborted: bool,
+    abort_reason: Option<AbortReason>,
     accel_disabled: bool,
     downgrades_done: u64,
     probes_attempted: u64,
@@ -115,6 +130,8 @@ pub struct System {
     host_private_base: VirtAddr,
     shared_base: VirtAddr,
     shared_bytes: u64,
+    /// Runtime invariant auditor, when [`SystemConfig::audit`] is set.
+    auditor: Option<Auditor>,
 }
 
 impl fmt::Debug for System {
@@ -159,7 +176,7 @@ impl System {
             let huge = pages.div_ceil(512);
             kernel.map_region_2m(asid, base, huge, PagePerms::READ_WRITE)?;
         } else {
-            let ro_pages = ((pages as f64) * (1.0 - workload.writable_fraction())) as u64;
+            let (ro_pages, _) = split_footprint(pages, workload.writable_fraction());
             if ro_pages > 0 {
                 kernel.map_lazy_region(asid, base, ro_pages, PagePerms::READ_ONLY)?;
             }
@@ -217,6 +234,21 @@ impl System {
             None => None,
         };
 
+        // Invariant auditor: pure observation of the run. Findings panic
+        // under debug builds (tests) and accumulate into the report
+        // otherwise (sweeps capture worker panics as error rows either
+        // way). The permission oracle activates only when a Border
+        // Control engine exists to compare against; the timing monitors
+        // run for every safety model.
+        let auditor = config.audit.then(|| {
+            let mut a = Auditor::new(cfg!(debug_assertions), config.writeback_buffer);
+            if bc.is_some() {
+                a.set_oracle_bounds(kernel.total_frames());
+            }
+            kernel.store_mut().set_accel_write_logging(true);
+            a
+        });
+
         let mut queue = EventQueue::new();
         for cu in 0..gpu.cus.len() {
             for wf in 0..gpu.cus[cu].wavefronts.len() {
@@ -246,6 +278,7 @@ impl System {
             block_accesses: 0,
             violations: Vec::new(),
             aborted: false,
+            abort_reason: None,
             accel_disabled: false,
             downgrades_done: 0,
             probes_attempted: 0,
@@ -263,6 +296,7 @@ impl System {
             host_private_base,
             shared_base: base,
             shared_bytes: footprint,
+            auditor,
             config: config.clone(),
         })
     }
@@ -316,7 +350,11 @@ impl System {
             }
             if t.as_u64() > self.config.max_cycles {
                 self.aborted = true;
+                self.abort_reason = Some(AbortReason::CycleLimit);
                 break;
+            }
+            if let Some(a) = &mut self.auditor {
+                a.event_dispatched(self.now.as_u64(), t.as_u64());
             }
             self.now = t;
             match ev {
@@ -329,13 +367,22 @@ impl System {
         self.report()
     }
 
+    /// Schedules an event from within the run loop, auditing that nothing
+    /// is ever scheduled in the past.
+    fn schedule(&mut self, at: Cycle, ev: Event) {
+        if let Some(a) = &mut self.auditor {
+            a.event_scheduled(self.now.as_u64(), at.as_u64());
+        }
+        self.queue.push(at, ev);
+    }
+
     // ---- wavefront stepping ---------------------------------------------
 
     fn step_wavefront(&mut self, cu: usize, wf: usize) {
         // Downgrade-drain stall: re-queue the issue.
         if self.now < self.stall_until {
             let at = self.stall_until;
-            self.queue.push(at, Event::WavefrontReady { cu, wf });
+            self.schedule(at, Event::WavefrontReady { cu, wf });
             return;
         }
 
@@ -372,7 +419,7 @@ impl System {
         // completion time so that shared resources (DRAM channels, the
         // IOMMU, Border Control) always observe arrivals in time order.
         let issue_at = self.cu_ports[cu].serve(self.now, op.think.max(1));
-        self.queue.push(issue_at, Event::IssueOp { cu, wf, op });
+        self.schedule(issue_at, Event::IssueOp { cu, wf, op });
     }
 
     fn issue_op(&mut self, cu: usize, wf: usize, op: &bc_workloads::WarpOp) {
@@ -396,8 +443,7 @@ impl System {
             }
         }
 
-        self.queue
-            .push(completion, Event::WavefrontReady { cu, wf });
+        self.schedule(completion, Event::WavefrontReady { cu, wf });
     }
 
     /// One coalesced block access through the configured memory path.
@@ -502,6 +548,10 @@ impl System {
                         let admit = self.wb_admit(t);
                         let retire = self.dram.write_block(admit, v.addr);
                         self.wb_queue.push_back(retire);
+                        if let Some(a) = &mut self.auditor {
+                            a.completion("writeback", admit.as_u64(), retire.as_u64());
+                            a.writeback_occupancy(admit.as_u64(), self.wb_queue.len());
+                        }
                         t = admit;
                     }
                 }
@@ -556,6 +606,7 @@ impl System {
                             self.kernel.store_mut(),
                             &mut self.dram,
                         );
+                        self.audit_translation_granted(&resp.entry);
                     }
                     (resp.entry, resp.done)
                 }
@@ -653,6 +704,7 @@ impl System {
                         self.kernel.store_mut(),
                         &mut self.dram,
                     );
+                    self.audit_check(at, pa, false, out.allowed);
                     if !out.allowed {
                         let v = out.violation.expect("denied check carries violation");
                         self.on_violation(v);
@@ -671,6 +723,7 @@ impl System {
                         self.kernel.store_mut(),
                         &mut self.dram,
                     );
+                    self.audit_check(at, pa, false, out.allowed);
                     if !out.allowed {
                         let v = out.violation.expect("denied check carries violation");
                         self.on_violation(v);
@@ -708,8 +761,17 @@ impl System {
     /// writeback will be blocked").
     ///
     /// Returns the instant the triggering access may proceed (buffer
-    /// admission), not the write's completion.
+    /// admission), not the write's completion. Callers that must order
+    /// against the write's *retire* time (the null directory's dirty
+    /// recall) use [`Self::border_write_timed`].
     fn border_write(&mut self, at: Cycle, pa: PhysAddr) -> Cycle {
+        self.border_write_timed(at, pa).0
+    }
+
+    /// As [`Self::border_write`], returning both `(admission, retire)`:
+    /// the slot-available instant the evicting access waits for, and the
+    /// instant the block's check + DRAM write actually completed.
+    fn border_write_timed(&mut self, at: Cycle, pa: PhysAddr) -> (Cycle, Cycle) {
         let admit = self.wb_admit(at);
         let retire = match &mut self.bc {
             None => self.dram.write_block(admit, pa),
@@ -724,6 +786,7 @@ impl System {
                     self.kernel.store_mut(),
                     &mut self.dram,
                 );
+                self.audit_check(admit, pa, true, out.allowed);
                 if out.allowed {
                     self.dram.write_block(out.done, pa)
                 } else {
@@ -734,7 +797,11 @@ impl System {
             }
         };
         self.wb_queue.push_back(retire);
-        admit
+        if let Some(a) = &mut self.auditor {
+            a.completion("writeback", admit.as_u64(), retire.as_u64());
+            a.writeback_occupancy(admit.as_u64(), self.wb_queue.len());
+        }
+        (admit, retire)
     }
 
     // ---- CPU <-> GPU coherence (null directory, §5.1) ----------------------
@@ -777,45 +844,70 @@ impl System {
                 if let Some(v) = victim_dirty {
                     self.dram.write_block(t, v);
                 }
-                // Null directory: recall the block from the GPU. Dirty
-                // GPU data crosses the *border* on its way back — and is
-                // checked like any other accelerator writeback.
-                let mut t = t;
-                let gpu_has_dirty = self
-                    .gpu
-                    .l2
-                    .as_ref()
-                    .map(|l2| l2.is_dirty(pa))
-                    .unwrap_or(false);
-                if gpu_has_dirty {
-                    let l2 = self.gpu.l2.as_mut().expect("checked above");
-                    if write {
-                        l2.invalidate_block(pa);
-                    } else {
-                        l2.downgrade_block(pa);
-                    }
-                    t = self.border_write(t, pa);
-                    self.host.as_mut().expect("present").count_recall();
-                    self.tracer.record(self.now, TraceKind::Recall, || {
-                        format!("CPU recalled dirty GPU block at {pa}")
-                    });
-                } else if write {
-                    // GetM: clean GPU copies are just invalidated.
-                    for cu in &mut self.gpu.cus {
-                        if let Some(l1) = &mut cu.l1 {
-                            l1.invalidate_block(pa);
-                        }
-                    }
-                    if let Some(l2) = &mut self.gpu.l2 {
-                        l2.invalidate_block(pa);
-                    }
-                }
+                // Null directory: recall the block from the GPU, then
+                // fill the CPU's miss from memory.
+                let t = self.recall_from_gpu(t, pa, write);
                 self.dram.read_block(t, pa);
             }
         }
 
         let next = self.now + period;
-        self.queue.push(next, Event::CpuTick);
+        self.schedule(next, Event::CpuTick);
+    }
+
+    /// Null-directory recall of one block from the GPU on a host-CPU
+    /// miss. Dirty GPU data crosses the *border* on its way back — and is
+    /// checked like any other accelerator writeback. Returns the instant
+    /// the CPU's memory read may issue: for a dirty recall that is the
+    /// writeback's *retire* time ([`Self::border_write`] returns buffer
+    /// admission, which is too early — reading then would return the
+    /// stale pre-writeback block).
+    fn recall_from_gpu(&mut self, t: Cycle, pa: PhysAddr, write: bool) -> Cycle {
+        let gpu_has_dirty = self
+            .gpu
+            .l2
+            .as_ref()
+            .map(|l2| l2.is_dirty(pa))
+            .unwrap_or(false);
+        if gpu_has_dirty {
+            if write {
+                // GetM: ownership moves to the CPU, so every GPU copy
+                // must go — the write-through L1s can hold (clean)
+                // copies of the block the L2 has dirty.
+                for cu in &mut self.gpu.cus {
+                    if let Some(l1) = &mut cu.l1 {
+                        l1.invalidate_block(pa);
+                    }
+                }
+            }
+            {
+                let l2 = self.gpu.l2.as_mut().expect("checked above");
+                if write {
+                    l2.invalidate_block(pa);
+                } else {
+                    l2.downgrade_block(pa);
+                }
+            }
+            let (_admit, retire) = self.border_write_timed(t, pa);
+            self.host.as_mut().expect("present").count_recall();
+            self.tracer.record(self.now, TraceKind::Recall, || {
+                format!("CPU recalled dirty GPU block at {pa}")
+            });
+            retire
+        } else {
+            if write {
+                // GetM: clean GPU copies are just invalidated.
+                for cu in &mut self.gpu.cus {
+                    if let Some(l1) = &mut cu.l1 {
+                        l1.invalidate_block(pa);
+                    }
+                }
+                if let Some(l2) = &mut self.gpu.l2 {
+                    l2.invalidate_block(pa);
+                }
+            }
+            t
+        }
     }
 
     // ---- malicious probes -------------------------------------------------
@@ -835,7 +927,12 @@ impl System {
                 let pa = ppn.base();
                 if write {
                     self.dram.write_block(at, pa);
-                    self.kernel.store_mut().write(pa, b"PWNED_BY_ACCELERATOR");
+                    self.kernel.store_mut().write_as(
+                        WriteOrigin::Accelerator,
+                        pa,
+                        b"PWNED_BY_ACCELERATOR",
+                    );
+                    self.audit_accel_writes(at);
                 } else {
                     self.dram.read_block(at, pa);
                 }
@@ -852,6 +949,7 @@ impl System {
                     self.kernel.store_mut(),
                     &mut self.dram,
                 );
+                self.audit_check(at, ppn.base(), write, out.allowed);
                 if out.allowed {
                     // The probe happened to land on a page this process
                     // legitimately owns — BC correctly lets it through.
@@ -859,7 +957,12 @@ impl System {
                     let pa = ppn.base();
                     if write {
                         self.dram.write_block(out.done, pa);
-                        self.kernel.store_mut().write(pa, b"PWNED_BY_ACCELERATOR");
+                        self.kernel.store_mut().write_as(
+                            WriteOrigin::Accelerator,
+                            pa,
+                            b"PWNED_BY_ACCELERATOR",
+                        );
+                        self.audit_accel_writes(out.done);
                     } else {
                         self.dram.read_block(out.done, pa);
                     }
@@ -882,6 +985,7 @@ impl System {
         match policy {
             ViolationPolicy::KillProcess => {
                 self.aborted = true;
+                self.abort_reason = Some(AbortReason::ViolationKill);
                 self.tracer.record(self.now, TraceKind::Process, || {
                     format!("policy KillProcess: terminating {:?}", v.asid)
                 });
@@ -910,6 +1014,7 @@ impl System {
         // A segfaulting translation terminates the offending process.
         let _ = e;
         self.aborted = true;
+        self.abort_reason = Some(AbortReason::FatalOsError);
         at
     }
 
@@ -953,6 +1058,32 @@ impl System {
             .stall_until
             .max(t + self.config.downgrade_drain_cycles)
             .max(commit_done);
+
+        // Mirror the commit into the shadow oracle, then verify the BCC
+        // still agrees with the Protection Table.
+        if self.auditor.is_some() {
+            match action {
+                DowngradeAction::FlushAll => {
+                    self.auditor.as_mut().expect("checked").revoke_all();
+                }
+                DowngradeAction::CommitNow | DowngradeAction::FlushPage(_) => {
+                    if let (Some(ppn), ShootdownScope::Page(_)) = (req.old_ppn, req.scope) {
+                        let p = req.new_perms.border_enforceable();
+                        self.auditor.as_mut().expect("checked").set_perms(
+                            ppn.as_u64(),
+                            p.readable(),
+                            p.writable(),
+                        );
+                    }
+                }
+            }
+            self.audit_bcc_subset();
+            let stall = self.stall_until.as_u64();
+            self.auditor
+                .as_mut()
+                .expect("checked")
+                .stall_horizon(self.now.as_u64(), stall);
+        }
     }
 
     // ---- Figure 7's downgrade injector ----------------------------------------
@@ -960,7 +1091,7 @@ impl System {
     fn inject_downgrade(&mut self) {
         let period = self.config.downgrade_period_cycles();
         if period != u64::MAX && !self.aborted && !self.gpu.all_done() {
-            self.queue.push(self.now + period, Event::Downgrade);
+            self.schedule(self.now + period, Event::Downgrade);
         }
 
         // Pick a currently-mapped writable page of the workload.
@@ -993,6 +1124,10 @@ impl System {
         self.stall_until = self
             .stall_until
             .max(self.now + self.config.downgrade_drain_cycles);
+        if let Some(a) = &mut self.auditor {
+            let stall = self.stall_until.as_u64();
+            a.stall_horizon(self.now.as_u64(), stall);
+        }
         self.drain_shootdowns();
 
         // ...and restore (switched back): an upgrade, no flush needed.
@@ -1000,6 +1135,58 @@ impl System {
             .kernel
             .protect_page(self.asid, vpn, PagePerms::READ_WRITE);
         self.drain_shootdowns();
+    }
+
+    // ---- invariant auditing (bc_sim::audit) -------------------------------------
+
+    /// Compares one border-check decision with the shadow oracle.
+    fn audit_check(&mut self, at: Cycle, pa: PhysAddr, write: bool, allowed: bool) {
+        if let Some(a) = &mut self.auditor {
+            a.check_decision(at.as_u64(), pa.ppn().as_u64(), write, allowed);
+        }
+    }
+
+    /// Mirrors a Fig-3b insertion into the shadow oracle (same union
+    /// semantics as [`ProtectionTable::merge_range`]), then sweeps the
+    /// BCC ⊆ Protection-Table subset invariant.
+    ///
+    /// [`ProtectionTable::merge_range`]: bc_core::ProtectionTable::merge_range
+    fn audit_translation_granted(&mut self, entry: &bc_cache::TlbEntry) {
+        if self.auditor.is_none() {
+            return;
+        }
+        let perms = entry.perms.border_enforceable();
+        let a = self.auditor.as_mut().expect("checked");
+        for i in 0..entry.size.base_pages() {
+            a.grant(
+                entry.ppn.add(i).as_u64(),
+                perms.readable(),
+                perms.writable(),
+            );
+        }
+        self.audit_bcc_subset();
+    }
+
+    /// Runs the engine's BCC subset sweep and reports mismatches.
+    fn audit_bcc_subset(&mut self) {
+        let (Some(a), Some(bc)) = (&mut self.auditor, &self.bc) else {
+            return;
+        };
+        let mismatches = bc.audit_bcc_subset(self.kernel.store());
+        a.bcc_subset(self.now.as_u64(), &mismatches);
+    }
+
+    /// Drains accelerator-attributed store writes and asserts each held W
+    /// permission at issue time.
+    fn audit_accel_writes(&mut self, at: Cycle) {
+        if self.auditor.is_none() {
+            return;
+        }
+        let pages = self.kernel.store_mut().take_accel_writes();
+        let a = self.auditor.as_mut().expect("checked");
+        for p in pages {
+            a.accel_write(at.as_u64(), p.as_u64());
+        }
     }
 
     // ---- helpers ---------------------------------------------------------------
@@ -1057,6 +1244,7 @@ impl System {
             ops: self.ops,
             block_accesses: self.block_accesses,
             aborted: self.aborted,
+            abort_reason: self.abort_reason,
             accel_disabled: self.accel_disabled,
             violation_count: self.violations.len() as u64,
             violations: std::mem::take(&mut self.violations),
@@ -1089,6 +1277,7 @@ impl System {
                 .host
                 .as_ref()
                 .map(|h| (h.accesses(), h.shared_touches(), h.recalls_from_gpu())),
+            audit: self.auditor.as_mut().map(Auditor::take_report),
         }
     }
 }
@@ -1408,5 +1597,193 @@ mod tests {
         let s = r.stats_table().to_string();
         assert!(s.contains("Border Control-BCC"));
         assert!(s.contains("cycles"));
+    }
+
+    #[test]
+    fn footprint_split_is_exact_in_integer_arithmetic() {
+        // ro + rw must equal the page count for every fraction — the old
+        // f64 truncation drifted by a page on large footprints.
+        for pages in [1u64, 7, 512, 786_433, 1 << 24] {
+            for wf in [0.0, 0.1, 1.0 / 3.0, 0.5, 0.7, 0.999, 1.0] {
+                let (ro, rw) = split_footprint(pages, wf);
+                assert_eq!(ro + rw, pages, "pages={pages} wf={wf}");
+                let exact = pages as f64 * wf;
+                assert!(
+                    (rw as f64 - exact).abs() <= 0.5 + 1e-6,
+                    "pages={pages} wf={wf}: rw={rw} vs exact {exact}"
+                );
+            }
+        }
+        assert_eq!(split_footprint(10, -0.5), (10, 0), "clamped below");
+        assert_eq!(split_footprint(10, 1.5), (0, 10), "clamped above");
+        // The regression itself: 3 × (1/3) must round to a whole page
+        // count, never truncate to rw = 0 ro = 3 ± 1 drift.
+        let (ro, rw) = split_footprint(3, 1.0 / 3.0);
+        assert_eq!((ro, rw), (2, 1));
+    }
+
+    /// Translates one writable workload page on `sys` (so the Protection
+    /// Table authorizes border writes to it) and returns its block address.
+    fn translate_writable_page(sys: &mut System) -> PhysAddr {
+        let va = VirtAddr::new(BASE_VA + (sys.footprint_pages - 1) * bc_mem::PAGE_SIZE);
+        let resp = sys
+            .ats
+            .translate(
+                Cycle::new(1),
+                &mut sys.kernel,
+                &mut sys.dram,
+                sys.asid,
+                va.vpn(),
+            )
+            .expect("workload page translates");
+        let bc = sys.bc.as_mut().expect("BC present");
+        bc.on_translation(
+            Cycle::new(1),
+            &resp.entry,
+            sys.kernel.store_mut(),
+            &mut sys.dram,
+        );
+        System::phys_block_from_entry(&resp.entry, va)
+    }
+
+    fn coherence_config(safety: SafetyModel) -> SystemConfig {
+        use crate::host::HostActivityConfig;
+
+        let mut c = tiny(safety);
+        c.host_activity = Some(HostActivityConfig {
+            period: 5,
+            shared_fraction: 0.5,
+            write_fraction: 0.5,
+            private_bytes: 64 << 10,
+        });
+        c
+    }
+
+    #[test]
+    fn dirty_recall_fill_waits_for_border_write_retire() {
+        use bc_cache::Access;
+
+        // Twin systems: builds are deterministic, so the reference
+        // system's own writeback timing is ground truth for the recall.
+        let c = coherence_config(SafetyModel::BorderControlNoBcc);
+        let mut sys = System::build(&c).unwrap();
+        let mut reference = System::build(&c).unwrap();
+        let pa = translate_writable_page(&mut sys);
+        assert_eq!(pa, translate_writable_page(&mut reference));
+
+        sys.gpu.l2.as_mut().unwrap().access(pa, Access::Write);
+        assert!(sys.gpu.l2.as_ref().unwrap().is_dirty(pa));
+
+        let t = Cycle::new(500);
+        let done = sys.recall_from_gpu(t, pa, false);
+        let (admit, retire) = reference.border_write_timed(t, pa);
+        assert!(retire > admit, "retire must trail admission");
+        assert_eq!(
+            done, retire,
+            "the CPU fill must wait for the recalled block's border-write \
+             *retire*, not its writeback-buffer admission"
+        );
+    }
+
+    #[test]
+    fn cpu_getm_on_dirty_gpu_block_invalidates_every_cu_l1() {
+        use bc_cache::Access;
+
+        let mut c = coherence_config(SafetyModel::BorderControlBcc);
+        c.gpu_class = GpuClass::HighlyThreaded; // 8 CUs, each with an L1
+        let mut sys = System::build(&c).unwrap();
+        let pa = translate_writable_page(&mut sys);
+
+        // Clean copies in every CU L1 (the write-through L1s allocate on
+        // reads), dirty block in the shared L2.
+        for cu in &mut sys.gpu.cus {
+            cu.l1
+                .as_mut()
+                .expect("BC keeps L1s")
+                .access(pa, Access::Read);
+        }
+        sys.gpu.l2.as_mut().unwrap().access(pa, Access::Write);
+        assert!(sys.gpu.cus.len() > 1);
+        assert!(sys
+            .gpu
+            .cus
+            .iter()
+            .all(|cu| cu.l1.as_ref().unwrap().contains(pa)));
+
+        sys.recall_from_gpu(Cycle::new(500), pa, true);
+        for (i, cu) in sys.gpu.cus.iter().enumerate() {
+            assert!(
+                !cu.l1.as_ref().unwrap().contains(pa),
+                "CU{i}'s L1 kept a stale copy across the CPU's GetM"
+            );
+        }
+        assert!(
+            !sys.gpu.l2.as_ref().unwrap().contains(pa),
+            "the L2 copy must be gone too"
+        );
+    }
+
+    #[test]
+    fn abort_reason_distinguishes_kill_from_cycle_valve() {
+        let mut c = tiny(SafetyModel::BorderControlBcc);
+        c.behavior = Behavior::Malicious {
+            probe_period: 10,
+            probe_writes: true,
+        };
+        let r = System::build(&c).unwrap().run();
+        assert!(r.aborted);
+        assert_eq!(r.abort_reason, Some(AbortReason::ViolationKill));
+
+        let mut c = tiny(SafetyModel::AtsOnlyIommu);
+        c.max_cycles = 50;
+        let r = System::build(&c).unwrap().run();
+        assert!(r.aborted);
+        assert_eq!(r.abort_reason, Some(AbortReason::CycleLimit));
+
+        let r = System::build(&tiny(SafetyModel::AtsOnlyIommu))
+            .unwrap()
+            .run();
+        assert!(!r.aborted);
+        assert_eq!(r.abort_reason, None);
+    }
+
+    #[test]
+    fn audited_runs_are_clean_and_cycle_identical() {
+        for safety in SafetyModel::ALL {
+            let plain = System::build(&tiny(safety)).unwrap().run();
+            assert!(plain.audit.is_none(), "no report without the flag");
+
+            let mut c = tiny(safety);
+            c.audit = true;
+            let audited = System::build(&c).unwrap().run();
+            assert_eq!(
+                plain.cycles, audited.cycles,
+                "{safety}: the auditor must be pure observation"
+            );
+            let audit = audited.audit.expect("audit report attached");
+            assert!(
+                audit.is_clean(),
+                "{safety}: audit violations: {:?}",
+                audit.findings
+            );
+            assert!(audit.assertions > 0, "{safety}: auditor checked nothing");
+        }
+    }
+
+    #[test]
+    fn audited_malicious_run_stays_clean() {
+        // The oracle must agree with Border Control on *denials* too: a
+        // probing accelerator exercises the deny path of every check.
+        let mut c = tiny(SafetyModel::BorderControlBcc);
+        c.audit = true;
+        c.behavior = Behavior::Malicious {
+            probe_period: 50,
+            probe_writes: true,
+        };
+        c.violation_policy = bc_os::ViolationPolicy::LogOnly;
+        let r = System::build(&c).unwrap().run();
+        assert!(r.probes.1 > 0, "probes were blocked");
+        let audit = r.audit.expect("audit report attached");
+        assert!(audit.is_clean(), "audit violations: {:?}", audit.findings);
     }
 }

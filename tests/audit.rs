@@ -1,0 +1,81 @@
+//! Audited tiny-size matrix: the ISSUE 2 acceptance gate.
+//!
+//! With `--features audit` the whole stack compiles with `bc_sim`'s
+//! self-checks on, and this test drives the full tiny-size safety-model
+//! matrix with the runtime invariant auditor threaded through every run —
+//! shadow permission oracle, BCC ⊆ Protection-Table subset sweeps, and
+//! timing monotonicity monitors — asserting zero findings.
+//!
+//! Without the feature the file compiles to nothing, so plain
+//! `cargo test` stays fast.
+
+#![cfg(feature = "audit")]
+
+use bc_experiments::{SweepMatrix, SweepOptions, WORKLOADS};
+use bc_system::{GpuClass, SafetyModel};
+use bc_workloads::WorkloadSize;
+
+#[test]
+fn tiny_matrix_is_audit_clean_across_all_safety_models() {
+    let matrix = SweepMatrix::new(WorkloadSize::Tiny)
+        .gpus(&[GpuClass::ModeratelyThreaded, GpuClass::HighlyThreaded])
+        .safeties(&SafetyModel::ALL)
+        .workloads(&WORKLOADS)
+        .audit(true);
+    let results = matrix.run(&SweepOptions::with_jobs(
+        std::thread::available_parallelism().map_or(2, |n| n.get()),
+    ));
+    assert_eq!(results.failures(), 0, "audited cells must not panic");
+
+    let mut assertions = 0u64;
+    for outcome in results.iter() {
+        let report = outcome.result.as_ref().expect("cell ran");
+        let audit = report
+            .audit
+            .as_ref()
+            .expect("auditor attached to every audited run");
+        assert!(
+            audit.is_clean(),
+            "{}: audit violations: {:?}",
+            outcome.label,
+            audit.findings
+        );
+        assertions += audit.assertions;
+    }
+    assert!(
+        assertions > 10_000,
+        "the matrix should exercise the auditor heavily, saw {assertions}"
+    );
+}
+
+#[test]
+fn audited_downgrade_storm_is_clean() {
+    // Downgrades are where the oracle, the subset sweep and the stall
+    // monitor all interlock — hammer them.
+    let matrix = SweepMatrix::new(WorkloadSize::Tiny)
+        .gpus(&[GpuClass::ModeratelyThreaded])
+        .safeties(&[
+            SafetyModel::BorderControlNoBcc,
+            SafetyModel::BorderControlBcc,
+        ])
+        .workloads(&["hotspot"])
+        .audit(true)
+        .with_override("storm", |c| c.downgrades_per_second = 200_000)
+        .with_override("storm-selective", |c| {
+            c.downgrades_per_second = 200_000;
+            c.flush_policy = bc_core::FlushPolicy::Selective;
+        });
+    let results = matrix.run(&SweepOptions::with_jobs(4));
+    assert_eq!(results.failures(), 0);
+    for outcome in results.iter() {
+        let report = outcome.result.as_ref().expect("cell ran");
+        assert!(report.downgrades > 0, "{}: storm fired", outcome.label);
+        let audit = report.audit.as_ref().expect("auditor attached");
+        assert!(
+            audit.is_clean(),
+            "{}: audit violations: {:?}",
+            outcome.label,
+            audit.findings
+        );
+    }
+}
