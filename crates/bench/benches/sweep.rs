@@ -1,18 +1,42 @@
-//! Sweep-engine throughput: the same fig4-style matrix executed with
-//! different worker-pool sizes. On a multi-core host the N-thread sweep
-//! should approach N× the single-thread throughput (cells are
-//! independent); on a single-core host the numbers collapse to ~1× and
-//! the benchmark instead documents the engine's overhead.
+//! Sweep-engine throughput, in two parts:
+//!
+//! 1. A criterion group timing the same fig4-style sub-matrix under
+//!    different worker-pool sizes. On a multi-core host the N-thread sweep
+//!    should approach N× the single-thread throughput (cells are
+//!    independent); on a single-core host the numbers collapse to ~1× and
+//!    the benchmark instead documents the engine's overhead.
+//!
+//! 2. A machine-readable perf trajectory: the *full* tiny Figure 4 matrix
+//!    (2 GPU classes × 5 safety models × 7 workloads = 70 cells) run
+//!    single-thread, with cells/sec, events/sec and p50/p99 per-cell
+//!    latency written to `BENCH_sweep.json` so successive PRs have
+//!    comparable numbers. `EXPERIMENTS.md` records the trajectory.
+//!
+//! Modes for part 2:
+//!
+//! * default (`cargo bench -p bc-bench --bench sweep`) — three full
+//!   measurement passes, best pass recorded, file written to the repo root
+//!   (or `$BENCH_OUT` if set).
+//! * quick (`BENCH_QUICK=1`, or `--test` as passed by `cargo test`) — one
+//!   pass with wavefronts capped at 200 ops; written only if `$BENCH_OUT`
+//!   is set, otherwise printed to stdout. Quick numbers exercise the same
+//!   pipeline for CI smoke but are not comparable to full-mode numbers, so
+//!   they never overwrite the committed trajectory by accident.
 
-use bc_experiments::{SweepMatrix, SweepOptions, WORKLOADS};
-use bc_system::{GpuClass, SafetyModel};
+use std::time::{Duration, Instant};
+
+use bc_bench::quantile_sorted;
+use bc_experiments::matrices::{fig4, FIG4_GPUS, FIG4_SAFETIES};
+use bc_experiments::{run_cells_with, SweepCell, SweepMatrix, SweepOptions, WORKLOADS};
+use bc_system::System;
 use bc_workloads::WorkloadSize;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 
+/// A slice of the fig4 matrix small enough for repeated criterion samples.
 fn fig4_like_matrix() -> SweepMatrix {
     SweepMatrix::new(WorkloadSize::Tiny)
-        .gpus(&[GpuClass::HighlyThreaded])
-        .safeties(&[SafetyModel::AtsOnlyIommu, SafetyModel::BorderControlBcc])
+        .gpus(&FIG4_GPUS[..1])
+        .safeties(&[FIG4_SAFETIES[0], FIG4_SAFETIES[4]])
         .workloads(&WORKLOADS[..3])
 }
 
@@ -32,4 +56,89 @@ fn sweep_throughput(c: &mut Criterion) {
 }
 
 criterion_group!(benches, sweep_throughput);
-criterion_main!(benches);
+
+/// One single-thread pass over `cells`: total wall, per-cell wall times in
+/// milliseconds (ascending), and total events dispatched.
+fn run_pass(cells: &[SweepCell]) -> (Duration, Vec<f64>, u64) {
+    let opts = SweepOptions::with_jobs(1);
+    let started = Instant::now();
+    let outcomes = run_cells_with(cells, &opts, |cell| {
+        System::build(&cell.config)
+            .map_err(|e| format!("build failed: {e}"))
+            .map(|mut s| s.run())
+    });
+    let wall = started.elapsed();
+
+    let mut cell_ms: Vec<f64> = Vec::with_capacity(outcomes.len());
+    let mut events = 0u64;
+    for o in &outcomes {
+        let report = o
+            .result
+            .as_ref()
+            .unwrap_or_else(|e| panic!("cell {} failed: {e}", o.label));
+        events += report.events;
+        cell_ms.push(o.wall.as_secs_f64() * 1e3);
+    }
+    cell_ms.sort_by(|a, b| a.total_cmp(b));
+    (wall, cell_ms, events)
+}
+
+fn emit_sweep_json() {
+    let quick =
+        std::env::var_os("BENCH_QUICK").is_some() || std::env::args().any(|a| a == "--test");
+    let passes = if quick { 1 } else { 3 };
+
+    let mut cells = fig4(WorkloadSize::Tiny, &FIG4_GPUS).cells();
+    if quick {
+        for c in &mut cells {
+            c.config.max_ops_per_wavefront = Some(200);
+        }
+    }
+
+    // Best (fastest) pass: the least-perturbed measurement on a noisy host.
+    let mut best: Option<(Duration, Vec<f64>, u64)> = None;
+    for _ in 0..passes {
+        let pass = run_pass(&cells);
+        if best.as_ref().is_none_or(|(w, _, _)| pass.0 < *w) {
+            best = Some(pass);
+        }
+    }
+    let (wall, cell_ms, events) = best.expect("at least one pass ran");
+
+    let wall_s = wall.as_secs_f64();
+    let json = format!(
+        "{{\n  \"bench\": \"sweep\",\n  \"matrix\": \"fig4\",\n  \"size\": \"tiny\",\n  \
+         \"quick\": {quick},\n  \"jobs\": 1,\n  \"passes\": {passes},\n  \
+         \"cells\": {cells_n},\n  \"events\": {events},\n  \"wall_s\": {wall_s:.4},\n  \
+         \"cells_per_sec\": {cps:.4},\n  \"events_per_sec\": {eps:.1},\n  \
+         \"cell_latency_ms\": {{ \"p50\": {p50:.3}, \"p99\": {p99:.3} }}\n}}\n",
+        cells_n = cells.len(),
+        cps = cells.len() as f64 / wall_s,
+        eps = events as f64 / wall_s,
+        p50 = quantile_sorted(&cell_ms, 0.50),
+        p99 = quantile_sorted(&cell_ms, 0.99),
+    );
+
+    let out = std::env::var_os("BENCH_OUT").map(std::path::PathBuf::from);
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("writing BENCH_OUT");
+            println!("\nwrote {}", path.display());
+        }
+        None if quick => {
+            // Quick numbers must not clobber the committed trajectory.
+            println!("\nquick mode, no BENCH_OUT set; BENCH_sweep.json not written:");
+            print!("{json}");
+        }
+        None => {
+            let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+            std::fs::write(path, &json).expect("writing BENCH_sweep.json");
+            println!("\nwrote {path}");
+        }
+    }
+}
+
+fn main() {
+    benches();
+    emit_sweep_json();
+}

@@ -42,6 +42,17 @@ pub fn run_cycles(config: &SystemConfig) -> u64 {
         .cycles
 }
 
+/// The `q`-quantile of an ascending-sorted sample set, by nearest-rank on
+/// `(n - 1) * q` (the convention `BENCH_sweep.json` records cell latency
+/// percentiles with). Returns 0 for an empty slice.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -50,5 +61,16 @@ mod tests {
     fn bench_config_is_fast_and_valid() {
         let cycles = run_cycles(&bench_config(SafetyModel::BorderControlBcc, "nn"));
         assert!(cycles > 0);
+    }
+
+    #[test]
+    fn quantile_uses_nearest_rank() {
+        let s = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(quantile_sorted(&s, 0.0), 1.0);
+        assert_eq!(quantile_sorted(&s, 0.5), 6.0); // round(9 * 0.5) = 5 -> s[5]
+        assert_eq!(quantile_sorted(&s, 0.99), 10.0);
+        assert_eq!(quantile_sorted(&s, 1.0), 10.0);
+        assert_eq!(quantile_sorted(&[], 0.5), 0.0);
+        assert_eq!(quantile_sorted(&[7.5], 0.99), 7.5);
     }
 }

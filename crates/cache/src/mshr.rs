@@ -49,6 +49,12 @@ pub struct MshrTable {
     capacity: usize,
     // block index -> completion time (None until fill_issued).
     outstanding: BTreeMap<u64, Option<Cycle>>,
+    // Completion-time index over the `Some(done)` slots of `outstanding`:
+    // one `(done, block)` key per issued fill. Expiry pops the prefix
+    // `<= now` instead of scanning every outstanding entry on each
+    // register, and a capacity stall reads the earliest completion from
+    // the first key instead of a min() sweep.
+    by_done: BTreeMap<(Cycle, u64), ()>,
     merges: Counter,
     stalls: Counter,
 }
@@ -64,15 +70,23 @@ impl MshrTable {
         MshrTable {
             capacity,
             outstanding: BTreeMap::new(),
+            by_done: BTreeMap::new(),
             merges: Counter::new(),
             stalls: Counter::new(),
         }
     }
 
     /// Retires every entry whose fill completed at or before `now`.
+    /// Unissued fills (`None` completion) never expire here, exactly as
+    /// before the index existed — they are waiting on `fill_issued`.
     pub fn expire(&mut self, now: Cycle) {
-        self.outstanding
-            .retain(|_, done| done.map(|d| d > now).unwrap_or(true));
+        while let Some((&(done, block), ())) = self.by_done.first_key_value() {
+            if done > now {
+                break;
+            }
+            self.by_done.pop_first();
+            self.outstanding.remove(&block);
+        }
     }
 
     /// Registers a miss for `block` observed at `now`.
@@ -91,10 +105,9 @@ impl MshrTable {
         if self.outstanding.len() >= self.capacity {
             self.stalls.inc();
             let earliest = self
-                .outstanding
-                .values()
-                .filter_map(|d| *d)
-                .min()
+                .by_done
+                .first_key_value()
+                .map(|(&(done, _), ())| done)
                 .unwrap_or(now + 1);
             return MshrOutcome::StallUntil(earliest.max(now + 1));
         }
@@ -106,7 +119,10 @@ impl MshrTable {
     /// miss.
     pub fn fill_issued(&mut self, block: u64, done: Cycle) {
         if let Some(slot) = self.outstanding.get_mut(&block) {
-            *slot = Some(done);
+            if let Some(old) = slot.replace(done) {
+                self.by_done.remove(&(old, block));
+            }
+            self.by_done.insert((done, block), ());
         }
     }
 
@@ -193,5 +209,38 @@ mod tests {
     #[should_panic(expected = "at least one register")]
     fn zero_capacity_rejected() {
         let _ = MshrTable::new(0);
+    }
+
+    #[test]
+    fn reissued_fill_keeps_index_consistent() {
+        let mut m = MshrTable::new(2);
+        m.register(Cycle::ZERO, 1);
+        m.fill_issued(1, Cycle::new(100));
+        // Fill time revised (e.g. a replayed issue path): the old index
+        // entry must not linger and expire the slot early.
+        m.fill_issued(1, Cycle::new(200));
+        m.expire(Cycle::new(150));
+        assert_eq!(m.in_flight(), 1);
+        assert_eq!(
+            m.register(Cycle::new(150), 1),
+            MshrOutcome::MergedWith(Cycle::new(200))
+        );
+        m.expire(Cycle::new(201));
+        assert_eq!(m.in_flight(), 0);
+    }
+
+    #[test]
+    fn unissued_fills_survive_expiry_and_full_table_stalls_past_now() {
+        let mut m = MshrTable::new(2);
+        m.register(Cycle::ZERO, 1);
+        m.register(Cycle::ZERO, 2);
+        m.fill_issued(2, Cycle::new(40));
+        m.expire(Cycle::new(1_000));
+        // Block 2 expired; block 1 (no fill yet) must remain.
+        assert_eq!(m.in_flight(), 1);
+        assert_eq!(
+            m.register(Cycle::new(1_000), 1),
+            MshrOutcome::MergedWith(Cycle::new(1_000))
+        );
     }
 }

@@ -7,17 +7,8 @@
 //!
 //! Usage: `attacks [--size tiny|small|reference] [--jobs N] [--audit]`
 
-use bc_accel::Behavior;
-use bc_experiments::{print_matrix, size_from_args, SweepMatrix, SweepOptions};
-use bc_os::ViolationPolicy;
-use bc_system::{GpuClass, RunReport, SafetyModel};
-
-fn malicious(c: &mut bc_system::SystemConfig) {
-    c.behavior = Behavior::Malicious {
-        probe_period: 200,
-        probe_writes: true,
-    };
-}
+use bc_experiments::{matrices, print_matrix, size_from_args, SweepOptions};
+use bc_system::{RunReport, SafetyModel};
 
 /// What actually became of the victim process, from the run's abort
 /// reason — not inferred from probe counts.
@@ -31,20 +22,7 @@ fn outcome(r: &RunReport) -> String {
 
 fn main() {
     let size = size_from_args();
-    let matrix = SweepMatrix::new(size)
-        .gpus(&[GpuClass::ModeratelyThreaded])
-        .safeties(&SafetyModel::ALL)
-        .workloads(&["nn"])
-        .with_override("malicious(log)", |c| {
-            malicious(c);
-            // Log-only so the run completes and we can count every probe.
-            c.violation_policy = ViolationPolicy::LogOnly;
-        })
-        .with_override("malicious(kill)", |c| {
-            malicious(c);
-            c.violation_policy = ViolationPolicy::KillProcess;
-        });
-    let results = matrix.run(&SweepOptions::default());
+    let results = matrices::attacks(size).run(&SweepOptions::default());
 
     let mut rows = Vec::new();
     for (si, safety) in SafetyModel::ALL.iter().enumerate() {

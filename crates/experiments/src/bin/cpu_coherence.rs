@@ -11,25 +11,13 @@
 //!
 //! Usage: `cpu_coherence [--size tiny|small|reference] [--jobs N]`
 
-use bc_experiments::{pct, print_matrix, size_from_args, SweepMatrix, SweepOptions};
-use bc_system::{GpuClass, HostActivityConfig, SafetyModel};
+use bc_experiments::matrices::{self, CPU_COHERENCE_WORKLOADS};
+use bc_experiments::{pct, print_matrix, size_from_args, SweepOptions};
 
 fn main() {
     let size = size_from_args();
-    let host = HostActivityConfig {
-        period: 8,
-        shared_fraction: 0.4,
-        write_fraction: 0.3,
-        private_bytes: 1 << 20,
-    };
-
-    let workloads = ["hotspot", "nn", "bfs"];
-    let matrix = SweepMatrix::new(size)
-        .gpus(&[GpuClass::HighlyThreaded])
-        .safeties(&[SafetyModel::AtsOnlyIommu, SafetyModel::BorderControlBcc])
-        .workloads(&workloads)
-        .with_override("host-active", move |c| c.host_activity = Some(host));
-    let results = matrix.run(&SweepOptions::default());
+    let workloads = CPU_COHERENCE_WORKLOADS;
+    let results = matrices::cpu_coherence(size).run(&SweepOptions::default());
 
     let mut rows = Vec::new();
     for (wi, workload) in workloads.iter().enumerate() {

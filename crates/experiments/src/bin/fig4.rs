@@ -7,11 +7,11 @@
 //! Usage: `fig4 [--size tiny|small|reference] [--gpu highly|moderate|both]
 //!              [--jobs N] [--csv]`
 
+use bc_experiments::matrices::{self, FIG4_SAFETIES};
 use bc_experiments::{
-    csv_from_args, geomean_overhead, pct, print_matrix, size_from_args, SweepMatrix, SweepOptions,
-    WORKLOADS,
+    csv_from_args, geomean_overhead, pct, print_matrix, size_from_args, SweepOptions, WORKLOADS,
 };
-use bc_system::{GpuClass, SafetyModel};
+use bc_system::GpuClass;
 
 fn main() {
     let size = size_from_args();
@@ -26,21 +26,8 @@ fn main() {
         Some("moderate") => vec![GpuClass::ModeratelyThreaded],
         _ => vec![GpuClass::HighlyThreaded, GpuClass::ModeratelyThreaded],
     };
-    // Safety axis order: the baseline first, then the four safe schemes
-    // as Figure 4 stacks them.
-    let safeties = [
-        SafetyModel::AtsOnlyIommu,
-        SafetyModel::FullIommu,
-        SafetyModel::CapiLike,
-        SafetyModel::BorderControlNoBcc,
-        SafetyModel::BorderControlBcc,
-    ];
-
-    let matrix = SweepMatrix::new(size)
-        .gpus(&gpus)
-        .safeties(&safeties)
-        .workloads(&WORKLOADS);
-    let results = matrix.run(&SweepOptions::default());
+    let safeties = FIG4_SAFETIES;
+    let results = matrices::fig4(size, &gpus).run(&SweepOptions::default());
 
     for (gi, gpu) in gpus.iter().enumerate() {
         let label = match gpu {

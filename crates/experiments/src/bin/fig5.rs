@@ -4,16 +4,11 @@
 //!
 //! Usage: `fig5 [--size tiny|small|reference] [--jobs N]`
 
-use bc_experiments::{print_matrix, size_from_args, SweepMatrix, SweepOptions, WORKLOADS};
-use bc_system::{GpuClass, SafetyModel};
+use bc_experiments::{matrices, print_matrix, size_from_args, SweepOptions, WORKLOADS};
 
 fn main() {
     let size = size_from_args();
-    let matrix = SweepMatrix::new(size)
-        .gpus(&[GpuClass::HighlyThreaded])
-        .safeties(&[SafetyModel::BorderControlBcc])
-        .workloads(&WORKLOADS);
-    let results = matrix.run(&SweepOptions::default());
+    let results = matrices::fig5(size).run(&SweepOptions::default());
 
     let mut rows = Vec::new();
     let mut rates = Vec::new();

@@ -11,11 +11,10 @@
 
 use bc_core::{Bcc, BccConfig};
 use bc_experiments::{
-    csv_from_args, print_matrix, run_cells_with, size_from_args, SweepMatrix, SweepOptions,
-    WORKLOADS,
+    csv_from_args, matrices, print_matrix, run_cells_with, size_from_args, SweepOptions,
 };
 use bc_mem::{PagePerms, Ppn};
-use bc_system::{GpuClass, SafetyModel, System};
+use bc_system::System;
 
 /// The replayed geometries: 4 pages-per-entry rows × 8 size columns.
 pub const PAGES_PER_ENTRY: [u64; 4] = [1, 2, 32, 512];
@@ -54,12 +53,7 @@ fn main() {
     // One cell per workload: capture the check stream, then replay it
     // through every geometry. Returns the grid of miss ratios row-major
     // over (pages_per_entry, entries).
-    let matrix = SweepMatrix::new(size)
-        .gpus(&[GpuClass::HighlyThreaded])
-        .safeties(&[SafetyModel::BorderControlBcc])
-        .workloads(&WORKLOADS)
-        .with_override("capture", |c| c.record_check_stream = true);
-    let cells = matrix.cells();
+    let cells = matrices::fig6_capture(size).cells();
     let outcomes = run_cells_with(&cells, &SweepOptions::default(), |cell| {
         let mut sys = System::build(&cell.config).map_err(|e| format!("build failed: {e}"))?;
         sys.run();

@@ -10,39 +10,22 @@
 //!
 //! Usage: `fig7 [--size tiny|small|reference] [--jobs N] [--csv]`
 
+use bc_experiments::matrices::{self, FIG4_GPUS, FIG7_DENSITY_SCALE, FIG7_RATES, FIG7_SAFETIES};
 use bc_experiments::{
-    csv_from_args, geomean_overhead, pct, print_matrix, size_from_args, SweepMatrix, SweepOptions,
-    WORKLOADS,
+    csv_from_args, geomean_overhead, pct, print_matrix, size_from_args, SweepOptions, WORKLOADS,
 };
-use bc_system::{GpuClass, SafetyModel};
-
-/// Injection density multiplier (see comment at the injection site).
-const DENSITY_SCALE: u64 = 150;
 
 fn main() {
     let size = size_from_args();
     let csv = csv_from_args();
-    let rates = [0u64, 100, 200, 400, 600, 800, 1000];
     // The scheduling-relevant range of the paper: "10-200 downgrades per
-    // second" is today's context-switch rate.
-    let safeties = [SafetyModel::BorderControlBcc, SafetyModel::AtsOnlyIommu];
-    let gpus = [GpuClass::HighlyThreaded, GpuClass::ModeratelyThreaded];
-
-    let mut matrix = SweepMatrix::new(size)
-        .safeties(&safeties)
-        .gpus(&gpus)
-        .workloads(&WORKLOADS);
-    for rate in rates {
-        // Our trimmed runs simulate a few milliseconds where the paper's
-        // benchmarks run much longer, so at true rates only 0-2 downgrades
-        // would fire per run. The injector runs at 150x density for
-        // measurement precision and the overhead — linear in downgrade
-        // count — is rescaled to the labelled true rate.
-        matrix = matrix.with_override(format!("{rate}/s"), move |c| {
-            c.downgrades_per_second = rate * DENSITY_SCALE;
-        });
-    }
-    let results = matrix.run(&SweepOptions::default());
+    // second" is today's context-switch rate. The overrides inject at
+    // FIG7_DENSITY_SCALE times the labelled rate (see matrices.rs) and
+    // the measured overhead is rescaled back below.
+    let rates = FIG7_RATES;
+    let safeties = FIG7_SAFETIES;
+    let gpus = FIG4_GPUS;
+    let results = matrices::fig7(size).run(&SweepOptions::default());
 
     let mut rows = Vec::new();
     let mut csv_lines = vec!["safety,gpu,rate_per_s,overhead".to_string()];
@@ -56,7 +39,7 @@ fn main() {
                     .map(|(wi, _)| {
                         let base = results.report([0, gi, si, wi]).cycles;
                         let r = results.report([ri, gi, si, wi]);
-                        (r.cycles as f64 / base as f64 - 1.0) / DENSITY_SCALE as f64
+                        (r.cycles as f64 / base as f64 - 1.0) / FIG7_DENSITY_SCALE as f64
                     })
                     .collect();
                 let g = geomean_overhead(&overheads);

@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod matrices;
 pub mod sweep;
 
 use bc_system::{GpuClass, RunReport, SafetyModel, System, SystemConfig};

@@ -45,6 +45,7 @@ type OverrideFn = Arc<dyn Fn(&mut SystemConfig) + Send + Sync>;
 
 /// One point of the experiment matrix: a fully-resolved configuration plus
 /// the coordinates and label it renders under.
+#[derive(Clone)]
 pub struct SweepCell {
     /// Human-readable cell name (`override/gpu/safety/workload`).
     pub label: String,

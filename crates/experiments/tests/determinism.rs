@@ -9,7 +9,9 @@
 //!    yields byte-identical reports for every cell — results depend on
 //!    cell coordinates, never on thread scheduling.
 
-use bc_experiments::{base_config, SweepMatrix, SweepOptions, WORKLOADS};
+use bc_experiments::{
+    base_config, matrices, run_cells_with, SweepCell, SweepMatrix, SweepOptions, WORKLOADS,
+};
 use bc_system::{GpuClass, SafetyModel, System};
 use bc_workloads::WorkloadSize;
 
@@ -59,5 +61,84 @@ fn sweep_reports_are_independent_of_thread_count() {
             "cell {} diverged between --jobs 1 and --jobs 8",
             s.label
         );
+    }
+}
+
+/// Runs a matrix's cells at a reduced per-wavefront op cap (the full tiny
+/// cap across all ~300 production cells would dominate the suite's wall
+/// time) and returns each cell's serialized report, in matrix order.
+fn run_capped(cells: &[SweepCell], jobs: usize) -> Vec<(String, String)> {
+    let capped: Vec<SweepCell> = cells
+        .iter()
+        .map(|c| {
+            let mut c = c.clone();
+            c.config.max_ops_per_wavefront = Some(200);
+            c
+        })
+        .collect();
+    let opts = SweepOptions::with_jobs(jobs);
+    run_cells_with(&capped, &opts, |cell| {
+        let report = System::build(&cell.config)
+            .map_err(|e| format!("build failed: {e}"))?
+            .run();
+        Ok(serde::to_string(&report))
+    })
+    .into_iter()
+    .map(|o| (o.label.clone(), o.result.expect("cell failed")))
+    .collect()
+}
+
+/// Every sweeping binary's production matrix (fig4–fig7, attacks,
+/// cpu_coherence), at tiny size: identical reports for every cell
+/// regardless of worker count. The matrices come from
+/// [`bc_experiments::matrices`] — the same constructors `main` uses — so
+/// an axis reorder or seed-derivation change fails here, not in a figure.
+#[test]
+fn all_binary_matrices_are_thread_count_independent() {
+    let tiny = WorkloadSize::Tiny;
+    let all: [(&str, SweepMatrix); 6] = [
+        ("fig4", matrices::fig4(tiny, &matrices::FIG4_GPUS)),
+        ("fig5", matrices::fig5(tiny)),
+        ("fig6", matrices::fig6_capture(tiny)),
+        ("fig7", matrices::fig7(tiny)),
+        ("attacks", matrices::attacks(tiny)),
+        ("cpu_coherence", matrices::cpu_coherence(tiny)),
+    ];
+    for (name, matrix) in all {
+        let cells = matrix.cells();
+        assert!(!cells.is_empty(), "{name} produced no cells");
+        let serial = run_capped(&cells, 1);
+        let parallel = run_capped(&cells, 4);
+        assert_eq!(serial.len(), parallel.len(), "{name} cell count diverged");
+        for ((sl, sr), (pl, pr)) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(sl, pl, "{name}: cell order depends on thread count");
+            assert_eq!(sr, pr, "{name}/{sl} diverged between --jobs 1 and 4");
+        }
+    }
+}
+
+/// The four non-sweeping binaries (tables 1–3 and the storage-overhead
+/// calculator) print from static data and closed-form math: two
+/// invocations must emit byte-identical stdout.
+#[test]
+fn table_and_storage_binaries_print_identically() {
+    let bins = [
+        ("table1", env!("CARGO_BIN_EXE_table1")),
+        ("table2", env!("CARGO_BIN_EXE_table2")),
+        ("table3", env!("CARGO_BIN_EXE_table3")),
+        ("storage", env!("CARGO_BIN_EXE_storage")),
+    ];
+    for (name, path) in bins {
+        let run = || {
+            let out = std::process::Command::new(path)
+                .args(["--size", "tiny"])
+                .output()
+                .unwrap_or_else(|e| panic!("spawning {name}: {e}"));
+            assert!(out.status.success(), "{name} exited with {}", out.status);
+            out.stdout
+        };
+        let first = run();
+        assert!(!first.is_empty(), "{name} printed nothing");
+        assert_eq!(first, run(), "{name} stdout varies between runs");
     }
 }

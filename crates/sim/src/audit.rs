@@ -293,6 +293,19 @@ impl Auditor {
         }
     }
 
+    /// Records a pop-monotonicity violation surfaced by the event queue's
+    /// own self-check (`audit` feature): the queue popped cycle `at` after
+    /// having already popped the later cycle `prev`. The queue reports the
+    /// offending pair instead of asserting so the violation lands in the
+    /// [`AuditReport`] next to every other finding.
+    pub fn queue_pop_order(&mut self, prev: u64, at: u64) {
+        self.record(
+            AuditKind::EventInPast,
+            at,
+            format!("event queue popped cycle {at} after already popping cycle {prev}"),
+        );
+    }
+
     /// Asserts an event is never scheduled before the current instant.
     pub fn event_scheduled(&mut self, now: u64, at: u64) {
         self.report.assertions += 1;

@@ -9,8 +9,6 @@
 //! earlier gap instead of queueing behind a future reservation. Intervals
 //! coalesce as they fill, so the calendar stays small under load.
 
-use std::collections::BTreeMap;
-
 use serde::{Deserialize, Serialize};
 
 use crate::stats::{Counter, Histogram};
@@ -41,8 +39,11 @@ const RETAIN_CYCLES: u64 = 16_384;
 /// ```
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Port {
-    /// Busy intervals `start -> end`, disjoint, coalesced.
-    busy: BTreeMap<u64, u64>,
+    /// Busy intervals `(start, end)`, sorted, disjoint, coalesced. A small
+    /// sorted vector beats a search tree here: coalescing plus pruning
+    /// keep the calendar to a handful of intervals, and the serve path
+    /// runs once per simulated memory operation.
+    busy: Vec<(u64, u64)>,
     max_arrival: u64,
     served: Counter,
     busy_cycles: u64,
@@ -62,23 +63,23 @@ impl Port {
         if service == 0 {
             return arrival;
         }
-        // Walk intervals that could overlap `[candidate, candidate+service)`.
-        // Start from the interval at or before `candidate`.
-        let mut iter = self
-            .busy
-            .range(..=candidate)
-            .next_back()
-            .into_iter()
-            .map(|(s, e)| (*s, *e))
-            .chain(self.busy.range(candidate + 1..).map(|(s, e)| (*s, *e)));
-        for (s, e) in iter.by_ref() {
-            if e <= candidate {
-                continue;
-            }
+        // Fast path: arrival at or past the calendar's end.
+        match self.busy.last() {
+            None => return arrival,
+            Some(&(_, e)) if candidate >= e => return arrival,
+            _ => {}
+        }
+        // Walk intervals that could overlap `[candidate, candidate+service)`,
+        // starting from the first interval that ends after `candidate`
+        // (interval ends are sorted because intervals are disjoint).
+        let mut i = self.busy.partition_point(|&(_, e)| e <= candidate);
+        while i < self.busy.len() {
+            let (s, e) = self.busy[i];
             if s >= candidate + service {
                 break; // fits in the gap before this interval
             }
             candidate = e;
+            i += 1;
         }
         Cycle::new(candidate)
     }
@@ -88,6 +89,14 @@ impl Port {
     /// completion instant.
     pub fn serve(&mut self, arrival: Cycle, service: u64) -> Cycle {
         let start = self.earliest_start(arrival, service);
+        self.serve_at(arrival, start, service)
+    }
+
+    /// Books a request at a `start` previously computed by
+    /// [`Self::earliest_start`] for the same `(arrival, service)`. Lets
+    /// [`Channels`] dispatch without recomputing the winning channel's
+    /// start; callers must not pass any other `start`.
+    fn serve_at(&mut self, arrival: Cycle, start: Cycle, service: u64) -> Cycle {
         let done = start + service;
         #[cfg(feature = "audit")]
         self.audit_booking(arrival, start, done);
@@ -115,7 +124,9 @@ impl Port {
         if s == e {
             return;
         }
-        if let Some((&ps, &pe)) = self.busy.range(..e).next_back() {
+        let i = self.busy.partition_point(|&(ps, _)| ps < e);
+        if i > 0 {
+            let (ps, pe) = self.busy[i - 1];
             assert!(
                 pe <= s,
                 "port double-booked: [{s},{e}) overlaps busy [{ps},{pe})"
@@ -124,36 +135,41 @@ impl Port {
     }
 
     fn insert_interval(&mut self, mut start: u64, mut end: u64) {
-        // Coalesce with a predecessor that touches us.
-        if let Some((&ps, &pe)) = self.busy.range(..=start).next_back() {
-            if pe >= start {
-                start = ps;
-                end = end.max(pe);
-                self.busy.remove(&ps);
+        // Fast path: the booking extends or follows the calendar's tail,
+        // which is where in-order traffic always lands.
+        match self.busy.last_mut() {
+            None => {
+                self.busy.push((start, end));
+                return;
             }
-        }
-        // Coalesce with successors we now touch.
-        loop {
-            let next = self.busy.range(start..).next().map(|(s, e)| (*s, *e));
-            match next {
-                Some((ns, ne)) if ns <= end => {
-                    end = end.max(ne);
-                    self.busy.remove(&ns);
+            Some(last) => {
+                if start > last.1 {
+                    self.busy.push((start, end));
+                    return;
                 }
-                _ => break,
+                if start >= last.0 {
+                    // Touches or overlaps the final interval only.
+                    last.1 = last.1.max(end);
+                    return;
+                }
             }
         }
-        self.busy.insert(start, end);
+        // General path: merge every interval touching `[start, end]`.
+        let lo = self.busy.partition_point(|&(_, e)| e < start);
+        let hi = self.busy.partition_point(|&(s, _)| s <= end);
+        if lo < hi {
+            start = start.min(self.busy[lo].0);
+            end = end.max(self.busy[hi - 1].1);
+            self.busy.drain(lo..hi);
+        }
+        self.busy.insert(lo, (start, end));
     }
 
     fn prune(&mut self) {
         let cutoff = self.max_arrival.saturating_sub(RETAIN_CYCLES);
-        while let Some((&s, &e)) = self.busy.iter().next() {
-            if e < cutoff {
-                self.busy.remove(&s);
-            } else {
-                break;
-            }
+        let k = self.busy.partition_point(|&(_, e)| e < cutoff);
+        if k > 0 {
+            self.busy.drain(..k);
         }
     }
 
@@ -161,7 +177,7 @@ impl Port {
     /// port is guaranteed idle (used by walker-style callers that want an
     /// exclusive grab).
     pub fn idle_from(&self) -> Cycle {
-        Cycle::new(self.busy.iter().next_back().map(|(_, e)| *e).unwrap_or(0))
+        Cycle::new(self.busy.last().map(|&(_, e)| e).unwrap_or(0))
     }
 
     /// Number of requests served.
@@ -224,14 +240,21 @@ impl Channels {
         }
     }
 
-    /// Serves a request on the channel that can start it earliest.
+    /// Serves a request on the channel that can start it earliest,
+    /// walking each channel's calendar once. Ties pick the last tied
+    /// channel — the historical `min_by_key` behavior, which downstream
+    /// per-channel counters (and therefore every `RunReport`) depend on.
     pub fn serve(&mut self, arrival: Cycle, service: u64) -> Cycle {
-        let best = self
-            .ports
-            .iter_mut()
-            .min_by_key(|p| p.earliest_start(arrival, service))
-            .expect("at least one channel");
-        best.serve(arrival, service)
+        let mut best = 0;
+        let mut best_start = self.ports[0].earliest_start(arrival, service);
+        for (i, p) in self.ports.iter().enumerate().skip(1) {
+            let s = p.earliest_start(arrival, service);
+            if s <= best_start {
+                best = i;
+                best_start = s;
+            }
+        }
+        self.ports[best].serve_at(arrival, best_start, service)
     }
 
     /// Number of channels.

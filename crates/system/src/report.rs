@@ -54,6 +54,9 @@ pub struct RunReport {
     pub ops: u64,
     /// Coalesced block accesses issued by the GPU.
     pub block_accesses: u64,
+    /// Events the scheduler dispatched over the run (the denominator
+    /// behind the bench suite's events/sec metric).
+    pub events: u64,
     /// Whether the run was aborted (violation under a kill policy or the
     /// cycle safety valve).
     pub aborted: bool,
@@ -132,6 +135,113 @@ impl RunReport {
         self.cycles as f64 / baseline.cycles as f64 - 1.0
     }
 
+    /// Serializes the report as deterministic, human-diffable JSON.
+    ///
+    /// The vendored `serde` stand-in renders Debug output rather than
+    /// real JSON, so the golden-report snapshots under `tests/goldens/`
+    /// use this hand-rolled serializer instead. Field order is fixed and
+    /// `violations` is omitted, mirroring its `#[serde(skip)]`.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn pair((a, b): (u64, u64)) -> String {
+            format!("[{a}, {b}]")
+        }
+        fn opt_pair(v: Option<(u64, u64)>) -> String {
+            v.map(pair).unwrap_or_else(|| "null".to_string())
+        }
+        fn f64_json(v: f64) -> String {
+            if v.is_finite() {
+                // `{:?}` is the shortest round-trip decimal form, which is
+                // also valid JSON for finite values.
+                format!("{v:?}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let audit = match &self.audit {
+            None => "null".to_string(),
+            Some(a) => {
+                let findings: Vec<String> = a
+                    .findings
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{{\"kind\": \"{}\", \"at\": {}, \"detail\": \"{}\"}}",
+                            f.kind,
+                            f.at,
+                            esc(&f.detail)
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"assertions\": {}, \"findings\": [{}]}}",
+                    a.assertions,
+                    findings.join(", ")
+                )
+            }
+        };
+        let fields: Vec<(&str, String)> = vec![
+            ("safety", format!("\"{}\"", esc(&self.safety))),
+            ("workload", format!("\"{}\"", esc(&self.workload))),
+            ("gpu_class", format!("\"{}\"", esc(&self.gpu_class))),
+            ("cycles", self.cycles.to_string()),
+            ("ops", self.ops.to_string()),
+            ("events", self.events.to_string()),
+            ("block_accesses", self.block_accesses.to_string()),
+            ("aborted", self.aborted.to_string()),
+            (
+                "abort_reason",
+                self.abort_reason
+                    .map(|r| format!("\"{}\"", esc(r.label())))
+                    .unwrap_or_else(|| "null".to_string()),
+            ),
+            ("accel_disabled", self.accel_disabled.to_string()),
+            ("violation_count", self.violation_count.to_string()),
+            ("bc_checks", self.bc_checks.to_string()),
+            ("bcc_hits_misses", opt_pair(self.bcc_hits_misses)),
+            ("pt_reads_writes", pair(self.pt_reads_writes)),
+            ("dram_reads_writes", pair(self.dram_reads_writes)),
+            ("dram_utilization", f64_json(self.dram_utilization)),
+            ("l1", opt_pair(self.l1)),
+            ("l2", opt_pair(self.l2)),
+            ("l1_tlb", opt_pair(self.l1_tlb)),
+            ("iotlb", pair(self.iotlb)),
+            ("ats_translations_walks", pair(self.ats_translations_walks)),
+            ("minor_faults", self.minor_faults.to_string()),
+            ("downgrades", self.downgrades.to_string()),
+            (
+                "probes",
+                format!("[{}, {}, {}]", self.probes.0, self.probes.1, self.probes.2),
+            ),
+            (
+                "host",
+                self.host
+                    .map(|(a, b, c)| format!("[{a}, {b}, {c}]"))
+                    .unwrap_or_else(|| "null".to_string()),
+            ),
+            ("audit", audit),
+        ];
+        let body: Vec<String> = fields
+            .iter()
+            .map(|(k, v)| format!("  \"{k}\": {v}"))
+            .collect();
+        format!("{{\n{}\n}}\n", body.join(",\n"))
+    }
+
     /// Renders the report as a stats table.
     pub fn stats_table(&self) -> StatsTable {
         let mut t = StatsTable::new(format!(
@@ -187,6 +297,7 @@ mod tests {
             gpu_class: "g".into(),
             cycles,
             ops: 10,
+            events: 15,
             block_accesses: 20,
             aborted: false,
             abort_reason: None,
@@ -238,6 +349,42 @@ mod tests {
         let r = blank(0);
         assert_eq!(r.checks_per_cycle(), 0.0);
         assert_eq!(blank(100).overhead_vs(&r), 0.0);
+    }
+
+    #[test]
+    fn to_json_shape_and_escaping() {
+        let mut r = blank(1000);
+        r.workload = "n\"n\\x".into();
+        r.abort_reason = Some(AbortReason::CycleLimit);
+        r.audit = Some(AuditReport {
+            findings: vec![bc_sim::audit::AuditFinding {
+                kind: bc_sim::audit::AuditKind::EventInPast,
+                at: 7,
+                detail: "line1\nline2".into(),
+            }],
+            assertions: 3,
+        });
+        let j = r.to_json();
+        assert!(j.starts_with("{\n"), "{j}");
+        assert!(j.ends_with("}\n"), "{j}");
+        assert!(j.contains("\"workload\": \"n\\\"n\\\\x\""), "{j}");
+        assert!(j.contains("\"events\": 15"), "{j}");
+        assert!(
+            j.contains("\"abort_reason\": \"cycle valve tripped\""),
+            "{j}"
+        );
+        assert!(j.contains("\"bcc_hits_misses\": [90, 10]"), "{j}");
+        assert!(j.contains("\"dram_utilization\": 0.5"), "{j}");
+        assert!(j.contains("\"kind\": \"event-in-past\""), "{j}");
+        assert!(j.contains("\"detail\": \"line1\\nline2\""), "{j}");
+        // Brace balance as a cheap well-formedness proxy (no JSON parser
+        // is vendored).
+        let open = j.matches('{').count() + j.matches('[').count();
+        let close = j.matches('}').count() + j.matches(']').count();
+        assert_eq!(open, close);
+        // Nothing unescaped: stripping all escaped sequences leaves no
+        // bare control characters.
+        assert!(!j.replace("\\n", "").contains('\u{0}'));
     }
 
     #[test]

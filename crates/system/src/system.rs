@@ -106,6 +106,7 @@ pub struct System {
     stall_until: Cycle,
     ops: u64,
     block_accesses: u64,
+    events_dispatched: u64,
     violations: Vec<Violation>,
     aborted: bool,
     abort_reason: Option<AbortReason>,
@@ -276,6 +277,7 @@ impl System {
             stall_until: Cycle::ZERO,
             ops: 0,
             block_accesses: 0,
+            events_dispatched: 0,
             violations: Vec::new(),
             aborted: false,
             abort_reason: None,
@@ -345,6 +347,16 @@ impl System {
     /// the process / the cycle valve trips), returning the report.
     pub fn run(&mut self) -> RunReport {
         while let Some((t, ev)) = self.queue.pop() {
+            // Route the queue's own pop-monotonicity self-check into the
+            // audit report (offending cycle pair included); without an
+            // auditor attached it still fails loudly like the old assert.
+            #[cfg(feature = "audit")]
+            for (prev, at) in self.queue.take_order_findings() {
+                match &mut self.auditor {
+                    Some(a) => a.queue_pop_order(prev.as_u64(), at.as_u64()),
+                    None => panic!("event queue popped cycle {at} after already popping {prev}"),
+                }
+            }
             if self.aborted || self.gpu.all_done() {
                 break;
             }
@@ -357,6 +369,7 @@ impl System {
                 a.event_dispatched(self.now.as_u64(), t.as_u64());
             }
             self.now = t;
+            self.events_dispatched += 1;
             match ev {
                 Event::WavefrontReady { cu, wf } => self.step_wavefront(cu, wf),
                 Event::IssueOp { cu, wf, op } => self.issue_op(cu, wf, &op),
@@ -1242,6 +1255,7 @@ impl System {
             gpu_class: self.config.gpu_class.label().to_string(),
             cycles: self.now.as_u64(),
             ops: self.ops,
+            events: self.events_dispatched,
             block_accesses: self.block_accesses,
             aborted: self.aborted,
             abort_reason: self.abort_reason,

@@ -1,0 +1,120 @@
+//! Golden-report snapshot tests.
+//!
+//! Each tiny-size run's `RunReport` is serialized with
+//! [`RunReport::to_json`] and compared byte-for-byte against a committed
+//! golden under `tests/goldens/`. Any change to simulated timing — a
+//! scheduler swap, a port-model rewrite, an MSHR change — that alters even
+//! one counter fails here, which is exactly the property the calendar-queue
+//! migration is pinned by.
+//!
+//! Regenerate after an *intentional* behavior change with:
+//!
+//! ```text
+//! BLESS=1 cargo test --test goldens
+//! ```
+//!
+//! and review the golden diff like any other code change.
+
+use std::path::PathBuf;
+
+use bc_system::{GpuClass, SafetyModel, System, SystemConfig};
+use bc_workloads::WorkloadSize;
+
+fn tiny(safety: SafetyModel, workload: &str) -> SystemConfig {
+    let mut c = SystemConfig::table3_defaults();
+    c.safety = safety;
+    c.gpu_class = GpuClass::ModeratelyThreaded;
+    c.workload = workload.to_string();
+    c.size = WorkloadSize::Tiny;
+    c.max_ops_per_wavefront = Some(1_500);
+    c
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(name)
+}
+
+/// Safety label -> filename fragment ("Border Control-BCC" -> "border-control-bcc").
+fn slug(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect::<String>()
+        .split('-')
+        .filter(|s| !s.is_empty())
+        .collect::<Vec<_>>()
+        .join("-")
+}
+
+fn check(name: &str, json: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, json).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}\nregenerate with: BLESS=1 cargo test --test goldens",
+            path.display()
+        )
+    });
+    assert_eq!(
+        want, json,
+        "RunReport drifted from golden {name}; if the timing change is \
+         intentional, regenerate with BLESS=1 cargo test --test goldens \
+         and review the diff"
+    );
+}
+
+/// Every safety model, two workloads with different access shapes
+/// (regular nn, irregular bfs), pinned byte-for-byte.
+#[test]
+fn tiny_run_reports_match_goldens() {
+    for safety in SafetyModel::ALL {
+        for workload in ["nn", "bfs"] {
+            let report = System::build(&tiny(safety, workload))
+                .expect("tiny config builds")
+                .run();
+            let name = format!("tiny_{}_{}.json", slug(safety.label()), workload);
+            check(&name, &report.to_json());
+        }
+    }
+}
+
+/// The goldens themselves stay well-formed JSON (brace balance and
+/// required keys) — catches hand edits that would break downstream
+/// tooling before a diff review does.
+#[test]
+fn goldens_are_well_formed() {
+    if std::env::var_os("BLESS").is_some() {
+        return; // files may be mid-rewrite under the other test
+    }
+    let dir = golden_path("");
+    let mut seen = 0;
+    for entry in
+        std::fs::read_dir(&dir).unwrap_or_else(|e| panic!("missing {}: {e}", dir.display()))
+    {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        seen += 1;
+        let text = std::fs::read_to_string(&path).unwrap();
+        let open = text.matches('{').count() + text.matches('[').count();
+        let close = text.matches('}').count() + text.matches(']').count();
+        assert_eq!(open, close, "unbalanced JSON in {}", path.display());
+        for key in ["\"safety\"", "\"cycles\"", "\"events\"", "\"audit\""] {
+            assert!(text.contains(key), "{} lacks {key}", path.display());
+        }
+    }
+    assert_eq!(seen, 10, "expected 5 safety models x 2 workloads");
+}
