@@ -294,8 +294,10 @@ impl<E> EventQueue<E> {
         self.past.clear();
         #[cfg(feature = "audit")]
         {
-            // A cleared queue starts a fresh logical schedule.
+            // A cleared queue starts a fresh logical schedule; drop any
+            // recorded violations so they aren't misattributed to it.
             self.last_popped = Cycle::ZERO;
+            self.order_violations.clear();
         }
     }
 
@@ -431,6 +433,19 @@ mod tests {
             vec![(Cycle::new(100), Cycle::new(40))]
         );
         // Drained: a second take returns nothing.
+        assert!(q.take_order_findings().is_empty());
+    }
+
+    #[cfg(feature = "audit")]
+    #[test]
+    fn clear_drops_recorded_order_violations() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(100), ());
+        assert!(q.pop().is_some());
+        q.push(Cycle::new(40), ());
+        assert!(q.pop().is_some());
+        q.clear();
+        // The fresh schedule starts with no findings from the old one.
         assert!(q.take_order_findings().is_empty());
     }
 }

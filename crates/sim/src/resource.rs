@@ -241,7 +241,7 @@ impl Channels {
     }
 
     /// Serves a request on the channel that can start it earliest,
-    /// walking each channel's calendar once. Ties pick the last tied
+    /// walking each channel's calendar once. Ties pick the first tied
     /// channel — the historical `min_by_key` behavior, which downstream
     /// per-channel counters (and therefore every `RunReport`) depend on.
     pub fn serve(&mut self, arrival: Cycle, service: u64) -> Cycle {
@@ -249,7 +249,7 @@ impl Channels {
         let mut best_start = self.ports[0].earliest_start(arrival, service);
         for (i, p) in self.ports.iter().enumerate().skip(1) {
             let s = p.earliest_start(arrival, service);
-            if s <= best_start {
+            if s < best_start {
                 best = i;
                 best_start = s;
             }
@@ -410,6 +410,26 @@ mod tests {
         ch.serve(Cycle::new(0), 10);
         assert!((ch.utilization(10) - 1.0).abs() < 1e-12);
         assert!((ch.utilization(20) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn channel_ties_pick_first_like_min_by_key() {
+        let mut ch = Channels::new(3);
+        // All channels idle: a three-way tie must book channel 0.
+        ch.serve(Cycle::new(0), 10);
+        assert_eq!(ch.ports[0].served(), 1);
+        assert_eq!(ch.ports[1].served(), 0);
+        assert_eq!(ch.ports[2].served(), 0);
+        // Channel 0 frees at 10 while 1 and 2 are still idle; an arrival at
+        // 10 ties all three again and must still book channel 0, even though
+        // the calendars now differ.
+        ch.serve(Cycle::new(10), 5);
+        assert_eq!(ch.ports[0].served(), 2);
+        assert_eq!(ch.ports[1].served(), 0);
+        // An arrival mid-service breaks the tie toward channel 1.
+        ch.serve(Cycle::new(12), 5);
+        assert_eq!(ch.ports[1].served(), 1);
+        assert_eq!(ch.ports[2].served(), 0);
     }
 
     #[test]

@@ -181,7 +181,7 @@ impl RunReport {
                     .map(|f| {
                         format!(
                             "{{\"kind\": \"{}\", \"at\": {}, \"detail\": \"{}\"}}",
-                            f.kind,
+                            esc(&f.kind.to_string()),
                             f.at,
                             esc(&f.detail)
                         )
