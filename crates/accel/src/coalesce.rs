@@ -27,6 +27,7 @@ use bc_sim::stats::Counter;
 /// let strided: Vec<VirtAddr> = (0..32).map(|i| VirtAddr::new(0x1000 + i * 128)).collect();
 /// assert_eq!(coalesce_lanes(&strided).len(), 32);
 /// ```
+#[must_use]
 pub fn coalesce_lanes(lanes: &[VirtAddr]) -> Vec<VirtAddr> {
     let mut blocks = Vec::new();
     for lane in lanes {
@@ -48,6 +49,7 @@ pub struct CoalesceStats {
 
 impl CoalesceStats {
     /// Creates empty statistics.
+    #[must_use]
     pub fn new() -> Self {
         CoalesceStats::default()
     }
@@ -67,12 +69,14 @@ impl CoalesceStats {
     }
 
     /// Instructions processed.
+    #[must_use]
     pub fn instructions(&self) -> u64 {
         self.instructions.get()
     }
 
     /// Average block requests per instruction (1.0 = perfect, 32.0 =
     /// fully divergent).
+    #[must_use]
     pub fn blocks_per_instruction(&self) -> f64 {
         if self.instructions.get() == 0 {
             0.0
@@ -82,6 +86,7 @@ impl CoalesceStats {
     }
 
     /// Fraction of lane requests eliminated by coalescing.
+    #[must_use]
     pub fn efficiency(&self) -> f64 {
         if self.lanes.get() == 0 {
             0.0

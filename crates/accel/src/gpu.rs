@@ -32,11 +32,13 @@ pub enum Behavior {
 
 impl Behavior {
     /// Whether this accelerator honours TLB shootdowns.
+    #[must_use]
     pub fn honours_shootdowns(self) -> bool {
         matches!(self, Behavior::Correct)
     }
 
     /// Whether this accelerator honours cache-flush requests.
+    #[must_use]
     pub fn honours_flushes(self) -> bool {
         !matches!(self, Behavior::Malicious { .. })
     }
@@ -87,6 +89,7 @@ pub struct GpuConfig {
 
 impl GpuConfig {
     /// Table 3's highly threaded GPU: 8 CUs, 16 KiB L1s, 256 KiB shared L2.
+    #[must_use]
     pub fn highly_threaded() -> Self {
         GpuConfig {
             compute_units: 8,
@@ -108,6 +111,7 @@ impl GpuConfig {
 
     /// Table 3's moderately threaded GPU: 1 CU, 16 KiB L1, 64 KiB L2, few
     /// execution contexts — latency sensitive.
+    #[must_use]
     pub fn moderately_threaded() -> Self {
         GpuConfig {
             compute_units: 1,
@@ -248,11 +252,13 @@ impl Gpu {
     }
 
     /// Total wavefront contexts.
+    #[must_use]
     pub fn total_wavefronts(&self) -> usize {
         self.cus.iter().map(|c| c.wavefronts.len()).sum()
     }
 
     /// Whether every wavefront has drained its stream.
+    #[must_use]
     pub fn all_done(&self) -> bool {
         self.cus.iter().all(|c| c.wavefronts.iter().all(|w| w.done))
     }

@@ -1,5 +1,8 @@
 //! Ablations of the design choices DESIGN.md calls out.
 
+// Driver/harness code: failing fast on setup errors is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use bc_bench::bench_config;

@@ -1,5 +1,8 @@
 //! Microbenchmarks of the simulated hardware structures.
 
+// Driver/harness code: failing fast on setup errors is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use bc_cache::{Access, Cache, CacheConfig, Replacement, Tlb, TlbConfig, TlbEntry, WritePolicy};

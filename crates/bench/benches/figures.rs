@@ -3,6 +3,9 @@
 //! the `bc-experiments` binaries: `fig4`, `fig5`, `fig6`, `fig7`,
 //! `table1`–`table3`, `storage`, `attacks`).
 
+// Driver/harness code: failing fast on setup errors is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use bc_bench::bench_config;

@@ -23,6 +23,7 @@ use bc_system::{GpuClass, SafetyModel, System, SystemConfig};
 use bc_workloads::WorkloadSize;
 
 /// A fast-running full-system configuration for benches.
+#[must_use]
 pub fn bench_config(safety: SafetyModel, workload: &str) -> SystemConfig {
     let mut c = SystemConfig::table3_defaults();
     c.safety = safety;
@@ -35,6 +36,7 @@ pub fn bench_config(safety: SafetyModel, workload: &str) -> SystemConfig {
 
 /// Builds and runs one configuration, returning simulated cycles (used as
 /// a sanity check inside benches).
+#[must_use]
 pub fn run_cycles(config: &SystemConfig) -> u64 {
     System::build(config)
         .expect("bench config builds")
@@ -45,6 +47,7 @@ pub fn run_cycles(config: &SystemConfig) -> u64 {
 /// The `q`-quantile of an ascending-sorted sample set, by nearest-rank on
 /// `(n - 1) * q` (the convention `BENCH_sweep.json` records cell latency
 /// percentiles with). Returns 0 for an empty slice.
+#[must_use]
 pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;

@@ -36,18 +36,21 @@ pub enum CoherenceState {
 impl CoherenceState {
     /// Whether the cache holding this state may satisfy a local read
     /// without a bus transaction.
+    #[must_use]
     pub fn readable(self) -> bool {
         !matches!(self, CoherenceState::Invalid)
     }
 
     /// Whether the cache holding this state may satisfy a local write
     /// without a bus transaction.
+    #[must_use]
     pub fn writable(self) -> bool {
         matches!(self, CoherenceState::Exclusive | CoherenceState::Modified)
     }
 
     /// Whether this state makes the cache the *owner* (the responder for
     /// remote requests, holding possibly-dirty data).
+    #[must_use]
     pub fn owns(self) -> bool {
         matches!(
             self,
@@ -56,6 +59,7 @@ impl CoherenceState {
     }
 
     /// Whether the block is dirty with respect to memory.
+    #[must_use]
     pub fn dirty(self) -> bool {
         matches!(self, CoherenceState::Owned | CoherenceState::Modified)
     }
@@ -133,6 +137,7 @@ pub struct MoesiLine {
 
 impl MoesiLine {
     /// A line starting Invalid.
+    #[must_use]
     pub fn new() -> Self {
         MoesiLine {
             state: CoherenceState::Invalid,
@@ -140,6 +145,7 @@ impl MoesiLine {
     }
 
     /// Current state.
+    #[must_use]
     pub fn state(&self) -> CoherenceState {
         self.state
     }

@@ -65,6 +65,7 @@ impl MshrTable {
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
+    #[must_use]
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR table needs at least one register");
         MshrTable {
@@ -127,16 +128,19 @@ impl MshrTable {
     }
 
     /// Outstanding (unexpired) misses.
+    #[must_use]
     pub fn in_flight(&self) -> usize {
         self.outstanding.len()
     }
 
     /// Secondary misses merged into an existing register.
+    #[must_use]
     pub fn merges(&self) -> u64 {
         self.merges.get()
     }
 
     /// Requests that found the table full.
+    #[must_use]
     pub fn stalls(&self) -> u64 {
         self.stalls.get()
     }

@@ -17,6 +17,7 @@ pub enum Access {
 
 impl Access {
     /// Whether this access is a write.
+    #[must_use]
     pub fn is_write(self) -> bool {
         matches!(self, Access::Write)
     }
@@ -65,6 +66,7 @@ impl CacheConfig {
     ///
     /// Panics if the geometry is degenerate (zero ways, non-power-of-two
     /// set count, or capacity smaller than one way of blocks).
+    #[must_use]
     pub fn sets(&self) -> usize {
         assert!(self.ways > 0, "cache needs at least one way");
         let lines = self.size_bytes / self.block_bytes;
@@ -103,6 +105,7 @@ pub enum LookupResult {
 
 impl LookupResult {
     /// Whether this was a hit.
+    #[must_use]
     pub fn is_hit(&self) -> bool {
         matches!(self, LookupResult::Hit)
     }
@@ -160,6 +163,7 @@ pub struct Cache {
 
 impl Cache {
     /// Creates an empty cache.
+    #[must_use]
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.sets();
         Cache {
@@ -176,6 +180,7 @@ impl Cache {
     }
 
     /// The cache geometry and policy.
+    #[must_use]
     pub fn config(&self) -> CacheConfig {
         self.config
     }
@@ -275,12 +280,14 @@ impl Cache {
     }
 
     /// Whether a block is currently cached (no state change).
+    #[must_use]
     pub fn contains(&self, addr: PhysAddr) -> bool {
         let (set_idx, tag) = self.split(addr);
         self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
     }
 
     /// Whether a block is cached dirty (no state change).
+    #[must_use]
     pub fn is_dirty(&self, addr: PhysAddr) -> bool {
         let (set_idx, tag) = self.split(addr);
         self.sets[set_idx]
@@ -377,6 +384,7 @@ impl Cache {
     }
 
     /// Number of valid lines (for tests and reports).
+    #[must_use]
     pub fn valid_lines(&self) -> usize {
         self.sets
             .iter()
@@ -386,6 +394,7 @@ impl Cache {
     }
 
     /// Number of dirty lines.
+    #[must_use]
     pub fn dirty_lines(&self) -> usize {
         self.sets
             .iter()
@@ -395,16 +404,19 @@ impl Cache {
     }
 
     /// Hit/miss statistics.
+    #[must_use]
     pub fn stats(&self) -> HitMiss {
         self.stats
     }
 
     /// Dirty evictions counted so far.
+    #[must_use]
     pub fn writebacks(&self) -> u64 {
         self.writebacks.get()
     }
 
     /// Write-through store count (write-through caches only).
+    #[must_use]
     pub fn write_throughs(&self) -> u64 {
         self.write_throughs.get()
     }

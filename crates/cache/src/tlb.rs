@@ -37,6 +37,7 @@ impl TlbConfig {
     /// # Panics
     ///
     /// Panics on a degenerate geometry.
+    #[must_use]
     pub fn sets(&self) -> usize {
         assert!(self.ways > 0 && self.entries >= self.ways);
         let sets = self.entries / self.ways;
@@ -102,6 +103,7 @@ pub struct Tlb {
 
 impl Tlb {
     /// Creates an empty TLB.
+    #[must_use]
     pub fn new(config: TlbConfig) -> Self {
         let sets = config.sets();
         Tlb {
@@ -115,6 +117,7 @@ impl Tlb {
     }
 
     /// The geometry.
+    #[must_use]
     pub fn config(&self) -> TlbConfig {
         self.config
     }
@@ -155,6 +158,7 @@ impl Tlb {
     }
 
     /// Checks presence without perturbing LRU or statistics.
+    #[must_use]
     pub fn peek(&self, asid: Asid, vpn: Vpn) -> Option<TlbEntry> {
         let huge_base = Vpn::new(vpn.as_u64() & !511);
         if let Some(slot) = self
@@ -225,10 +229,7 @@ impl Tlb {
             return;
         }
         // Empty way, else LRU victim.
-        let way = match set
-            .iter()
-            .position(|s| s.is_none() || !s.as_ref().unwrap().valid)
-        {
+        let way = match set.iter().position(|s| s.as_ref().is_none_or(|e| !e.valid)) {
             Some(w) => w,
             None => set
                 .iter()
@@ -307,6 +308,7 @@ impl Tlb {
     }
 
     /// Number of valid entries (4 KiB and huge).
+    #[must_use]
     pub fn valid_entries(&self) -> usize {
         self.sets
             .iter()
@@ -318,6 +320,7 @@ impl Tlb {
     }
 
     /// Hit/miss statistics.
+    #[must_use]
     pub fn stats(&self) -> HitMiss {
         self.stats
     }

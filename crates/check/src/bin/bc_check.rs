@@ -1,0 +1,211 @@
+//! `bc-check` — exhaustive bounded model checking of the Border Control
+//! safety protocol at tiny scale.
+//!
+//! ```text
+//! bc-check [--model SLUG|all] [--pages N] [--bcc N] [--depth N]
+//!          [--order bfs|dfs] [--downgrades N]
+//!          [--inject bcc-corrupt|downgrade-reorder]
+//!          [--no-malicious] [--enforce-sandbox] [--expect-violation]
+//!          [--golden PATH]
+//! ```
+//!
+//! Model slugs follow the golden-file convention: `ats-only-iommu`,
+//! `full-iommu`, `capi-like`, `border-control-nobcc`,
+//! `border-control-bcc`, or `all` for the five-way Table 2 sweep.
+//!
+//! With `--golden PATH` the per-model reachable-state counts are
+//! compared against the committed JSON snapshot (state-space drift is a
+//! semantic change to the protocol and must be reviewed); run with the
+//! `BLESS=1` environment variable to regenerate it.
+//!
+//! Exit status: `0` when every sweep is clean (or, under
+//! `--expect-violation`, when every sweep found one); `1` otherwise —
+//! including state-count drift.
+
+use std::process::ExitCode;
+
+use bc_check::{explore, model_kind, model_slug, CheckConfig, SearchOrder};
+use bc_core::proto::{Bug, ProtoConfig};
+use bc_system::SafetyModel;
+
+struct Args {
+    models: Vec<SafetyModel>,
+    pages: u8,
+    bcc: u8,
+    depth: Option<u32>,
+    order: SearchOrder,
+    downgrades: u8,
+    inject: Bug,
+    malicious: bool,
+    enforce_sandbox: bool,
+    expect_violation: bool,
+    golden: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bc-check [--model SLUG|all] [--pages N] [--bcc N] [--depth N] \
+         [--order bfs|dfs] [--downgrades N] [--inject bcc-corrupt|downgrade-reorder] \
+         [--no-malicious] [--enforce-sandbox] [--expect-violation] [--golden PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_model(slug: &str) -> Option<SafetyModel> {
+    SafetyModel::ALL
+        .into_iter()
+        .find(|m| model_slug(*m) == slug)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        models: SafetyModel::ALL.to_vec(),
+        pages: 2,
+        bcc: 1,
+        depth: None,
+        order: SearchOrder::Bfs,
+        downgrades: 2,
+        inject: Bug::None,
+        malicious: true,
+        enforce_sandbox: false,
+        expect_violation: false,
+        golden: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--model" => {
+                let v = value();
+                if v != "all" {
+                    match parse_model(&v) {
+                        Some(m) => args.models = vec![m],
+                        None => {
+                            eprintln!("unknown model {v:?}");
+                            usage();
+                        }
+                    }
+                }
+            }
+            "--pages" => args.pages = value().parse().unwrap_or_else(|_| usage()),
+            "--bcc" => args.bcc = value().parse().unwrap_or_else(|_| usage()),
+            "--depth" => args.depth = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--downgrades" => args.downgrades = value().parse().unwrap_or_else(|_| usage()),
+            "--order" => {
+                args.order = match value().as_str() {
+                    "bfs" => SearchOrder::Bfs,
+                    "dfs" => SearchOrder::Dfs,
+                    _ => usage(),
+                }
+            }
+            "--inject" => {
+                args.inject = match value().as_str() {
+                    "bcc-corrupt" => Bug::BccCorrupt,
+                    "downgrade-reorder" => Bug::DowngradeReorder,
+                    _ => usage(),
+                }
+            }
+            "--no-malicious" => args.malicious = false,
+            "--enforce-sandbox" => args.enforce_sandbox = true,
+            "--expect-violation" => args.expect_violation = true,
+            "--golden" => args.golden = Some(value()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    if args.pages == 0 || args.pages > 3 {
+        eprintln!("--pages must be 1..=3");
+        usage();
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut ok = true;
+    let mut counts: Vec<(String, u64)> = Vec::new();
+
+    for safety in &args.models {
+        let mut proto = ProtoConfig::tiny(model_kind(*safety));
+        proto.pages = args.pages;
+        proto.bcc_entries = args.bcc.max(1);
+        proto.downgrade_budget = args.downgrades;
+        proto.malicious = args.malicious;
+        proto.bug = args.inject;
+        proto.enforce_sandbox = args.enforce_sandbox;
+        let mut check = CheckConfig::new(proto);
+        check.depth = args.depth;
+        check.order = args.order;
+
+        let result = explore(&check);
+        let slug = model_slug(*safety);
+        println!(
+            "{slug}: {} states, {} transitions, max depth {}{}",
+            result.states,
+            result.transitions,
+            result.max_depth,
+            if result.truncated { " (truncated)" } else { "" },
+        );
+        counts.push((slug.to_string(), result.states));
+        if args.expect_violation {
+            match result.violations.first() {
+                Some(cex) => print!("{cex}"),
+                None => {
+                    println!("  expected a violation, found none");
+                    ok = false;
+                }
+            }
+        } else if let Some(cex) = result.violations.first() {
+            print!("{cex}");
+            ok = false;
+        }
+    }
+
+    if let Some(path) = &args.golden {
+        let json = counts_json(&counts);
+        if std::env::var_os("BLESS").is_some() {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("cannot bless {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("blessed {path}");
+        } else {
+            match std::fs::read_to_string(path) {
+                Ok(want) if want == json => println!("state counts match {path}"),
+                Ok(_) => {
+                    eprintln!(
+                        "state-count drift vs {path} — the protocol's reachable space \
+                         changed; review and re-bless with BLESS=1"
+                    );
+                    eprintln!("current:\n{json}");
+                    ok = false;
+                }
+                Err(e) => {
+                    eprintln!("cannot read golden {path}: {e}");
+                    ok = false;
+                }
+            }
+        }
+    }
+
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn counts_json(counts: &[(String, u64)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (slug, states)) in counts.iter().enumerate() {
+        out.push_str(&format!(
+            "  \"{slug}\": {states}{}\n",
+            if i + 1 < counts.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("}\n");
+    out
+}

@@ -1,0 +1,325 @@
+//! `bc-check` — a bounded explicit-state model checker for the Border
+//! Control safety protocol.
+//!
+//! The checker exhaustively enumerates every interleaving of the
+//! abstract protocol machine in [`bc_core::proto`] for a *tiny*
+//! configuration (1–3 pages, one CPU + one accelerator requestor, a 1–2
+//! entry BCC) and checks the paper's invariants on every reachable
+//! state:
+//!
+//! * **sandbox safety** — no accelerator access beyond the OS-granted
+//!   permissions is ever admitted (checked on every border-crossing
+//!   transition);
+//! * **BCC ⊆ Protection Table** — a valid BCC entry always mirrors the
+//!   write-through table;
+//! * **no stale authority after downgrade completion** — once a
+//!   downgrade completes, no checking structure retains the old
+//!   permissions;
+//! * **dirty-recall write containment** — legitimately-dirty
+//!   accelerator data always makes it back through the border (the
+//!   flush-before-commit ordering of §3.2.4);
+//! * **deadlock freedom** — every state with unmet obligations has an
+//!   enabled action;
+//! * **downgrade liveness** — from every reachable state with an
+//!   in-flight downgrade, some completion state is reachable (checked
+//!   by reverse reachability over the explored graph, which is exactly
+//!   the "no SCC of downgrade states without an exit" condition).
+//!
+//! Search is breadth-first by default so counterexamples are *minimal*
+//! action traces; `--order dfs` explores depth-first with an optional
+//! depth bound. Symmetric initial configurations are canonicalized
+//! (minimum state encoding over permutations of identically-initialized
+//! pages) so the visited set does not re-explore page-relabeled copies.
+//!
+//! A counterexample replays through the real event-driven engine under
+//! the `--audit` infrastructure via [`replay`], turning every checker
+//! finding into an executable regression.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use bc_core::proto::{
+    canonical_key, enabled_actions, invariant_violations, step, Action, InvariantKind, ModelKind,
+    ProtoConfig, ProtoState, StepResult,
+};
+use bc_system::SafetyModel;
+
+pub mod replay;
+
+/// Search order over the interleaving tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchOrder {
+    /// Breadth-first: first counterexample found is minimal.
+    #[default]
+    Bfs,
+    /// Depth-first: smaller frontier, useful with a `depth` bound.
+    Dfs,
+}
+
+/// Checker configuration: the machine under test plus search knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckConfig {
+    /// The abstract machine configuration.
+    pub proto: ProtoConfig,
+    /// Maximum trace length to explore (`None` = exhaust the finite
+    /// space).
+    pub depth: Option<u32>,
+    /// Search order.
+    pub order: SearchOrder,
+    /// Whether to run the downgrade-liveness analysis after the sweep.
+    pub check_liveness: bool,
+    /// Stop at the first violation (default) instead of exploring on.
+    pub stop_at_first: bool,
+}
+
+impl CheckConfig {
+    /// Default exhaustive BFS check of `proto`.
+    #[must_use]
+    pub fn new(proto: ProtoConfig) -> Self {
+        CheckConfig {
+            proto,
+            depth: None,
+            order: SearchOrder::Bfs,
+            check_liveness: true,
+            stop_at_first: true,
+        }
+    }
+}
+
+/// A violated invariant plus the action trace reaching it from the
+/// initial state.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// Which invariant broke.
+    pub kind: InvariantKind,
+    /// Minimal (under BFS) action sequence from the initial state; the
+    /// final action is the one that exposed the violation.
+    pub trace: Vec<Action>,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "violation: {} ({} steps)",
+            self.kind.slug(),
+            self.trace.len()
+        )?;
+        for (i, a) in self.trace.iter().enumerate() {
+            writeln!(f, "  {:>3}. {a:?}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of one exhaustive exploration.
+#[derive(Debug, Clone)]
+pub struct CheckResult {
+    /// Distinct canonical states reached.
+    pub states: u64,
+    /// Transitions taken (edges in the explored graph).
+    pub transitions: u64,
+    /// Longest trace depth reached.
+    pub max_depth: u32,
+    /// Whether the depth bound truncated the exploration (a truncated
+    /// run's state count is not comparable to the exhaustive golden).
+    pub truncated: bool,
+    /// Invariant violations found (empty = the model is safe within the
+    /// explored space).
+    pub violations: Vec<Counterexample>,
+}
+
+impl CheckResult {
+    /// Whether the sweep finished with zero violations.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The first counterexample of `kind`, if any.
+    #[must_use]
+    pub fn counterexample(&self, kind: InvariantKind) -> Option<&Counterexample> {
+        self.violations.iter().find(|c| c.kind == kind)
+    }
+}
+
+/// One explored node: state, BFS/DFS bookkeeping, trace parent.
+struct Node {
+    state: ProtoState,
+    depth: u32,
+    parent: Option<(usize, Action)>,
+}
+
+/// Maps the simulator's [`SafetyModel`] onto the abstract machine's
+/// [`ModelKind`] — the five-way sweep of the paper's Table 2.
+#[must_use]
+pub fn model_kind(safety: SafetyModel) -> ModelKind {
+    match safety {
+        SafetyModel::AtsOnlyIommu => ModelKind::AtsOnly,
+        SafetyModel::FullIommu => ModelKind::FullIommu,
+        SafetyModel::CapiLike => ModelKind::CapiLike,
+        SafetyModel::BorderControlNoBcc => ModelKind::BorderControl { bcc: false },
+        SafetyModel::BorderControlBcc => ModelKind::BorderControl { bcc: true },
+    }
+}
+
+/// The kebab-case slug of a safety model, matching the golden-file
+/// convention of `tests/goldens.rs` (`"Border Control-BCC"` →
+/// `"border-control-bcc"`).
+#[must_use]
+pub fn model_slug(safety: SafetyModel) -> &'static str {
+    match safety {
+        SafetyModel::AtsOnlyIommu => "ats-only-iommu",
+        SafetyModel::FullIommu => "full-iommu",
+        SafetyModel::CapiLike => "capi-like",
+        SafetyModel::BorderControlNoBcc => "border-control-nobcc",
+        SafetyModel::BorderControlBcc => "border-control-bcc",
+    }
+}
+
+/// Exhaustively explores the machine and checks every invariant.
+#[must_use]
+pub fn explore(cfg: &CheckConfig) -> CheckResult {
+    let proto = cfg.proto;
+    let init = ProtoState::init(&proto);
+    let mut nodes: Vec<Node> = vec![Node {
+        state: init,
+        depth: 0,
+        parent: None,
+    }];
+    let mut visited: HashMap<u64, usize> = HashMap::new();
+    visited.insert(canonical_key(&proto, &init), 0);
+    // Edges of the explored graph, for the liveness analysis.
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut frontier: VecDeque<usize> = VecDeque::from([0]);
+    let mut violations: Vec<Counterexample> = Vec::new();
+    let mut transitions = 0u64;
+    let mut max_depth = 0u32;
+    let mut truncated = false;
+
+    // State-level invariants of the initial state (vacuously clean for
+    // every sensible config, but checked for uniformity).
+    for kind in invariant_violations(&proto, &init) {
+        violations.push(Counterexample {
+            kind,
+            trace: Vec::new(),
+        });
+    }
+
+    'search: while let Some(id) = match cfg.order {
+        SearchOrder::Bfs => frontier.pop_front(),
+        SearchOrder::Dfs => frontier.pop_back(),
+    } {
+        let (state, depth) = (nodes[id].state, nodes[id].depth);
+        max_depth = max_depth.max(depth);
+        if cfg.depth.is_some_and(|d| depth >= d) {
+            truncated = true;
+            continue;
+        }
+        for action in enabled_actions(&proto, &state) {
+            transitions += 1;
+            let (violation, next) = match step(&proto, &state, action) {
+                StepResult::Next(n) => (None, n),
+                StepResult::Violation(kind, n) => (Some(kind), n),
+            };
+            let key = canonical_key(&proto, &next);
+            let (next_id, is_new) = match visited.entry(key) {
+                Entry::Occupied(e) => (*e.get(), false),
+                Entry::Vacant(e) => {
+                    let nid = nodes.len();
+                    e.insert(nid);
+                    nodes.push(Node {
+                        state: next,
+                        depth: depth + 1,
+                        parent: Some((id, action)),
+                    });
+                    frontier.push_back(nid);
+                    (nid, true)
+                }
+            };
+            edges.push((id, next_id));
+            let mut broke = violation.map(|kind| vec![kind]).unwrap_or_default();
+            if is_new {
+                // State-level invariants on every newly discovered state
+                // (a canonical twin was already checked when first seen).
+                broke.extend(invariant_violations(&proto, &next));
+            }
+            for kind in broke {
+                let mut trace = trace_to(&nodes, id);
+                trace.push(action);
+                violations.push(Counterexample { kind, trace });
+                if cfg.stop_at_first {
+                    break 'search;
+                }
+            }
+        }
+    }
+
+    // Liveness: every state with an in-flight downgrade must reach a
+    // downgrade-free state. Equivalent to: no downgrade state lies in a
+    // region (SCC or chain of SCCs) with no path out to completion.
+    if cfg.check_liveness && violations.is_empty() && !truncated {
+        if let Some(stuck) = find_liveness_violation(&nodes, &edges) {
+            violations.push(Counterexample {
+                kind: InvariantKind::DowngradeLiveness,
+                trace: trace_to(&nodes, stuck),
+            });
+        }
+    }
+
+    CheckResult {
+        states: nodes.len() as u64,
+        transitions,
+        max_depth,
+        truncated,
+        violations,
+    }
+}
+
+/// Reconstructs the action trace from the initial state to `id` by
+/// following parent pointers.
+fn trace_to(nodes: &[Node], mut id: usize) -> Vec<Action> {
+    let mut rev = Vec::new();
+    while let Some((parent, action)) = nodes[id].parent {
+        rev.push(action);
+        id = parent;
+    }
+    rev.reverse();
+    rev
+}
+
+/// Reverse-reachability liveness check: marks every state that can
+/// reach a downgrade-free state; any unmarked state holding an
+/// in-flight downgrade is a liveness violation (it sits in a cycle —
+/// the explored graph is finite, so "cannot complete" means "trapped in
+/// an SCC whose every exit keeps the downgrade pending").
+fn find_liveness_violation(nodes: &[Node], edges: &[(usize, usize)]) -> Option<usize> {
+    let mut reverse: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for &(from, to) in edges {
+        reverse[to].push(from);
+    }
+    let mut can_complete = vec![false; nodes.len()];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for (i, n) in nodes.iter().enumerate() {
+        if n.state.downgrade.is_none() {
+            can_complete[i] = true;
+            queue.push_back(i);
+        }
+    }
+    while let Some(i) = queue.pop_front() {
+        for &p in &reverse[i] {
+            if !can_complete[p] {
+                can_complete[p] = true;
+                queue.push_back(p);
+            }
+        }
+    }
+    nodes
+        .iter()
+        .enumerate()
+        .find_map(|(i, n)| (n.state.downgrade.is_some() && !can_complete[i]).then_some(i))
+}

@@ -1,0 +1,280 @@
+//! Replays checker counterexamples through the *real* Border Control
+//! engine under the audit infrastructure.
+//!
+//! A counterexample from [`explore`](crate::explore) is an abstract
+//! action trace. This module drives the concrete `bc_core` engine (a
+//! real [`Kernel`], Protection Table in simulated physical memory, real
+//! BCC) through the same action sequence with a [`bc_sim::audit`]
+//! [`Auditor`] attached, so every checker finding becomes an executable
+//! regression: the abstract violation must re-manifest as a concrete
+//! audit finding of the corresponding kind.
+//!
+//! The correspondence asserted by `tests/replay.rs`:
+//!
+//! | abstract violation | seeded bug | concrete audit finding |
+//! |---|---|---|
+//! | `bcc-subset` | [`Bug::BccCorrupt`] | [`AuditKind::BccSubsetViolation`] |
+//! | `dirty-write-containment` | [`Bug::DowngradeReorder`] | [`AuditKind::OracleMismatch`] |
+//!
+//! The oracle mirrors the *specification*: permissions drop only when
+//! the downgrade's obligations per the correct protocol (flush dirty
+//! data, then commit) are all met. A buggy trace that commits early
+//! leaves the engine's table downgraded while the oracle still holds
+//! the old permissions — so the denied flush/eviction of legitimately
+//! dirty data surfaces as an oracle mismatch, exactly the lost-update
+//! the paper's §3.2.4 ordering exists to prevent.
+
+use bc_cache::tlb::TlbEntry;
+use bc_core::proto::{Action, DowngradeTarget, ProtoConfig, MAX_PAGES};
+use bc_core::{BorderControl, BorderControlConfig, FlushPolicy, MemRequest};
+use bc_mem::addr::{PageSize, VirtAddr, Vpn};
+use bc_mem::dram::{Dram, DramConfig};
+use bc_mem::perms::PagePerms;
+use bc_mem::Ppn;
+use bc_os::{Kernel, KernelConfig, ShootdownRequest};
+use bc_sim::audit::{AuditReport, Auditor};
+use bc_sim::Cycle;
+
+/// Why a trace could not be replayed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// Replay drives the concrete Border Control engine; trusted-path
+    /// models (full IOMMU, CAPI-like, bare ATS) have no engine to
+    /// replay against.
+    ModelNotConcrete,
+    /// OS setup or trace application failed (mapping, translation).
+    Os(String),
+}
+
+/// The in-flight downgrade bookkeeping of one replay.
+struct PendingDowngrade {
+    req: ShootdownRequest,
+    page: usize,
+    /// Dirty data existed when the downgrade started: the specification
+    /// requires a flush before the oracle may drop the old permissions.
+    needs_flush: bool,
+    flushed: bool,
+    committed: bool,
+}
+
+/// Replays `trace` through the concrete engine and returns the audit
+/// report. Only Border Control models are concrete ([`ReplayError::ModelNotConcrete`]
+/// otherwise).
+///
+/// # Errors
+///
+/// Returns [`ReplayError`] when the model has no concrete engine or OS
+/// setup fails; individual trace actions that reference unmapped pages
+/// are skipped (the checker never emits them).
+pub fn replay(proto: &ProtoConfig, trace: &[Action]) -> Result<AuditReport, ReplayError> {
+    use bc_core::proto::ModelKind;
+    let with_bcc = match proto.model {
+        ModelKind::BorderControl { bcc } => bcc,
+        _ => return Err(ReplayError::ModelNotConcrete),
+    };
+
+    let mut kernel = Kernel::new(KernelConfig {
+        phys_bytes: 256 << 20,
+        ..KernelConfig::default()
+    });
+    let mut dram = Dram::new(DramConfig::default());
+    let mut bc = BorderControl::new(
+        0,
+        BorderControlConfig {
+            bcc: if with_bcc {
+                Some(bc_core::BccConfig::default())
+            } else {
+                None
+            },
+            flush_policy: FlushPolicy::Selective,
+            ..BorderControlConfig::default()
+        },
+    );
+    let mut auditor = Auditor::new(false, 8);
+
+    let pid = kernel.create_process();
+    let pages = (proto.pages as usize).min(MAX_PAGES);
+    let mut ppns: Vec<Ppn> = Vec::with_capacity(pages);
+    let base_va = 0x10_0000u64;
+    for p in 0..pages {
+        let perms = proto.init_os[p];
+        let va = VirtAddr::new(base_va + (p as u64) * 4096);
+        if !perms.is_none() {
+            kernel
+                .map_region(pid, va, 1, perms)
+                .map_err(|e| ReplayError::Os(format!("map page {p}: {e:?}")))?;
+            let tr = kernel
+                .translate(pid, va.vpn())
+                .map_err(|e| ReplayError::Os(format!("translate page {p}: {e:?}")))?;
+            ppns.push(tr.ppn);
+        } else {
+            // Unmapped page: forged probes against it are the
+            // never-granted case; pick an in-bounds frame no mapping
+            // owns by translating nothing and probing a fixed frame.
+            ppns.push(Ppn::new(0x1000 + p as u64));
+        }
+    }
+    bc.attach_process(&mut kernel, pid)
+        .map_err(|e| ReplayError::Os(format!("attach: {e:?}")))?;
+    auditor.set_oracle_bounds(kernel.total_frames());
+
+    let vpn = |p: usize| -> Vpn { VirtAddr::new(base_va + (p as u64) * 4096).vpn() };
+    let mut pending: Option<PendingDowngrade> = None;
+    let mut dirty = [false; MAX_PAGES];
+    let mut at_raw = 0u64;
+
+    for &action in trace {
+        at_raw += 1;
+        let at = Cycle::new(at_raw);
+        match action {
+            Action::Translate(p) => {
+                let p = p as usize;
+                let Ok(tr) = kernel.translate(pid, vpn(p)) else {
+                    continue; // page unmapped (downgraded to none)
+                };
+                let entry = TlbEntry {
+                    asid: pid,
+                    vpn: vpn(p),
+                    ppn: tr.ppn,
+                    perms: tr.perms,
+                    size: PageSize::Base4K,
+                };
+                bc.on_translation(at, &entry, kernel.store_mut(), &mut dram);
+                auditor.grant(tr.ppn.as_u64(), tr.perms.readable(), tr.perms.writable());
+            }
+            Action::AccRead(p) | Action::Forge(p, false) => {
+                check_and_audit(
+                    &mut bc,
+                    &mut auditor,
+                    &mut kernel,
+                    &mut dram,
+                    at,
+                    ppns[p as usize],
+                    false,
+                );
+            }
+            Action::Forge(p, true) => {
+                check_and_audit(
+                    &mut bc,
+                    &mut auditor,
+                    &mut kernel,
+                    &mut dram,
+                    at,
+                    ppns[p as usize],
+                    true,
+                );
+            }
+            Action::AccWrite(p) => {
+                // A TLB-granted write lands dirty in the accelerator's
+                // own cache; nothing crosses the border yet.
+                dirty[p as usize] = true;
+            }
+            Action::Evict(p) | Action::CpuWrite(p) => {
+                let p = p as usize;
+                check_and_audit(
+                    &mut bc,
+                    &mut auditor,
+                    &mut kernel,
+                    &mut dram,
+                    at,
+                    ppns[p],
+                    true,
+                );
+                dirty[p] = false;
+            }
+            Action::Downgrade(p, target) => {
+                let p = p as usize;
+                let new_perms = match target {
+                    DowngradeTarget::ReadOnly => PagePerms::READ_ONLY,
+                    DowngradeTarget::None => PagePerms::NONE,
+                };
+                let Ok(req) = kernel.protect_page(pid, vpn(p), new_perms) else {
+                    continue;
+                };
+                let _ = kernel.take_shootdowns();
+                pending = Some(PendingDowngrade {
+                    req,
+                    page: p,
+                    needs_flush: dirty[p],
+                    flushed: false,
+                    committed: false,
+                });
+            }
+            Action::DowngradeFlush => {
+                let Some(pd) = pending.as_mut() else { continue };
+                let page = pd.page;
+                pd.flushed = true;
+                check_and_audit(
+                    &mut bc,
+                    &mut auditor,
+                    &mut kernel,
+                    &mut dram,
+                    at,
+                    ppns[page],
+                    true,
+                );
+                dirty[page] = false;
+                settle_downgrade(&mut pending, &mut auditor);
+            }
+            Action::DowngradeCommit => {
+                let Some(pd) = pending.as_mut() else { continue };
+                bc.commit_downgrade(at, &pd.req, kernel.store_mut(), &mut dram);
+                pd.committed = true;
+                auditor.bcc_subset(at.as_u64(), &bc.audit_bcc_subset(kernel.store()));
+                settle_downgrade(&mut pending, &mut auditor);
+            }
+            Action::BccEvict(_) | Action::WritebackRetire => {
+                // Capacity pressure / buffer drain: timing-only in the
+                // concrete engine, no safety state to mirror.
+            }
+            Action::CorruptBcc(p) => {
+                bc.debug_corrupt_bcc(ppns[p as usize], PagePerms::READ_WRITE);
+                auditor.bcc_subset(at.as_u64(), &bc.audit_bcc_subset(kernel.store()));
+            }
+        }
+    }
+    Ok(auditor.take_report())
+}
+
+/// One border check mirrored to the audit oracle — the concrete
+/// counterpart of the abstract machine's `border_check`.
+fn check_and_audit(
+    bc: &mut BorderControl,
+    auditor: &mut Auditor,
+    kernel: &mut Kernel,
+    dram: &mut Dram,
+    at: Cycle,
+    ppn: Ppn,
+    write: bool,
+) {
+    let out = bc.check(
+        at,
+        MemRequest {
+            ppn,
+            write,
+            asid: None,
+        },
+        kernel.store_mut(),
+        dram,
+    );
+    auditor.check_decision(at.as_u64(), ppn.as_u64(), write, out.allowed);
+}
+
+/// Drops the oracle's old permissions once the downgrade's
+/// *specification-level* obligations are met: committed, and flushed if
+/// dirty data existed. A buggy early commit leaves the oracle holding
+/// the old permissions — which is precisely what lets the auditor see
+/// the engine deny a still-legitimate writeback.
+fn settle_downgrade(pending: &mut Option<PendingDowngrade>, auditor: &mut Auditor) {
+    let done = pending
+        .as_ref()
+        .is_some_and(|pd| pd.committed && (!pd.needs_flush || pd.flushed));
+    if done {
+        if let Some(pd) = pending.take() {
+            if let Some(ppn) = pd.req.old_ppn {
+                let p = pd.req.new_perms.border_enforceable();
+                auditor.set_perms(ppn.as_u64(), p.readable(), p.writable());
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Exhaustive tiny-configuration sweeps: the paper's invariants hold on
+//! every reachable state of every safety model, the seeded bugs are
+//! found, and the reachable-state counts stay pinned to a golden.
+
+use std::path::PathBuf;
+
+use bc_check::{explore, model_kind, model_slug, CheckConfig, SearchOrder};
+use bc_core::proto::{Bug, InvariantKind, ProtoConfig};
+use bc_system::SafetyModel;
+
+fn tiny(safety: SafetyModel) -> CheckConfig {
+    CheckConfig::new(ProtoConfig::tiny(model_kind(safety)))
+}
+
+/// Every safety model's *claimed* invariants hold across the entire
+/// reachable space of the tiny configuration — zero violations,
+/// including deadlock and downgrade liveness.
+#[test]
+fn all_five_models_are_clean_and_live() {
+    for safety in SafetyModel::ALL {
+        let result = explore(&tiny(safety));
+        assert!(
+            result.is_clean(),
+            "{}: unexpected violation {:?}",
+            model_slug(safety),
+            result.violations.first().map(|c| (c.kind, c.trace.clone())),
+        );
+        assert!(!result.truncated);
+        assert!(result.states > 1, "{} explored nothing", model_slug(safety));
+    }
+}
+
+/// DFS explores the same state space as BFS (order must not change
+/// reachability, only trace minimality).
+#[test]
+fn dfs_reaches_the_same_states_as_bfs() {
+    for safety in SafetyModel::ALL {
+        let bfs = explore(&tiny(safety));
+        let mut cfg = tiny(safety);
+        cfg.order = SearchOrder::Dfs;
+        let dfs = explore(&cfg);
+        assert_eq!(bfs.states, dfs.states, "{}", model_slug(safety));
+        assert_eq!(bfs.transitions, dfs.transitions, "{}", model_slug(safety));
+    }
+}
+
+/// Three pages with one symmetric pair: canonicalization must explore
+/// fewer states than the asymmetric equivalent would, and stay clean.
+#[test]
+fn three_page_config_is_clean() {
+    let mut cfg = tiny(SafetyModel::BorderControlBcc);
+    cfg.proto.pages = 3;
+    cfg.proto.downgrade_budget = 1;
+    let result = explore(&cfg);
+    assert!(
+        result.is_clean(),
+        "{:?}",
+        result.violations.first().map(|c| c.kind)
+    );
+}
+
+/// The `debug_corrupt_bcc` counterpart: a BCC entry upgraded without
+/// the table write-through breaks the subset invariant, and BFS finds a
+/// minimal trace.
+#[test]
+fn bcc_corruption_is_detected_with_minimal_trace() {
+    let mut cfg = tiny(SafetyModel::BorderControlBcc);
+    cfg.proto.bug = Bug::BccCorrupt;
+    let result = explore(&cfg);
+    let cex = result
+        .counterexample(InvariantKind::BccSubset)
+        .expect("checker must find the corruption");
+    assert!(
+        cex.trace.len() <= 4,
+        "BFS trace should be minimal, got {:?}",
+        cex.trace
+    );
+}
+
+/// The downgrade-reordering injection: committing the table update
+/// before the dirty flush drops legitimately-dirty data at the border.
+#[test]
+fn downgrade_reorder_is_detected() {
+    for safety in [
+        SafetyModel::BorderControlNoBcc,
+        SafetyModel::BorderControlBcc,
+    ] {
+        let mut cfg = tiny(safety);
+        cfg.proto.bug = Bug::DowngradeReorder;
+        let result = explore(&cfg);
+        let cex = result
+            .counterexample(InvariantKind::DirtyWriteContainment)
+            .unwrap_or_else(|| panic!("{}: reorder bug not found", model_slug(safety)));
+        assert!(cex.trace.len() <= 6, "non-minimal trace {:?}", cex.trace);
+    }
+}
+
+/// Table 2's "unsafe" row, exhibited: holding the ATS-only baseline to
+/// the sandbox invariant produces a forged-access counterexample, while
+/// every Border Control model stays clean under the same standard.
+#[test]
+fn enforcing_sandbox_everywhere_exposes_ats_only() {
+    let mut cfg = tiny(SafetyModel::AtsOnlyIommu);
+    cfg.proto.enforce_sandbox = true;
+    let result = explore(&cfg);
+    let cex = result
+        .counterexample(InvariantKind::SandboxSafety)
+        .expect("ATS-only must fail the sandbox invariant");
+    assert!(
+        cex.trace
+            .iter()
+            .any(|a| matches!(a, bc_core::proto::Action::Forge(_, _))),
+        "the attack must be a forged physical access: {:?}",
+        cex.trace
+    );
+
+    for safety in [
+        SafetyModel::BorderControlNoBcc,
+        SafetyModel::BorderControlBcc,
+    ] {
+        let mut cfg = tiny(safety);
+        cfg.proto.enforce_sandbox = true;
+        assert!(explore(&cfg).is_clean(), "{}", model_slug(safety));
+    }
+}
+
+/// A depth bound truncates (and says so) without spurious violations.
+#[test]
+fn depth_bound_truncates_cleanly() {
+    let mut cfg = tiny(SafetyModel::BorderControlBcc);
+    cfg.depth = Some(3);
+    let result = explore(&cfg);
+    assert!(result.truncated);
+    assert!(result.is_clean());
+    assert!(result.max_depth <= 3);
+}
+
+/// Reachable-state counts per model, pinned byte-for-byte to the golden
+/// (`golden/state_counts.json`). Drift means the protocol's reachable
+/// space changed — review the change, then regenerate with:
+///
+/// ```text
+/// BLESS=1 cargo test -p bc-check --test exhaustive
+/// ```
+#[test]
+fn state_counts_match_golden() {
+    let mut json = String::from("{\n");
+    let models = SafetyModel::ALL;
+    for (i, safety) in models.iter().enumerate() {
+        let result = explore(&tiny(*safety));
+        json.push_str(&format!(
+            "  \"{}\": {}{}\n",
+            model_slug(*safety),
+            result.states,
+            if i + 1 < models.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("}\n");
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden/state_counts.json");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &json).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}\nregenerate with: BLESS=1 cargo test -p bc-check --test exhaustive",
+            path.display()
+        )
+    });
+    assert_eq!(
+        want, json,
+        "reachable-state count drifted; if the protocol change is intentional, \
+         re-bless with BLESS=1 cargo test -p bc-check --test exhaustive and review the diff"
+    );
+}

@@ -1,6 +1,10 @@
 //! The Border Control Cache (BCC): a small cache of the Protection Table
 //! (§3.1.2).
 
+// Set/way indices are reduced modulo the fixed cache geometry before
+// every array access, so unchecked indexing cannot go out of bounds.
+#![allow(clippy::indexing_slicing)]
+
 use serde::{Deserialize, Serialize};
 
 use bc_mem::addr::Ppn;
@@ -47,6 +51,7 @@ impl BccConfig {
     /// # Panics
     ///
     /// Panics on degenerate geometry.
+    #[must_use]
     pub fn sets(&self) -> usize {
         assert!(self.ways > 0 && self.entries >= self.ways);
         assert!(
@@ -62,16 +67,19 @@ impl BccConfig {
     }
 
     /// Permission-bit storage in bytes (2 bits per covered page).
+    #[must_use]
     pub fn data_bytes(&self) -> u64 {
         self.entries as u64 * self.pages_per_entry * 2 / 8
     }
 
     /// Total storage in bytes including tags — the x-axis of Figure 6.
+    #[must_use]
     pub fn total_bytes(&self) -> u64 {
         (self.entries as u64 * (self.pages_per_entry * 2 + Self::TAG_BITS)).div_ceil(8)
     }
 
     /// Physical-memory reach in bytes.
+    #[must_use]
     pub fn reach_bytes(&self) -> u64 {
         self.entries as u64 * self.pages_per_entry * bc_mem::PAGE_SIZE
     }
@@ -142,6 +150,7 @@ pub struct Bcc {
 
 impl Bcc {
     /// Creates an empty BCC.
+    #[must_use]
     pub fn new(config: BccConfig) -> Self {
         let sets = config.sets();
         Bcc {
@@ -154,6 +163,7 @@ impl Bcc {
     }
 
     /// The geometry in use.
+    #[must_use]
     pub fn config(&self) -> BccConfig {
         self.config
     }
@@ -186,6 +196,7 @@ impl Bcc {
     }
 
     /// Checks presence without touching LRU/stats.
+    #[must_use]
     pub fn peek(&self, ppn: Ppn) -> Option<PagePerms> {
         let group = self.group_of(ppn);
         let index = ppn.as_u64() % self.config.pages_per_entry;
@@ -324,6 +335,7 @@ impl Bcc {
     }
 
     /// Number of valid entries.
+    #[must_use]
     pub fn valid_entries(&self) -> usize {
         self.sets
             .iter()
@@ -333,6 +345,7 @@ impl Bcc {
     }
 
     /// Hit/miss statistics — the quantity swept in Figure 6.
+    #[must_use]
     pub fn stats(&self) -> HitMiss {
         self.stats
     }

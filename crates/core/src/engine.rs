@@ -9,10 +9,12 @@ use bc_mem::dram::Dram;
 use bc_mem::perms::PagePerms;
 
 use bc_mem::store::PhysMemStore;
-use bc_os::{Kernel, OsError, ShootdownRequest, ShootdownScope, Violation, ViolationKind};
+use bc_os::{Kernel, OsError, ShootdownRequest, Violation, ViolationKind};
 use bc_sim::resource::Port;
 use bc_sim::stats::{Counter, StatsTable};
 use bc_sim::Cycle;
+
+use crate::proto;
 
 use crate::bcc::{Bcc, BccConfig};
 use crate::table::ProtectionTable;
@@ -70,6 +72,7 @@ impl Default for BorderControlConfig {
 
 impl BorderControlConfig {
     /// The Border Control-noBCC configuration of Table 2.
+    #[must_use]
     pub fn without_bcc() -> Self {
         BorderControlConfig {
             bcc: None,
@@ -189,16 +192,19 @@ impl BorderControl {
     }
 
     /// The configuration in use.
+    #[must_use]
     pub fn config(&self) -> BorderControlConfig {
         self.config
     }
 
     /// The current Protection Table registers, if a process is attached.
+    #[must_use]
     pub fn table(&self) -> Option<&ProtectionTable> {
         self.table.as_ref()
     }
 
     /// ASIDs currently attached (the "use count" of Fig 3a/3e).
+    #[must_use]
     pub fn attached(&self) -> &[Asid] {
         &self.attached
     }
@@ -274,20 +280,14 @@ impl BorderControl {
         self.insertions.inc();
         let pages = entry.size.base_pages();
         let base = entry.ppn;
-        let perms = entry.perms.border_enforceable();
+        let perms = proto::insertion_perms(entry.perms);
 
         let t = at;
         // Protection Table update: for a base page all bits live in one
         // block (one read-modify-write); a 2 MiB page spans exactly one
         // block too (512 entries × 2 bits = 128 B).
-        let already_correct = pages == 1
-            && self
-                .bcc
-                .as_ref()
-                .and_then(|b| b.peek(base))
-                .map(|p| p.contains(perms))
-                .unwrap_or(false);
-        if already_correct {
+        let cached = self.bcc.as_ref().and_then(|b| b.peek(base));
+        if proto::insertion_covered(cached, perms, pages) {
             // "If there is an entry for this page in the BCC and it has
             // the correct permissions, no action is taken."
             return t;
@@ -384,13 +384,7 @@ impl BorderControl {
             table.lookup(store, req.ppn)
         };
 
-        let allowed = if req.write {
-            perms.writable()
-        } else {
-            perms.readable()
-        };
-
-        if allowed {
+        if proto::access_allowed(perms, req.write) {
             CheckOutcome {
                 allowed: true,
                 done: t,
@@ -399,12 +393,7 @@ impl BorderControl {
                 pt_accessed,
             }
         } else {
-            let kind = if req.write {
-                ViolationKind::WriteWithoutPermission
-            } else {
-                ViolationKind::ReadWithoutPermission
-            };
-            let mut out = self.deny(t, req, kind);
+            let mut out = self.deny(t, req, proto::denial_kind(req.write));
             out.bcc_hit = bcc_hit;
             out.pt_accessed = pt_accessed;
             out
@@ -434,26 +423,9 @@ impl BorderControl {
     /// New mappings and pure upgrades need nothing ("If a new translation
     /// … is added, the Border Control takes no action"). Downgrades of
     /// pages that may be dirty require an accelerator cache flush first.
+    #[must_use]
     pub fn downgrade_action(&self, req: &ShootdownRequest) -> DowngradeAction {
-        if !req.is_downgrade() {
-            return DowngradeAction::CommitNow;
-        }
-        if matches!(req.scope, ShootdownScope::FullAddressSpace) {
-            return DowngradeAction::FlushAll;
-        }
-        if !req.may_have_dirty_data() {
-            // Read-only page: "the Protection Table and BCC entry can
-            // simply be updated, because no cached lines from the page can
-            // be dirty."
-            return DowngradeAction::CommitNow;
-        }
-        match self.config.flush_policy {
-            FlushPolicy::FullFlush => DowngradeAction::FlushAll,
-            FlushPolicy::Selective => DowngradeAction::FlushPage(
-                req.old_ppn
-                    .expect("page-scope downgrade carries its old PPN"),
-            ),
-        }
+        proto::downgrade_action(self.config.flush_policy, req)
     }
 
     /// Commits a mapping update after any required flush completed.
@@ -469,23 +441,18 @@ impl BorderControl {
         let Some(table) = self.table else {
             return at;
         };
-        if !req.is_downgrade() {
-            return at;
-        }
-        match self.downgrade_action(req) {
-            DowngradeAction::CommitNow | DowngradeAction::FlushPage(_) => {
-                let mut t = at;
-                if let (Some(ppn), ShootdownScope::Page(_)) = (req.old_ppn, req.scope) {
-                    table.set(store, ppn, req.new_perms.border_enforceable());
-                    self.pt_writes.inc();
-                    t = dram.write_block(t, table.block_addr(ppn));
-                    if let Some(bcc) = &mut self.bcc {
-                        bcc.overwrite(ppn, req.new_perms);
-                    }
+        match proto::commit_plan(self.config.flush_policy, req) {
+            proto::CommitPlan::Nothing => at,
+            proto::CommitPlan::SetPage { ppn, perms } => {
+                table.set(store, ppn, perms);
+                self.pt_writes.inc();
+                let t = dram.write_block(at, table.block_addr(ppn));
+                if let Some(bcc) = &mut self.bcc {
+                    bcc.overwrite(ppn, perms);
                 }
                 t
             }
-            DowngradeAction::FlushAll => {
+            proto::CommitPlan::ZeroAll => {
                 let blocks = table.zero(store, None);
                 // The zeroing writes are streamed back-to-back; DRAM
                 // channel occupancy (not per-access latency) bounds them.
@@ -514,6 +481,7 @@ impl BorderControl {
     /// Empty when no table or no BCC is configured. Read-only: touches
     /// neither LRU state nor statistics, and charges no DRAM traffic
     /// (the audit layer is pure observation).
+    #[must_use]
     pub fn audit_bcc_subset(&self, store: &PhysMemStore) -> Vec<(u64, String, String)> {
         let (Some(table), Some(bcc)) = (self.table.as_ref(), self.bcc.as_ref()) else {
             return Vec::new();
@@ -548,31 +516,37 @@ impl BorderControl {
     // ---- statistics ---------------------------------------------------------------
 
     /// Requests checked so far (the numerator of Figure 5).
+    #[must_use]
     pub fn checks(&self) -> u64 {
         self.checks.get()
     }
 
     /// Requests blocked.
+    #[must_use]
     pub fn violations_blocked(&self) -> u64 {
         self.violations.get()
     }
 
     /// Protection Table memory reads.
+    #[must_use]
     pub fn pt_reads(&self) -> u64 {
         self.pt_reads.get()
     }
 
     /// Protection Table memory writes.
+    #[must_use]
     pub fn pt_writes(&self) -> u64 {
         self.pt_writes.get()
     }
 
     /// Translations observed (Fig 3b insertions).
+    #[must_use]
     pub fn insertions(&self) -> u64 {
         self.insertions.get()
     }
 
     /// BCC hit/miss statistics, if a BCC is configured.
+    #[must_use]
     pub fn bcc_stats(&self) -> Option<bc_sim::stats::HitMiss> {
         self.bcc.as_ref().map(|b| b.stats())
     }
@@ -584,6 +558,7 @@ impl BorderControl {
     }
 
     /// Requests checked per cycle over an `elapsed` window (Figure 5).
+    #[must_use]
     pub fn checks_per_cycle(&self, elapsed: u64) -> f64 {
         if elapsed == 0 {
             0.0
@@ -593,6 +568,7 @@ impl BorderControl {
     }
 
     /// Renders a stats table for reports.
+    #[must_use]
     pub fn stats(&self, elapsed: u64) -> StatsTable {
         let mut t = StatsTable::new(format!("Border Control (accel {})", self.accel_id));
         t.push("checks", self.checks.get());
@@ -609,6 +585,7 @@ impl BorderControl {
 }
 
 #[cfg(test)]
+#[allow(clippy::indexing_slicing)] // tests may index asserted-nonempty results
 mod tests {
     use super::*;
     use bc_mem::addr::{PageSize, VirtAddr};

@@ -14,6 +14,10 @@
 //! table — which [`FineProtectionTable::storage_bytes`] quantifies so the
 //! `storage` experiment can print the comparison.
 
+// `read_vec(_, 1)` always returns exactly one byte, so `[0]` cannot be
+// out of bounds.
+#![allow(clippy::indexing_slicing)]
+
 use bc_mem::addr::{PhysAddr, Ppn, BLOCK_SIZE, PAGE_SIZE};
 use bc_mem::perms::PagePerms;
 use bc_mem::store::PhysMemStore;
@@ -46,6 +50,7 @@ impl FineProtectionTable {
     /// Creates the table descriptor covering `bounds_blocks` 128-byte
     /// blocks of physical memory, with storage at `base` (zeroed by the
     /// OS, like the page-granular table).
+    #[must_use]
     pub fn new(base: Ppn, bounds_blocks: u64) -> Self {
         FineProtectionTable {
             base,
@@ -54,32 +59,38 @@ impl FineProtectionTable {
     }
 
     /// First physical page of the table.
+    #[must_use]
     pub fn base(&self) -> Ppn {
         self.base
     }
 
     /// Number of 128-byte blocks covered.
+    #[must_use]
     pub fn bounds_blocks(&self) -> u64 {
         self.bounds_blocks
     }
 
     /// Whether a physical address falls inside the covered range.
+    #[must_use]
     pub fn in_bounds(&self, addr: PhysAddr) -> bool {
         addr.block_index() < self.bounds_blocks
     }
 
     /// Bytes of table storage for `bounds_blocks` blocks: 2 bits each.
+    #[must_use]
     pub fn storage_bytes(bounds_blocks: u64) -> u64 {
         bounds_blocks.div_ceil(4)
     }
 
     /// Table pages the OS must allocate.
+    #[must_use]
     pub fn storage_pages(bounds_blocks: u64) -> u64 {
         Self::storage_bytes(bounds_blocks).div_ceil(PAGE_SIZE)
     }
 
     /// Storage overhead as a fraction of covered memory (≈0.195 %,
     /// 32× the page-granular table's 0.006 %).
+    #[must_use]
     pub fn storage_overhead_fraction(bounds_blocks: u64) -> f64 {
         if bounds_blocks == 0 {
             return 0.0;
@@ -93,6 +104,7 @@ impl FineProtectionTable {
 
     /// Reads the permissions of the block containing `addr`.
     /// Out-of-bounds reads report no permissions.
+    #[must_use]
     pub fn lookup(&self, store: &PhysMemStore, addr: PhysAddr) -> PagePerms {
         if !self.in_bounds(addr) {
             return PagePerms::NONE;
@@ -121,7 +133,7 @@ impl FineProtectionTable {
     /// rights.
     pub fn merge(&self, store: &mut PhysMemStore, addr: PhysAddr, perms: PagePerms) {
         let old = self.lookup(store, addr);
-        self.set(store, addr, old | perms.border_enforceable());
+        self.set(store, addr, old | crate::proto::insertion_perms(perms));
     }
 
     /// Merges permissions over a byte range (block-aligned coverage).
@@ -149,13 +161,9 @@ impl FineProtectionTable {
 
     /// Checks one request at block granularity, mirroring
     /// [`crate::BorderControl`]'s read/write rule.
+    #[must_use]
     pub fn check(&self, store: &PhysMemStore, addr: PhysAddr, write: bool) -> bool {
-        let perms = self.lookup(store, addr);
-        if write {
-            perms.writable()
-        } else {
-            perms.readable()
-        }
+        crate::proto::access_allowed(self.lookup(store, addr), write)
     }
 }
 

@@ -34,10 +34,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::indexing_slicing)]
 
 pub mod bcc;
 pub mod engine;
 pub mod fine;
+pub mod proto;
 pub mod table;
 
 pub use bcc::{Bcc, BccConfig};

@@ -1,0 +1,1099 @@
+//! The Border Control protocol as pure, side-effect-free transition
+//! functions over an explicit [`ProtoState`].
+//!
+//! The event-driven simulator and the `bc-check` bounded model checker
+//! are two *drivers* of the same protocol logic:
+//!
+//! * the **decision kernel** (first half of this module) is the set of
+//!   pure functions the timing simulator consults for every protocol
+//!   decision — allow/deny rules ([`access_allowed`]), insertion
+//!   permissions ([`insertion_perms`], [`insertion_covered`]), downgrade
+//!   planning ([`downgrade_action`], [`commit_plan`]) and the coherence
+//!   recall flow ([`recall_plan`]). `bc_core::engine`, `bc_core::fine`
+//!   and `bc_system`'s recall/writeback paths call these instead of
+//!   open-coding the rules, so the checker and the simulator can never
+//!   silently disagree about what the protocol *is*;
+//! * the **abstract machine** (second half) is a tiny explicit-state
+//!   model — 1–3 physical pages, one CPU and one accelerator requestor,
+//!   a 1–2 entry BCC — whose [`step`] function enumerates and applies
+//!   the protocol's atomic actions (translate, accelerator read/write,
+//!   eviction/writeback, CPU-write recall, downgrade start/flush/commit,
+//!   BCC eviction, writeback retirement, forged physical probes) and
+//!   whose [`invariant_violations`] checks the paper's safety claims on
+//!   every reachable state. `crates/check` exhaustively explores it.
+//!
+//! Everything here is `Copy`, hashable and deterministic: `step(s, a)`
+//! depends on nothing but its arguments, which is what makes exhaustive
+//! interleaving enumeration sound.
+
+// Pages are indexed with `page < cfg.pages <= MAX_PAGES` into fixed
+// `[_; MAX_PAGES]` arrays throughout; the geometry is validated once in
+// `ProtoConfig`, so unchecked indexing cannot go out of bounds here.
+#![allow(clippy::indexing_slicing)]
+
+use bc_mem::addr::Ppn;
+use bc_mem::perms::PagePerms;
+use bc_os::{ShootdownRequest, ShootdownScope, ViolationKind};
+
+use crate::engine::{DowngradeAction, FlushPolicy};
+
+// ===================================================================
+// Decision kernel: the rules both drivers share
+// ===================================================================
+
+/// The border's allow/deny rule (§3.2.3): reads need R, writes need W.
+/// Execute never crosses the border, so it is never consulted.
+#[must_use]
+pub fn access_allowed(perms: PagePerms, write: bool) -> bool {
+    if write {
+        perms.writable()
+    } else {
+        perms.readable()
+    }
+}
+
+/// The violation class a denied in-bounds request reports.
+#[must_use]
+pub fn denial_kind(write: bool) -> ViolationKind {
+    if write {
+        ViolationKind::WriteWithoutPermission
+    } else {
+        ViolationKind::ReadWithoutPermission
+    }
+}
+
+/// Permissions a completed translation inserts into the Protection
+/// Table / BCC: the border-enforceable subset (execute dropped, §3.1.1).
+#[must_use]
+pub fn insertion_perms(granted: PagePerms) -> PagePerms {
+    granted.border_enforceable()
+}
+
+/// Figure 3b short-circuit: "If there is an entry for this page in the
+/// BCC and it has the correct permissions, no action is taken." Only a
+/// single-page insertion can skip; a huge-page insertion always updates
+/// the table.
+#[must_use]
+pub fn insertion_covered(cached: Option<PagePerms>, perms: PagePerms, pages: u64) -> bool {
+    pages == 1 && cached.is_some_and(|p| p.contains(perms))
+}
+
+/// Decides what must happen before a mapping update commits (Fig 3d).
+/// New mappings and upgrades need nothing; downgrades of pages that may
+/// hold dirty accelerator data force a flush first, whole-address-space
+/// downgrades force a full flush. A page-scope dirty downgrade that
+/// somehow lost its old PPN falls back to the always-safe full flush
+/// instead of panicking.
+#[must_use]
+pub fn downgrade_action(policy: FlushPolicy, req: &ShootdownRequest) -> DowngradeAction {
+    if !req.is_downgrade() {
+        return DowngradeAction::CommitNow;
+    }
+    if matches!(req.scope, ShootdownScope::FullAddressSpace) {
+        return DowngradeAction::FlushAll;
+    }
+    if !req.may_have_dirty_data() {
+        // Read-only page: "the Protection Table and BCC entry can simply
+        // be updated, because no cached lines from the page can be
+        // dirty."
+        return DowngradeAction::CommitNow;
+    }
+    match (policy, req.old_ppn) {
+        (FlushPolicy::FullFlush, _) | (FlushPolicy::Selective, None) => DowngradeAction::FlushAll,
+        (FlushPolicy::Selective, Some(ppn)) => DowngradeAction::FlushPage(ppn),
+    }
+}
+
+/// The Protection Table / BCC maintenance a downgrade commit performs
+/// once any required flush finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitPlan {
+    /// Not a downgrade (or nothing addressable): no maintenance.
+    Nothing,
+    /// Overwrite one page's table entry (write-through to the BCC).
+    SetPage {
+        /// The physical page whose entry is overwritten.
+        ppn: Ppn,
+        /// The new (border-enforceable) permissions.
+        perms: PagePerms,
+    },
+    /// Zero the whole table and invalidate the BCC (full flush commit).
+    ZeroAll,
+}
+
+/// Maps a shootdown to the table/BCC maintenance its commit performs.
+/// Pure counterpart of `BorderControl::commit_downgrade`'s effects.
+#[must_use]
+pub fn commit_plan(policy: FlushPolicy, req: &ShootdownRequest) -> CommitPlan {
+    if !req.is_downgrade() {
+        return CommitPlan::Nothing;
+    }
+    match downgrade_action(policy, req) {
+        DowngradeAction::FlushAll => CommitPlan::ZeroAll,
+        DowngradeAction::CommitNow | DowngradeAction::FlushPage(_) => {
+            match (req.old_ppn, req.scope) {
+                (Some(ppn), ShootdownScope::Page(_)) => CommitPlan::SetPage {
+                    ppn,
+                    perms: insertion_perms(req.new_perms),
+                },
+                _ => CommitPlan::Nothing,
+            }
+        }
+    }
+}
+
+/// What the null directory must do when the host CPU misses on a block
+/// the GPU may hold (§5.1): invalidate or downgrade the accelerator's
+/// copies, and route dirty data back **through the border** — where it
+/// is permission-checked like any other accelerator writeback. The CPU's
+/// fill must wait for the recalled block's *retire* (check + DRAM write
+/// complete), not merely its writeback-buffer admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecallPlan {
+    /// Every CU's L1 copy must go (CPU takes ownership, or dirty data
+    /// leaves: the write-through L1s can hold clean copies of a block
+    /// the L2 has dirty).
+    pub invalidate_l1s: bool,
+    /// The L2 block is invalidated (GetM: ownership moves to the CPU).
+    pub invalidate_l2: bool,
+    /// The L2 block is downgraded to shared (GetS of a dirty block).
+    pub downgrade_l2: bool,
+    /// Dirty data crosses the border as a checked writeback.
+    pub writeback_through_border: bool,
+    /// The CPU's memory read must wait for the writeback's retire time.
+    pub wait_for_retire: bool,
+}
+
+/// The recall decision for a host access to a block the GPU holds.
+#[must_use]
+pub fn recall_plan(cpu_writes: bool, gpu_dirty: bool) -> RecallPlan {
+    RecallPlan {
+        invalidate_l1s: cpu_writes,
+        invalidate_l2: cpu_writes,
+        downgrade_l2: gpu_dirty && !cpu_writes,
+        writeback_through_border: gpu_dirty,
+        wait_for_retire: gpu_dirty,
+    }
+}
+
+// ===================================================================
+// The abstract protocol machine
+// ===================================================================
+
+/// Maximum pages the abstract machine models. The checker is built for
+/// *tiny* configurations — the protocol's interleavings, not capacity.
+pub const MAX_PAGES: usize = 3;
+
+/// Which of the paper's Table 2 safety approaches the machine models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// ATS-only IOMMU: translations are served, but physical requests
+    /// cross unchecked. The paper's unsafe baseline (Figure 1b).
+    AtsOnly,
+    /// Every request translated + checked at the trusted central IOMMU.
+    FullIommu,
+    /// CAPI-like: accelerator uses trusted host-side caches; every
+    /// insertion is checked by trusted hardware.
+    CapiLike,
+    /// Border Control, with or without the BCC.
+    BorderControl {
+        /// Whether the Border Control Cache is present.
+        bcc: bool,
+    },
+}
+
+impl ModelKind {
+    /// Whether this model claims the sandbox-safety invariant (Table 2:
+    /// every approach except the ATS-only baseline).
+    #[must_use]
+    pub fn claims_sandbox_safety(self) -> bool {
+        !matches!(self, ModelKind::AtsOnly)
+    }
+
+    /// Whether the model has a BCC whose subset invariant is claimed.
+    #[must_use]
+    pub fn has_bcc(self) -> bool {
+        matches!(self, ModelKind::BorderControl { bcc: true })
+    }
+
+    /// Whether accelerator writes land in an untrusted writeback cache
+    /// (so the border sees them at eviction, not at issue).
+    #[must_use]
+    pub fn caches_dirty_data(self) -> bool {
+        !matches!(self, ModelKind::FullIommu)
+    }
+}
+
+/// A seeded protocol bug for checker validation: the model checker must
+/// *find* these, and their counterexample traces must replay as audit
+/// findings through the real engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Bug {
+    /// No injected bug: the correct protocol.
+    #[default]
+    None,
+    /// A BCC entry is upgraded without the table write-through (the
+    /// model counterpart of `BorderControl::debug_corrupt_bcc`).
+    BccCorrupt,
+    /// Downgrade reordering: the commit (table/BCC update + shootdown)
+    /// is allowed to run *before* the dirty-page flush, so the flush's
+    /// writeback is checked against the already-downgraded permissions
+    /// and blocked — losing legitimately-dirty data.
+    DowngradeReorder,
+}
+
+/// Static configuration of the abstract machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProtoConfig {
+    /// Safety model under check.
+    pub model: ModelKind,
+    /// Physical pages modeled (1..=[`MAX_PAGES`]).
+    pub pages: u8,
+    /// BCC capacity in entries (1..=pages; ignored without a BCC).
+    pub bcc_entries: u8,
+    /// Initial OS page-table permissions per page.
+    pub init_os: [PagePerms; MAX_PAGES],
+    /// Downgrade budget: how many downgrades the OS may start over one
+    /// trace (bounds the interleaving space; permissions only ever
+    /// shrink, so the state space is finite regardless).
+    pub downgrade_budget: u8,
+    /// Whether the accelerator may forge physical requests that bypass
+    /// its TLB (the malicious probes of the paper's threat model).
+    pub malicious: bool,
+    /// Seeded bug, if any.
+    pub bug: Bug,
+    /// Claim the sandbox-safety invariant even for models that do not
+    /// promise it (Table 2's "unsafe" row). Off by default — the normal
+    /// sweep verifies each model's *claimed* properties; turning this on
+    /// for [`ModelKind::AtsOnly`] makes the checker exhibit the paper's
+    /// Figure 1b attack as a counterexample.
+    pub enforce_sandbox: bool,
+}
+
+impl ProtoConfig {
+    /// The default tiny configuration: 2 symmetric read-write pages,
+    /// 1 BCC entry (so capacity eviction is reachable), a 2-downgrade
+    /// budget, malicious probes on.
+    #[must_use]
+    pub fn tiny(model: ModelKind) -> Self {
+        ProtoConfig {
+            model,
+            pages: 2,
+            bcc_entries: 1,
+            init_os: [PagePerms::READ_WRITE; MAX_PAGES],
+            downgrade_budget: 2,
+            malicious: true,
+            bug: Bug::None,
+            enforce_sandbox: false,
+        }
+    }
+
+    /// Whether this configuration holds the model to the sandbox-safety
+    /// invariant (claimed by the model, or forced by
+    /// [`ProtoConfig::enforce_sandbox`]).
+    #[must_use]
+    pub fn claims_sandbox(&self) -> bool {
+        self.model.claims_sandbox_safety() || self.enforce_sandbox
+    }
+}
+
+/// An in-flight permission downgrade (OS page table already updated;
+/// Border Control's flush/commit not yet complete).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DowngradeInFlight {
+    /// The physical page being downgraded.
+    pub page: u8,
+    /// OS permissions before the downgrade — still *legitimate* for the
+    /// accelerator to use until the downgrade completes, because the OS
+    /// must wait for completion before reusing the page.
+    pub from: PagePerms,
+    /// The new, lower permissions.
+    pub to: PagePerms,
+}
+
+/// An admitted writeback occupying the (depth-1) writeback buffer until
+/// it retires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WbEntry {
+    /// The page written back.
+    pub page: u8,
+    /// Whether the write was legitimate (OS-granted, including the
+    /// in-flight-downgrade window) when the border admitted it.
+    pub authorized: bool,
+}
+
+/// One state of the abstract protocol machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProtoState {
+    /// OS page-table permissions (the trusted source of truth).
+    pub os: [PagePerms; MAX_PAGES],
+    /// Protection Table contents.
+    pub table: [PagePerms; MAX_PAGES],
+    /// BCC contents (`None` = invalid entry).
+    pub bcc: [Option<PagePerms>; MAX_PAGES],
+    /// Accelerator TLB contents — possibly stale until a shootdown.
+    pub tlb: [Option<PagePerms>; MAX_PAGES],
+    /// Whether the accelerator's cache holds dirty data for the page.
+    pub dirty: [bool; MAX_PAGES],
+    /// The in-flight downgrade, if any (at most one at a time: the OS
+    /// serializes shootdowns on the page-table lock).
+    pub downgrade: Option<DowngradeInFlight>,
+    /// The in-flight writeback, if any (depth-1 buffer).
+    pub wb: Option<WbEntry>,
+    /// Remaining downgrade budget.
+    pub downgrades_left: u8,
+    /// Whether the [`Bug::BccCorrupt`] injection already fired (each
+    /// bug fires at most once per trace).
+    pub bug_fired: bool,
+}
+
+impl ProtoState {
+    /// The initial state: nothing translated, nothing cached, nothing
+    /// dirty; the Protection Table zeroed by the OS at attach (Fig 3a).
+    #[must_use]
+    pub fn init(cfg: &ProtoConfig) -> Self {
+        let mut os = [PagePerms::NONE; MAX_PAGES];
+        for (i, p) in os.iter_mut().enumerate().take(cfg.pages as usize) {
+            *p = cfg.init_os[i];
+        }
+        ProtoState {
+            os,
+            table: [PagePerms::NONE; MAX_PAGES],
+            bcc: [None; MAX_PAGES],
+            tlb: [None; MAX_PAGES],
+            dirty: [false; MAX_PAGES],
+            downgrade: None,
+            wb: None,
+            downgrades_left: cfg.downgrade_budget,
+            bug_fired: false,
+        }
+    }
+
+    /// Whether an accelerator access to `page` is *legitimate*: the OS
+    /// grants it now, or granted it before a still-in-flight downgrade
+    /// of that page (the OS cannot assume revocation until the
+    /// downgrade completes — that window is safe by design).
+    #[must_use]
+    pub fn oracle_allows(&self, page: u8, write: bool) -> bool {
+        if access_allowed(self.os[page as usize], write) {
+            return true;
+        }
+        self.downgrade
+            .is_some_and(|d| d.page == page && access_allowed(d.from, write))
+    }
+
+    /// Whether the state has unmet obligations (used by deadlock
+    /// detection: a state with obligations must have enabled actions).
+    #[must_use]
+    pub fn has_obligations(&self) -> bool {
+        self.downgrade.is_some() || self.wb.is_some() || self.dirty.iter().any(|d| *d)
+    }
+}
+
+/// The downgrade targets the OS may pick (the issue's "downgrade-ro /
+/// downgrade-none": protect to read-only, or unmap entirely).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DowngradeTarget {
+    /// `mprotect` to read-only.
+    ReadOnly,
+    /// Revoke everything (unmap / swap-out).
+    None,
+}
+
+impl DowngradeTarget {
+    /// The permissions this target leaves behind.
+    #[must_use]
+    pub fn perms(self) -> PagePerms {
+        match self {
+            DowngradeTarget::ReadOnly => PagePerms::READ_ONLY,
+            DowngradeTarget::None => PagePerms::NONE,
+        }
+    }
+}
+
+/// One atomic protocol action. `u8` operands are page indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// The accelerator takes a TLB miss; the ATS translates and Border
+    /// Control observes the insertion (Fig 3b).
+    Translate(u8),
+    /// A TLB-backed accelerator read crosses the border (L2 miss fill).
+    AccRead(u8),
+    /// A TLB-backed accelerator write lands in the accelerator's cache
+    /// (dirty); for [`ModelKind::FullIommu`] it is checked and written
+    /// through immediately (no untrusted cache exists).
+    AccWrite(u8),
+    /// A dirty block is evicted: the writeback crosses the border.
+    Evict(u8),
+    /// The host CPU writes the page: the null directory recalls the
+    /// dirty accelerator copy through the border.
+    CpuWrite(u8),
+    /// The OS starts a permission downgrade (its own page table is
+    /// updated first; Border Control is then notified).
+    Downgrade(u8, DowngradeTarget),
+    /// The in-flight downgrade's dirty page is flushed: its writeback
+    /// crosses the border *under the old permissions*.
+    DowngradeFlush,
+    /// Border Control commits the downgrade: Protection Table + BCC
+    /// updated, accelerator TLB shot down, OS notified of completion.
+    DowngradeCommit,
+    /// BCC capacity pressure evicts a valid entry (no write-back needed:
+    /// the BCC is write-through).
+    BccEvict(u8),
+    /// The in-flight writeback's permission check and DRAM write
+    /// complete; its buffer slot frees.
+    WritebackRetire,
+    /// A malicious physical request bypassing the accelerator TLB
+    /// (`true` = write). Only enabled with [`ProtoConfig::malicious`].
+    Forge(u8, bool),
+    /// The [`Bug::BccCorrupt`] injection: upgrade a BCC entry to RW
+    /// without the table write-through.
+    CorruptBcc(u8),
+}
+
+/// A safety-invariant violation detected on a transition or a state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InvariantKind {
+    /// The border admitted an accelerator access the OS never granted
+    /// (and no in-flight downgrade excuses).
+    SandboxSafety,
+    /// A valid BCC entry disagrees with the Protection Table (§3.1.2:
+    /// the BCC is a write-through subset view).
+    BccSubset,
+    /// With no downgrade in flight, some checking structure still holds
+    /// permissions beyond the OS page table — stale authority surviving
+    /// a completed downgrade.
+    StaleAfterDowngrade,
+    /// Legitimately-dirty accelerator data was denied at the border on
+    /// its way back (flush-before-commit ordering broken): the dirty
+    /// recall / writeback containment guarantee.
+    DirtyWriteContainment,
+    /// A state with unmet obligations has no enabled action.
+    Deadlock,
+    /// A reachable state with an in-flight downgrade cannot reach any
+    /// state where the downgrade completed.
+    DowngradeLiveness,
+}
+
+impl InvariantKind {
+    /// Stable slug for reports and golden files.
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            InvariantKind::SandboxSafety => "sandbox-safety",
+            InvariantKind::BccSubset => "bcc-subset",
+            InvariantKind::StaleAfterDowngrade => "stale-after-downgrade",
+            InvariantKind::DirtyWriteContainment => "dirty-write-containment",
+            InvariantKind::Deadlock => "deadlock",
+            InvariantKind::DowngradeLiveness => "downgrade-liveness",
+        }
+    }
+}
+
+/// The result of applying one action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepResult {
+    /// The action applied; here is the successor state.
+    Next(ProtoState),
+    /// The action applied and exposed a safety violation (the successor
+    /// is included so the trace can be extended/replayed).
+    Violation(InvariantKind, ProtoState),
+}
+
+/// What the model's border says about a request, given the structures a
+/// particular [`ModelKind`] actually checks. Returns the decision plus
+/// the post-lookup state (a BCC miss fills the entry — state changes
+/// even on a deny, exactly like the engine).
+fn border_check(cfg: &ProtoConfig, s: &ProtoState, page: u8, write: bool) -> (bool, ProtoState) {
+    let mut next = *s;
+    let allowed = match cfg.model {
+        // No border: physical requests cross unchecked.
+        ModelKind::AtsOnly => true,
+        // Trusted centralized checks track the OS view exactly
+        // (invalidations are synchronous with the shootdown), including
+        // the in-flight-downgrade window the OS must still tolerate.
+        ModelKind::FullIommu | ModelKind::CapiLike => s.oracle_allows(page, write),
+        ModelKind::BorderControl { bcc: false } => access_allowed(s.table[page as usize], write),
+        ModelKind::BorderControl { bcc: true } => {
+            let perms = match s.bcc[page as usize] {
+                Some(p) => p,
+                None => {
+                    // Miss: fill from the table, evicting under capacity
+                    // pressure (deterministic victim — the first valid
+                    // entry; the nondeterministic BccEvict action covers
+                    // the other replacement orders). The missing page's
+                    // slot is None, so any victim found is a different
+                    // page.
+                    let valid = next.bcc.iter().filter(|e| e.is_some()).count() as u8;
+                    if valid >= cfg.bcc_entries {
+                        if let Some(v) = next.bcc.iter().position(Option::is_some) {
+                            next.bcc[v] = None;
+                        }
+                    }
+                    next.bcc[page as usize] = Some(s.table[page as usize]);
+                    s.table[page as usize]
+                }
+            };
+            access_allowed(perms, write)
+        }
+    };
+    (allowed, next)
+}
+
+/// Applies the border-write path shared by [`Action::Evict`],
+/// [`Action::CpuWrite`] and [`Action::DowngradeFlush`]: check, then
+/// either admit into the writeback buffer or drop the block.
+fn writeback_through_border(cfg: &ProtoConfig, s: &ProtoState, page: u8) -> StepResult {
+    let (allowed, mut next) = border_check(cfg, s, page, true);
+    let authorized = s.oracle_allows(page, true);
+    next.dirty[page as usize] = false;
+    if allowed {
+        next.wb = Some(WbEntry { page, authorized });
+        if !authorized && cfg.claims_sandbox() {
+            // The border let unauthorized data through.
+            return StepResult::Violation(InvariantKind::SandboxSafety, next);
+        }
+        StepResult::Next(next)
+    } else {
+        // The block is dropped (§3.2.4: "the writeback will be
+        // blocked"). Dirty data only ever exists because a TLB-granted
+        // write created it, so a deny here means the protocol broke its
+        // flush-before-commit ordering and lost legitimate data.
+        StepResult::Violation(InvariantKind::DirtyWriteContainment, next)
+    }
+}
+
+/// Enumerates the actions enabled in `s`. The enumeration is the
+/// checker's branching point; order is deterministic so runs are
+/// reproducible.
+#[must_use]
+pub fn enabled_actions(cfg: &ProtoConfig, s: &ProtoState) -> Vec<Action> {
+    let mut out = Vec::new();
+    let pages = cfg.pages.min(MAX_PAGES as u8);
+    let accel_stalled = s.downgrade.is_some(); // drain: the device is quiesced
+    for p in 0..pages {
+        let pi = p as usize;
+        if !accel_stalled
+            && s.tlb[pi].is_none()
+            && !s.os[pi].is_none()
+            && s.downgrade.is_none_or(|d| d.page != p)
+        {
+            out.push(Action::Translate(p));
+        }
+        if !accel_stalled {
+            if let Some(t) = s.tlb[pi] {
+                if t.readable() {
+                    out.push(Action::AccRead(p));
+                }
+                if t.writable() && (!s.dirty[pi] || !cfg.model.caches_dirty_data()) {
+                    out.push(Action::AccWrite(p));
+                }
+            }
+        }
+        if !accel_stalled && s.dirty[pi] && s.wb.is_none() {
+            out.push(Action::Evict(p));
+        }
+        if s.dirty[pi] && s.wb.is_none() {
+            out.push(Action::CpuWrite(p));
+        }
+        if s.downgrade.is_none() && s.downgrades_left > 0 {
+            if s.os[pi].writable() {
+                out.push(Action::Downgrade(p, DowngradeTarget::ReadOnly));
+            }
+            if !s.os[pi].is_none() {
+                out.push(Action::Downgrade(p, DowngradeTarget::None));
+            }
+        }
+        if cfg.model.has_bcc() && s.bcc[pi].is_some() {
+            out.push(Action::BccEvict(p));
+        }
+        if cfg.malicious && !accel_stalled {
+            out.push(Action::Forge(p, false));
+            out.push(Action::Forge(p, true));
+        }
+        if cfg.bug == Bug::BccCorrupt && !s.bug_fired && s.bcc[pi].is_some() {
+            out.push(Action::CorruptBcc(p));
+        }
+    }
+    if let Some(d) = s.downgrade {
+        if s.dirty[d.page as usize] && s.wb.is_none() {
+            out.push(Action::DowngradeFlush);
+        }
+        // Correct protocol: commit only after the dirty flush drained.
+        // The reorder bug lets the commit jump the queue.
+        let flush_done = !s.dirty[d.page as usize] && s.wb.is_none();
+        if flush_done || cfg.bug == Bug::DowngradeReorder {
+            out.push(Action::DowngradeCommit);
+        }
+    }
+    if s.wb.is_some() {
+        out.push(Action::WritebackRetire);
+    }
+    out
+}
+
+/// Applies one action. The caller must only pass actions enabled in `s`
+/// (the checker enumerates them via [`enabled_actions`]); applying a
+/// disabled action returns `s` unchanged.
+#[must_use]
+pub fn step(cfg: &ProtoConfig, s: &ProtoState, action: Action) -> StepResult {
+    let mut next = *s;
+    match action {
+        Action::Translate(p) => {
+            let pi = p as usize;
+            let granted = s.os[pi];
+            if granted.is_none() {
+                return StepResult::Next(next);
+            }
+            next.tlb[pi] = Some(granted);
+            // Fig 3b insertion: merge into the table; write-through /
+            // fill the BCC. Trusted models have no Protection Table.
+            if matches!(cfg.model, ModelKind::BorderControl { .. }) {
+                let perms = insertion_perms(granted);
+                if !insertion_covered(s.bcc[pi], perms, 1) || !cfg.model.has_bcc() {
+                    next.table[pi] |= perms;
+                    if cfg.model.has_bcc() {
+                        match next.bcc[pi] {
+                            Some(c) => next.bcc[pi] = Some(c | perms),
+                            None => {
+                                // Fill via the shared capacity path.
+                                let (_, filled) = border_check(cfg, &next, p, false);
+                                next.bcc = filled.bcc;
+                            }
+                        }
+                    }
+                }
+            }
+            StepResult::Next(next)
+        }
+        Action::AccRead(p) => {
+            let (allowed, filled) = border_check(cfg, s, p, false);
+            next = filled;
+            if allowed && !s.oracle_allows(p, false) {
+                return StepResult::Violation(InvariantKind::SandboxSafety, next);
+            }
+            StepResult::Next(next)
+        }
+        Action::AccWrite(p) => {
+            if cfg.model.caches_dirty_data() {
+                next.dirty[p as usize] = true;
+                StepResult::Next(next)
+            } else {
+                // Full IOMMU: checked at issue, written through.
+                let (allowed, checked) = border_check(cfg, s, p, true);
+                next = checked;
+                if allowed && !s.oracle_allows(p, true) {
+                    return StepResult::Violation(InvariantKind::SandboxSafety, next);
+                }
+                StepResult::Next(next)
+            }
+        }
+        Action::Evict(p) | Action::CpuWrite(p) => writeback_through_border(cfg, s, p),
+        Action::Downgrade(p, target) => {
+            let pi = p as usize;
+            next.downgrade = Some(DowngradeInFlight {
+                page: p,
+                from: s.os[pi],
+                to: target.perms(),
+            });
+            next.os[pi] = target.perms();
+            next.downgrades_left = s.downgrades_left.saturating_sub(1);
+            StepResult::Next(next)
+        }
+        Action::DowngradeFlush => match s.downgrade {
+            Some(d) => writeback_through_border(cfg, s, d.page),
+            None => StepResult::Next(next),
+        },
+        Action::DowngradeCommit => {
+            let Some(d) = s.downgrade else {
+                return StepResult::Next(next);
+            };
+            let pi = d.page as usize;
+            if matches!(cfg.model, ModelKind::BorderControl { .. }) {
+                next.table[pi] = insertion_perms(d.to);
+                if cfg.model.has_bcc() && next.bcc[pi].is_some() {
+                    next.bcc[pi] = Some(insertion_perms(d.to));
+                }
+            }
+            // The shootdown completes with the commit: the accelerator
+            // TLB entry is invalidated before the OS learns the
+            // downgrade finished.
+            next.tlb[pi] = None;
+            next.downgrade = None;
+            StepResult::Next(next)
+        }
+        Action::BccEvict(p) => {
+            next.bcc[p as usize] = None;
+            StepResult::Next(next)
+        }
+        Action::WritebackRetire => {
+            let Some(e) = s.wb else {
+                return StepResult::Next(next);
+            };
+            next.wb = None;
+            if !e.authorized && cfg.claims_sandbox() {
+                return StepResult::Violation(InvariantKind::SandboxSafety, next);
+            }
+            StepResult::Next(next)
+        }
+        Action::Forge(p, write) => {
+            let (allowed, filled) = border_check(cfg, s, p, write);
+            next = filled;
+            if allowed && !s.oracle_allows(p, write) && cfg.claims_sandbox() {
+                return StepResult::Violation(InvariantKind::SandboxSafety, next);
+            }
+            StepResult::Next(next)
+        }
+        Action::CorruptBcc(p) => {
+            next.bcc[p as usize] = Some(PagePerms::READ_WRITE);
+            next.bug_fired = true;
+            StepResult::Next(next)
+        }
+    }
+}
+
+/// Checks every *state* invariant the model claims (transition-level
+/// violations are reported by [`step`] directly). Returns the violated
+/// invariants, empty when the state is clean.
+#[must_use]
+pub fn invariant_violations(cfg: &ProtoConfig, s: &ProtoState) -> Vec<InvariantKind> {
+    let mut out = Vec::new();
+    let pages = cfg.pages.min(MAX_PAGES as u8) as usize;
+
+    // BCC ⊆ Protection Table: a valid entry mirrors the table exactly
+    // (write-through).
+    if cfg.model.has_bcc()
+        && (0..pages).any(|p| s.bcc[p].is_some_and(|c| c != s.table[p].border_enforceable()))
+    {
+        out.push(InvariantKind::BccSubset);
+    }
+
+    // No stale authority after downgrade completion: with no downgrade
+    // in flight on a page, nothing the border consults may exceed the
+    // OS page table.
+    for p in 0..pages {
+        if s.downgrade.is_some_and(|d| d.page as usize == p) {
+            continue;
+        }
+        let limit = insertion_perms(s.os[p]);
+        let stale_tlb = s.tlb[p].is_some_and(|t| !limit.contains(t.border_enforceable()));
+        let checks = matches!(cfg.model, ModelKind::BorderControl { .. });
+        let stale_table = checks && !limit.contains(s.table[p]);
+        let stale_bcc = cfg.model.has_bcc() && s.bcc[p].is_some_and(|c| !limit.contains(c));
+        if (cfg.claims_sandbox() && (stale_table || stale_bcc))
+            || (stale_tlb && !cfg.malicious && cfg.claims_sandbox())
+        {
+            out.push(InvariantKind::StaleAfterDowngrade);
+            break;
+        }
+    }
+
+    // An admitted writeback must have been authorized.
+    if cfg.claims_sandbox() && s.wb.is_some_and(|e| !e.authorized) {
+        out.push(InvariantKind::SandboxSafety);
+    }
+
+    // Deadlock: obligations with no way to make progress.
+    if s.has_obligations() && enabled_actions(cfg, s).is_empty() {
+        out.push(InvariantKind::Deadlock);
+    }
+    out
+}
+
+// ---- state encoding & canonicalization --------------------------------
+
+fn perm_code(p: PagePerms) -> u64 {
+    (u64::from(p.readable())) | (u64::from(p.writable()) << 1)
+}
+
+/// 3-bit code for an optional entry: valid entries use the 2-bit perm
+/// code, invalid ones a distinct sentinel (so `None` can never collide
+/// with `Some(READ_WRITE)`).
+fn opt_code(p: Option<PagePerms>) -> u64 {
+    p.map_or(4, perm_code)
+}
+
+/// Packs a state into a compact 64-bit key (used for visited-set
+/// hashing). Injective over the reachable space: every field fits its
+/// bit budget by construction (3 pages × 11 bits + 16 global bits).
+#[must_use]
+pub fn encode(cfg: &ProtoConfig, s: &ProtoState) -> u64 {
+    let mut k = 0u64;
+    let pages = cfg.pages.min(MAX_PAGES as u8) as usize;
+    for p in 0..pages {
+        let page_bits = perm_code(s.os[p])
+            | (perm_code(s.table[p]) << 2)
+            | (opt_code(s.bcc[p]) << 4)
+            | (opt_code(s.tlb[p]) << 7)
+            | (u64::from(s.dirty[p]) << 10);
+        k |= page_bits << (p * 11);
+    }
+    let mut hi = match s.downgrade {
+        None => 0,
+        Some(d) => 1 | (u64::from(d.page) << 1) | (perm_code(d.from) << 3) | (perm_code(d.to) << 5),
+    };
+    hi |= match s.wb {
+        None => 0,
+        Some(e) => (1 | (u64::from(e.page) << 1) | (u64::from(e.authorized) << 3)) << 7,
+    };
+    hi |= u64::from(s.downgrades_left) << 11;
+    hi |= u64::from(s.bug_fired) << 15;
+    k | (hi << 33)
+}
+
+/// Applies a page permutation to a state (used by canonicalization).
+fn permute(s: &ProtoState, perm: &[usize; MAX_PAGES]) -> ProtoState {
+    let mut out = *s;
+    for (from, &to) in perm.iter().enumerate() {
+        out.os[to] = s.os[from];
+        out.table[to] = s.table[from];
+        out.bcc[to] = s.bcc[from];
+        out.tlb[to] = s.tlb[from];
+        out.dirty[to] = s.dirty[from];
+    }
+    if let Some(d) = s.downgrade {
+        out.downgrade = Some(DowngradeInFlight {
+            page: perm[d.page as usize] as u8,
+            ..d
+        });
+    }
+    if let Some(e) = s.wb {
+        out.wb = Some(WbEntry {
+            page: perm[e.page as usize] as u8,
+            ..e
+        });
+    }
+    out
+}
+
+/// The canonical key of a state: the minimum [`encode`] over every
+/// permutation of pages whose *initial* configuration is identical
+/// (symmetric pages are interchangeable, so exploring one ordering
+/// covers them all). With asymmetric initial permissions this degrades
+/// gracefully to plain encoding.
+#[must_use]
+pub fn canonical_key(cfg: &ProtoConfig, s: &ProtoState) -> u64 {
+    let pages = cfg.pages.min(MAX_PAGES as u8) as usize;
+    let mut best = encode(cfg, s);
+    if pages < 2 {
+        return best;
+    }
+    // Enumerate permutations of 2..=3 pages explicitly.
+    let perms2: &[[usize; MAX_PAGES]] = &[[1, 0, 2]];
+    let perms3: &[[usize; MAX_PAGES]] = &[[0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+    let candidates = if pages == 2 { perms2 } else { perms3 };
+    for perm in candidates {
+        // Only permutations that map symmetric-init pages onto each
+        // other are sound.
+        if (0..pages).any(|p| cfg.init_os[p] != cfg.init_os[perm[p]]) {
+            continue;
+        }
+        if pages == 2 && perm[2] != 2 {
+            continue;
+        }
+        let key = encode(cfg, &permute(s, perm));
+        best = best.min(key);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bc_cfg() -> ProtoConfig {
+        ProtoConfig::tiny(ModelKind::BorderControl { bcc: true })
+    }
+
+    fn apply(cfg: &ProtoConfig, s: &ProtoState, a: Action) -> ProtoState {
+        match step(cfg, s, a) {
+            StepResult::Next(n) => n,
+            StepResult::Violation(k, _) => panic!("unexpected violation {k:?} applying {a:?}"),
+        }
+    }
+
+    #[test]
+    fn decision_kernel_matches_paper_rules() {
+        assert!(access_allowed(PagePerms::READ_ONLY, false));
+        assert!(!access_allowed(PagePerms::READ_ONLY, true));
+        assert!(access_allowed(PagePerms::READ_WRITE, true));
+        assert_eq!(denial_kind(true), ViolationKind::WriteWithoutPermission);
+        assert_eq!(denial_kind(false), ViolationKind::ReadWithoutPermission);
+        assert_eq!(
+            insertion_perms(PagePerms::READ_EXEC),
+            PagePerms::READ_ONLY,
+            "execute is not border-enforceable"
+        );
+        assert!(insertion_covered(
+            Some(PagePerms::READ_WRITE),
+            PagePerms::READ_ONLY,
+            1
+        ));
+        assert!(!insertion_covered(
+            Some(PagePerms::READ_WRITE),
+            PagePerms::READ_ONLY,
+            512
+        ));
+        assert!(!insertion_covered(None, PagePerms::READ_ONLY, 1));
+    }
+
+    #[test]
+    fn recall_plan_covers_the_four_cases() {
+        let dirty_write = recall_plan(true, true);
+        assert!(dirty_write.invalidate_l1s && dirty_write.invalidate_l2);
+        assert!(dirty_write.writeback_through_border && dirty_write.wait_for_retire);
+        let dirty_read = recall_plan(false, true);
+        assert!(dirty_read.downgrade_l2 && !dirty_read.invalidate_l2);
+        assert!(dirty_read.wait_for_retire);
+        let clean_write = recall_plan(true, false);
+        assert!(clean_write.invalidate_l2 && !clean_write.writeback_through_border);
+        let clean_read = recall_plan(false, false);
+        assert!(!clean_read.invalidate_l1s && !clean_read.writeback_through_border);
+    }
+
+    #[test]
+    fn translate_then_write_then_clean_downgrade() {
+        let cfg = bc_cfg();
+        let s0 = ProtoState::init(&cfg);
+        let s1 = apply(&cfg, &s0, Action::Translate(0));
+        assert_eq!(s1.tlb[0], Some(PagePerms::READ_WRITE));
+        assert_eq!(s1.table[0], PagePerms::READ_WRITE);
+        assert_eq!(s1.bcc[0], Some(PagePerms::READ_WRITE));
+        let s2 = apply(&cfg, &s1, Action::AccWrite(0));
+        assert!(s2.dirty[0]);
+        let s3 = apply(&cfg, &s2, Action::Downgrade(0, DowngradeTarget::ReadOnly));
+        assert!(s3.downgrade.is_some());
+        assert_eq!(s3.os[0], PagePerms::READ_ONLY);
+        // The dirty page must flush before the commit is enabled.
+        let enabled = enabled_actions(&cfg, &s3);
+        assert!(enabled.contains(&Action::DowngradeFlush));
+        assert!(!enabled.contains(&Action::DowngradeCommit));
+        let s4 = apply(&cfg, &s3, Action::DowngradeFlush);
+        assert!(!s4.dirty[0]);
+        assert!(s4.wb.is_some_and(|e| e.authorized));
+        let s5 = apply(&cfg, &s4, Action::WritebackRetire);
+        let s6 = apply(&cfg, &s5, Action::DowngradeCommit);
+        assert!(s6.downgrade.is_none());
+        assert_eq!(s6.table[0], PagePerms::READ_ONLY);
+        assert_eq!(s6.bcc[0], Some(PagePerms::READ_ONLY));
+        assert_eq!(s6.tlb[0], None, "shootdown completed with the commit");
+        assert!(invariant_violations(&cfg, &s6).is_empty());
+    }
+
+    #[test]
+    fn forged_write_is_blocked_by_border_control_but_not_ats_only() {
+        let cfg = bc_cfg();
+        let s0 = ProtoState::init(&cfg);
+        // Page never translated: the table holds nothing.
+        match step(&cfg, &s0, Action::Forge(0, true)) {
+            StepResult::Next(_) => {}
+            StepResult::Violation(k, _) => panic!("BC must block the forge, got {k:?}"),
+        }
+        let ats = ProtoConfig::tiny(ModelKind::AtsOnly);
+        let s0 = ProtoState::init(&ats);
+        // AtsOnly doesn't *claim* the invariant, so no violation is
+        // reported either — Table 2's "unsafe" row.
+        assert!(matches!(
+            step(&ats, &s0, Action::Forge(0, true)),
+            StepResult::Next(_)
+        ));
+    }
+
+    #[test]
+    fn corrupt_bcc_breaks_the_subset_invariant() {
+        let mut cfg = bc_cfg();
+        cfg.bug = Bug::BccCorrupt;
+        let s0 = ProtoState::init(&cfg);
+        let s1 = apply(&cfg, &s0, Action::Translate(0));
+        let s2 = apply(&cfg, &s1, Action::Downgrade(0, DowngradeTarget::ReadOnly));
+        let s3 = apply(&cfg, &s2, Action::DowngradeCommit);
+        let s4 = apply(&cfg, &s3, Action::Translate(0));
+        let s5 = apply(&cfg, &s4, Action::CorruptBcc(0));
+        assert!(invariant_violations(&cfg, &s5).contains(&InvariantKind::BccSubset));
+    }
+
+    #[test]
+    fn downgrade_reorder_bug_loses_dirty_data() {
+        let mut cfg = bc_cfg();
+        cfg.bug = Bug::DowngradeReorder;
+        let s0 = ProtoState::init(&cfg);
+        let s1 = apply(&cfg, &s0, Action::Translate(0));
+        let s2 = apply(&cfg, &s1, Action::AccWrite(0));
+        let s3 = apply(&cfg, &s2, Action::Downgrade(0, DowngradeTarget::ReadOnly));
+        // The bug enables the commit while page 0 is still dirty.
+        assert!(enabled_actions(&cfg, &s3).contains(&Action::DowngradeCommit));
+        let s4 = apply(&cfg, &s3, Action::DowngradeCommit);
+        assert!(s4.dirty[0], "dirty data survived the commit");
+        // Now the flush-less eviction is checked against the downgraded
+        // table and dropped: containment violation.
+        match step(&cfg, &s4, Action::Evict(0)) {
+            StepResult::Violation(InvariantKind::DirtyWriteContainment, _) => {}
+            other => panic!("expected containment violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn encode_is_injective_on_a_sample_walk() {
+        use std::collections::HashMap;
+        let cfg = bc_cfg();
+        let mut seen: HashMap<u64, ProtoState> = HashMap::new();
+        let mut frontier = vec![ProtoState::init(&cfg)];
+        let mut steps = 0;
+        while let Some(s) = frontier.pop() {
+            if steps > 20_000 {
+                break;
+            }
+            for a in enabled_actions(&cfg, &s) {
+                let n = match step(&cfg, &s, a) {
+                    StepResult::Next(n) | StepResult::Violation(_, n) => n,
+                };
+                let k = encode(&cfg, &n);
+                if let Some(prev) = seen.insert(k, n) {
+                    assert_eq!(prev, n, "encode collision at key {k:#x}");
+                } else {
+                    frontier.push(n);
+                }
+                steps += 1;
+            }
+        }
+        assert!(seen.len() > 100, "walk covered a real state space");
+    }
+
+    #[test]
+    fn canonicalization_identifies_symmetric_states() {
+        let cfg = bc_cfg();
+        let s0 = ProtoState::init(&cfg);
+        let a = apply(&cfg, &s0, Action::Translate(0));
+        let b = apply(&cfg, &s0, Action::Translate(1));
+        assert_ne!(encode(&cfg, &a), encode(&cfg, &b));
+        assert_eq!(canonical_key(&cfg, &a), canonical_key(&cfg, &b));
+        // Asymmetric init disables the merge.
+        let mut asym = cfg;
+        asym.init_os[1] = PagePerms::READ_ONLY;
+        let s0 = ProtoState::init(&asym);
+        let a = apply(&asym, &s0, Action::Translate(0));
+        let b = apply(&asym, &s0, Action::Translate(1));
+        assert_ne!(canonical_key(&asym, &a), canonical_key(&asym, &b));
+    }
+
+    #[test]
+    fn downgrade_plan_falls_back_to_full_flush_without_a_ppn() {
+        use bc_mem::addr::{Asid, Vpn};
+        let req = ShootdownRequest {
+            asid: Asid::new(1),
+            scope: ShootdownScope::Page(Vpn::new(5)),
+            old_ppn: None,
+            old_perms: PagePerms::READ_WRITE,
+            new_perms: PagePerms::READ_ONLY,
+        };
+        assert_eq!(
+            downgrade_action(FlushPolicy::Selective, &req),
+            DowngradeAction::FlushAll,
+            "missing PPN degrades to the always-safe full flush"
+        );
+        assert_eq!(
+            commit_plan(FlushPolicy::Selective, &req),
+            CommitPlan::ZeroAll
+        );
+    }
+}

@@ -1,6 +1,10 @@
 //! The Protection Table: a flat, physically indexed permission table in
 //! host physical memory (§3.1.1).
 
+// Byte offsets are reduced modulo the fixed block geometry before every
+// array access, so unchecked indexing cannot go out of bounds.
+#![allow(clippy::indexing_slicing)]
+
 use bc_mem::addr::{PhysAddr, Ppn, BLOCK_SIZE, PAGE_SIZE};
 use bc_mem::perms::PagePerms;
 use bc_mem::store::PhysMemStore;
@@ -51,39 +55,46 @@ impl ProtectionTable {
     ///
     /// [`bc_os::Kernel::alloc_protection_table`]:
     ///     https://docs.rs/bc-os/latest/bc_os/struct.Kernel.html
+    #[must_use]
     pub fn new(base: Ppn, bounds_pages: u64) -> Self {
         ProtectionTable { base, bounds_pages }
     }
 
     /// The base register (first physical page of the table).
+    #[must_use]
     pub fn base(&self) -> Ppn {
         self.base
     }
 
     /// The bounds register, in physical pages covered.
+    #[must_use]
     pub fn bounds_pages(&self) -> u64 {
         self.bounds_pages
     }
 
     /// Whether `ppn` is inside the bounds register — checked *before* any
     /// table access (§3.2.3).
+    #[must_use]
     pub fn in_bounds(&self, ppn: Ppn) -> bool {
         ppn.as_u64() < self.bounds_pages
     }
 
     /// Bytes of table storage needed for `bounds_pages` of physical
     /// memory: 2 bits per page.
+    #[must_use]
     pub fn storage_bytes(bounds_pages: u64) -> u64 {
         bounds_pages.div_ceil(4)
     }
 
     /// Table size in 4 KiB pages (what the OS must allocate contiguously).
+    #[must_use]
     pub fn storage_pages(bounds_pages: u64) -> u64 {
         Self::storage_bytes(bounds_pages).div_ceil(PAGE_SIZE)
     }
 
     /// Storage overhead as a fraction of the physical memory covered.
     /// The paper's headline number: ~0.006 % (1/16384).
+    #[must_use]
     pub fn storage_overhead_fraction(bounds_pages: u64) -> f64 {
         if bounds_pages == 0 {
             return 0.0;
@@ -92,6 +103,7 @@ impl ProtectionTable {
     }
 
     /// Physical address of the table byte holding `ppn`'s bits.
+    #[must_use]
     pub fn entry_addr(&self, ppn: Ppn) -> PhysAddr {
         self.base.base().offset(ppn.as_u64() / 4)
     }
@@ -99,12 +111,14 @@ impl ProtectionTable {
     /// Physical address of the 128-byte table *block* holding `ppn`'s
     /// bits — the unit the BCC fetches ("we fetch an entire block at a
     /// time from memory", §3.1.2).
+    #[must_use]
     pub fn block_addr(&self, ppn: Ppn) -> PhysAddr {
         self.entry_addr(ppn).block_aligned()
     }
 
     /// Reads the permissions of one physical page. Out-of-bounds pages
     /// report no permissions.
+    #[must_use]
     pub fn lookup(&self, store: &PhysMemStore, ppn: Ppn) -> PagePerms {
         if !self.in_bounds(ppn) {
             return PagePerms::NONE;
@@ -136,7 +150,7 @@ impl ProtectionTable {
     /// permissions may be merged.
     pub fn merge(&self, store: &mut PhysMemStore, ppn: Ppn, perms: PagePerms) {
         let old = self.lookup(store, ppn);
-        self.set(store, ppn, old | perms.border_enforceable());
+        self.set(store, ppn, old | crate::proto::insertion_perms(perms));
     }
 
     /// Merges permissions for a run of consecutive physical pages — the
@@ -162,6 +176,7 @@ impl ProtectionTable {
     /// Reads the 512 page-permission pairs of the table block containing
     /// `ppn` (the BCC fill granule). Returned indexed by
     /// `ppn_in_block = ppn % 512`.
+    #[must_use]
     pub fn read_block(&self, store: &PhysMemStore, ppn: Ppn) -> [PagePerms; 512] {
         let block_base_ppn = Ppn::new(ppn.as_u64() - (ppn.as_u64() % PAGES_PER_BLOCK));
         let bytes = store.read_vec(self.block_addr(ppn), bc_mem::BLOCK_SIZE as usize);

@@ -44,6 +44,7 @@ pub const WORKLOADS: [&str; 7] = [
 ];
 
 /// Parses `--size` from argv (default [`WorkloadSize::Small`]).
+#[must_use]
 pub fn size_from_args() -> WorkloadSize {
     let args: Vec<String> = std::env::args().collect();
     match args
@@ -62,6 +63,7 @@ pub fn size_from_args() -> WorkloadSize {
 }
 
 /// Whether `--csv` was passed (machine-readable output after the table).
+#[must_use]
 pub fn csv_from_args() -> bool {
     std::env::args().any(|a| a == "--csv")
 }
@@ -71,12 +73,14 @@ pub fn csv_from_args() -> bool {
 /// shadow permission oracle, BCC subset sweeps, timing monitors — and the
 /// sweep summary reports aggregate assertion/finding counts. Audited runs
 /// are cycle-identical to unaudited ones, just slower on the host.
+#[must_use]
 pub fn audit_from_args() -> bool {
     std::env::args().any(|a| a == "--audit")
 }
 
 /// Parses `--jobs N` from argv (default: available parallelism). Values
 /// below 1 or unparsable values fall back to the default with a warning.
+#[must_use]
 pub fn jobs_from_args() -> usize {
     let default = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -99,6 +103,7 @@ pub fn jobs_from_args() -> usize {
 }
 
 /// A baseline configuration for one (workload, GPU class, size) cell.
+#[must_use]
 pub fn base_config(workload: &str, gpu: GpuClass, size: WorkloadSize) -> SystemConfig {
     let mut c = SystemConfig::table3_defaults();
     c.workload = workload.to_string();
@@ -116,6 +121,7 @@ pub fn base_config(workload: &str, gpu: GpuClass, size: WorkloadSize) -> SystemC
 
 /// Builds and runs one configuration, panicking with context on failure
 /// (these binaries are leaf tools; failing loudly is the right move).
+#[must_use]
 pub fn run(config: &SystemConfig) -> RunReport {
     System::build(config)
         .unwrap_or_else(|e| panic!("building {} failed: {e}", config.workload))
@@ -124,6 +130,7 @@ pub fn run(config: &SystemConfig) -> RunReport {
 
 /// Runs one (safety, workload, gpu) cell and its unsafe baseline, returning
 /// `(overhead, report)` where overhead is relative runtime vs ATS-only.
+#[must_use]
 pub fn overhead_of(
     safety: SafetyModel,
     workload: &str,
@@ -174,12 +181,14 @@ pub fn print_matrix(title: &str, col_heads: &[String], rows: &[(String, Vec<Stri
 }
 
 /// Formats an overhead fraction the way the paper's figures label it.
+#[must_use]
 pub fn pct(v: f64) -> String {
     format!("{:.2}%", v * 100.0)
 }
 
 /// Geometric mean of `(1 + overhead)` values, reported back as an
 /// overhead — how the paper aggregates Figure 4.
+#[must_use]
 pub fn geomean_overhead(overheads: &[f64]) -> f64 {
     let factors: Vec<f64> = overheads.iter().map(|o| 1.0 + o.max(-0.999)).collect();
     bc_sim::stats::geometric_mean(&factors)

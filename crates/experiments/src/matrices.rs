@@ -46,6 +46,7 @@ pub const CPU_COHERENCE_WORKLOADS: [&str; 3] = ["hotspot", "nn", "bfs"];
 
 /// Figure 4: safety × workload × GPU class (the caller picks the GPU
 /// slice from `--gpu`).
+#[must_use]
 pub fn fig4(size: WorkloadSize, gpus: &[GpuClass]) -> SweepMatrix {
     SweepMatrix::new(size)
         .gpus(gpus)
@@ -54,6 +55,7 @@ pub fn fig4(size: WorkloadSize, gpus: &[GpuClass]) -> SweepMatrix {
 }
 
 /// Figure 5: Border Control-BCC on the highly threaded GPU, all workloads.
+#[must_use]
 pub fn fig5(size: WorkloadSize) -> SweepMatrix {
     SweepMatrix::new(size)
         .gpus(&[GpuClass::HighlyThreaded])
@@ -63,6 +65,7 @@ pub fn fig5(size: WorkloadSize) -> SweepMatrix {
 
 /// Figure 6's capture pass: one cell per workload recording the
 /// border-crossing check stream (the BCC geometry replays consume it).
+#[must_use]
 pub fn fig6_capture(size: WorkloadSize) -> SweepMatrix {
     SweepMatrix::new(size)
         .gpus(&[GpuClass::HighlyThreaded])
@@ -72,6 +75,7 @@ pub fn fig6_capture(size: WorkloadSize) -> SweepMatrix {
 }
 
 /// Figure 7: downgrade rate (override axis) × GPU × safety × workload.
+#[must_use]
 pub fn fig7(size: WorkloadSize) -> SweepMatrix {
     let mut matrix = SweepMatrix::new(size)
         .safeties(&FIG7_SAFETIES)
@@ -95,6 +99,7 @@ fn malicious(c: &mut SystemConfig) {
 /// §2.1 attacks: a malicious accelerator against every safety model, one
 /// census slice (LogOnly, so every probe is counted) and one under the
 /// default KillProcess response.
+#[must_use]
 pub fn attacks(size: WorkloadSize) -> SweepMatrix {
     SweepMatrix::new(size)
         .gpus(&[GpuClass::ModeratelyThreaded])
@@ -112,6 +117,7 @@ pub fn attacks(size: WorkloadSize) -> SweepMatrix {
 
 /// The coherence extension: host CPU polling the shared footprint while
 /// the kernel runs, unsafe baseline vs Border Control-BCC.
+#[must_use]
 pub fn cpu_coherence(size: WorkloadSize) -> SweepMatrix {
     let host = HostActivityConfig {
         period: 8,

@@ -90,6 +90,7 @@ impl Default for SweepOptions {
 impl SweepOptions {
     /// Quiet options with an explicit worker count (used by tests and
     /// benches).
+    #[must_use]
     pub fn with_jobs(jobs: usize) -> Self {
         SweepOptions {
             jobs,
@@ -121,6 +122,7 @@ impl SweepMatrix {
     /// highly-threaded GPU, Border Control-BCC, `nn`). Auditing defaults
     /// from the `--audit` flag (like [`SweepOptions::default`] defaults
     /// jobs from `--jobs`), so every figure binary honours it for free.
+    #[must_use]
     pub fn new(size: WorkloadSize) -> Self {
         SweepMatrix {
             overrides: Vec::new(),
@@ -134,12 +136,14 @@ impl SweepMatrix {
     }
 
     /// Sets the safety-model axis.
+    #[must_use]
     pub fn safeties(mut self, safeties: &[SafetyModel]) -> Self {
         self.safeties = safeties.to_vec();
         self
     }
 
     /// Sets the GPU-class axis.
+    #[must_use]
     pub fn gpus(mut self, gpus: &[GpuClass]) -> Self {
         self.gpus = gpus.to_vec();
         self
@@ -162,6 +166,7 @@ impl SweepMatrix {
     }
 
     /// Sets the seed all per-cell seeds are derived from.
+    #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
         self.matrix_seed = seed;
         self
@@ -169,12 +174,14 @@ impl SweepMatrix {
 
     /// Forces the runtime invariant auditor on (or off) for every cell,
     /// overriding the `--audit` default.
+    #[must_use]
     pub fn audit(mut self, audit: bool) -> Self {
         self.audit = audit;
         self
     }
 
     /// Axis lengths `[override, gpu, safety, workload]` after defaulting.
+    #[must_use]
     pub fn dims(&self) -> [usize; 4] {
         [
             self.overrides.len().max(1),
@@ -186,6 +193,7 @@ impl SweepMatrix {
 
     /// Materializes every cell in row-major
     /// (override, gpu, safety, workload) order.
+    #[must_use]
     pub fn cells(&self) -> Vec<SweepCell> {
         let default_workloads = [String::from("nn")];
         let overrides: &[(String, OverrideFn)] = &self.overrides;
@@ -241,6 +249,7 @@ impl SweepMatrix {
 
     /// Runs every cell on `opts.jobs` workers, collecting reports in
     /// matrix order.
+    #[must_use]
     pub fn run(&self, opts: &SweepOptions) -> SweepResults {
         let cells = self.cells();
         let started = Instant::now();
@@ -263,6 +272,7 @@ impl SweepMatrix {
 /// and scheduling. [`SweepMatrix`] passes only the workload coordinate so
 /// that mechanism axes replay identical streams; replications that *want*
 /// fresh draws pass extra coordinates (e.g. a repetition index).
+#[must_use]
 pub fn cell_seed(matrix_seed: u64, coords: &[u64]) -> u64 {
     const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -309,7 +319,7 @@ where
                     Err(payload) => Err(format!("cell panicked: {}", panic_message(&*payload))),
                 };
                 let wall = started.elapsed();
-                *slots[i].lock().unwrap() = Some(CellOutcome {
+                *slots[i].lock().expect("sweep slot mutex poisoned") = Some(CellOutcome {
                     label: cell.label.clone(),
                     coords: cell.coords,
                     result,
@@ -330,7 +340,11 @@ where
 
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().unwrap().expect("every cell ran"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("sweep slot mutex poisoned")
+                .expect("every cell ran")
+        })
         .collect()
 }
 
@@ -356,6 +370,7 @@ pub struct SweepResults {
 
 impl SweepResults {
     /// Axis lengths `[override, gpu, safety, workload]`.
+    #[must_use]
     pub fn dims(&self) -> [usize; 4] {
         self.dims
     }
@@ -369,12 +384,14 @@ impl SweepResults {
     }
 
     /// The outcome at `coords` `[override, gpu, safety, workload]`.
+    #[must_use]
     pub fn outcome(&self, coords: [usize; 4]) -> &CellOutcome<RunReport> {
         &self.outcomes[self.index(coords)]
     }
 
     /// The report at `coords`, panicking with the cell label on a failed
     /// cell (figure binaries are leaf tools; failing loudly is right).
+    #[must_use]
     pub fn report(&self, coords: [usize; 4]) -> &RunReport {
         let outcome = self.outcome(coords);
         match &outcome.result {
@@ -389,6 +406,7 @@ impl SweepResults {
     }
 
     /// Number of failed cells.
+    #[must_use]
     pub fn failures(&self) -> usize {
         self.outcomes.iter().filter(|o| o.result.is_err()).count()
     }
@@ -396,6 +414,7 @@ impl SweepResults {
     /// Count of successful cells whose run aborted for `reason` — lets
     /// error triage tell violation kills from runaway simulations without
     /// digging through per-cell reports.
+    #[must_use]
     pub fn aborts_with(&self, reason: AbortReason) -> usize {
         self.outcomes
             .iter()
@@ -407,6 +426,7 @@ impl SweepResults {
     /// Sweep-level statistics: cell count, failures, abort-reason triage,
     /// throughput, and the per-cell wall-time distribution, rendered via
     /// [`bc_sim::stats`]. Audited sweeps add aggregate auditor counts.
+    #[must_use]
     pub fn summary(&self) -> StatsTable {
         let mut wall = Histogram::new();
         for o in &self.outcomes {

@@ -54,6 +54,67 @@ impl Default for AtsConfig {
     }
 }
 
+/// An [`AtsConfig`] the hardware cannot be built with. Surfaced as a
+/// typed [`build`](Ats::try_new) error instead of a process abort, so a
+/// bad sweep cell reports a failure rather than killing the whole
+/// sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtsConfigError {
+    /// IOTLB geometry is degenerate: zero ways, fewer entries than
+    /// ways, or a non-power-of-two set count.
+    BadIotlbGeometry {
+        /// Configured entry count.
+        entries: usize,
+        /// Configured associativity.
+        ways: usize,
+    },
+    /// At least one page-table walker is required.
+    NoWalkers,
+}
+
+impl std::fmt::Display for AtsConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AtsConfigError::BadIotlbGeometry { entries, ways } => write!(
+                f,
+                "degenerate IOTLB geometry: {entries} entries / {ways} ways \
+                 (need ways > 0, entries >= ways, power-of-two sets)"
+            ),
+            AtsConfigError::NoWalkers => write!(f, "ATS needs at least one page-table walker"),
+        }
+    }
+}
+
+impl std::error::Error for AtsConfigError {}
+
+impl AtsConfig {
+    /// Validates the geometry the constructors would otherwise assert.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtsConfigError`] describing the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), AtsConfigError> {
+        let bad_sets = self.ways() == 0
+            || self.iotlb_entries < self.iotlb_ways
+            || !(self.iotlb_entries / self.iotlb_ways).is_power_of_two();
+        if bad_sets {
+            return Err(AtsConfigError::BadIotlbGeometry {
+                entries: self.iotlb_entries,
+                ways: self.iotlb_ways,
+            });
+        }
+        if self.walkers == 0 {
+            return Err(AtsConfigError::NoWalkers);
+        }
+        Ok(())
+    }
+
+    fn ways(&self) -> usize {
+        self.iotlb_ways
+    }
+}
+
 /// A completed translation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AtsResponse {
@@ -103,8 +164,25 @@ pub struct Ats {
 
 impl Ats {
     /// Creates an ATS with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid geometry; prefer [`Ats::try_new`] on
+    /// config-driven paths where a bad cell must not abort the process.
+    #[allow(clippy::expect_used)] // documented panic on programmer error
+    #[must_use]
     pub fn new(config: AtsConfig) -> Self {
-        Ats {
+        Ats::try_new(config).expect("invalid ATS configuration")
+    }
+
+    /// Creates an ATS, rejecting invalid geometry as a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtsConfigError`] when [`AtsConfig::validate`] fails.
+    pub fn try_new(config: AtsConfig) -> Result<Self, AtsConfigError> {
+        config.validate()?;
+        Ok(Ats {
             iotlb: Tlb::new(TlbConfig {
                 entries: config.iotlb_entries,
                 ways: config.iotlb_ways,
@@ -117,7 +195,7 @@ impl Ats {
             translations: Counter::new(),
             walks: Counter::new(),
             faults: Counter::new(),
-        }
+        })
     }
 
     /// Looks up / refreshes the page-walk cache for `vpn`'s upper levels;
@@ -149,6 +227,7 @@ impl Ats {
     }
 
     /// The configuration in use.
+    #[must_use]
     pub fn config(&self) -> AtsConfig {
         self.config
     }
@@ -261,31 +340,37 @@ impl Ats {
     }
 
     /// Total translation requests served.
+    #[must_use]
     pub fn translations(&self) -> u64 {
         self.translations.get()
     }
 
     /// Page walks performed (IOTLB misses).
+    #[must_use]
     pub fn walks(&self) -> u64 {
         self.walks.get()
     }
 
     /// Minor page faults taken during walks.
+    #[must_use]
     pub fn faults(&self) -> u64 {
         self.faults.get()
     }
 
     /// Page-walk-cache hits (walks shortened to one memory access).
+    #[must_use]
     pub fn pwc_hits(&self) -> u64 {
         self.pwc_hits.get()
     }
 
     /// IOTLB hit/miss statistics.
+    #[must_use]
     pub fn iotlb_stats(&self) -> bc_sim::stats::HitMiss {
         self.iotlb.stats()
     }
 
     /// Renders a stats table for reports.
+    #[must_use]
     pub fn stats(&self) -> StatsTable {
         let mut t = StatsTable::new("ATS/IOMMU");
         t.push("translations", self.translations.get());

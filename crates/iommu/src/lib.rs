@@ -23,4 +23,4 @@
 
 mod ats;
 
-pub use ats::{Ats, AtsConfig, AtsResponse, IommuMode};
+pub use ats::{Ats, AtsConfig, AtsConfigError, AtsResponse, IommuMode};

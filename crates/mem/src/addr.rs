@@ -96,30 +96,35 @@ addr_common!(Vpn);
 impl PhysAddr {
     /// The physical page containing this address.
     #[inline]
+    #[must_use]
     pub const fn ppn(self) -> Ppn {
         Ppn(self.0 >> PAGE_SHIFT)
     }
 
     /// Byte offset within the 4 KiB page.
     #[inline]
+    #[must_use]
     pub const fn page_offset(self) -> u64 {
         self.0 & (PAGE_SIZE - 1)
     }
 
     /// This address rounded down to its 128-byte memory block.
     #[inline]
+    #[must_use]
     pub const fn block_aligned(self) -> PhysAddr {
         PhysAddr(self.0 & !(BLOCK_SIZE - 1))
     }
 
     /// Global index of the 128-byte block containing this address.
     #[inline]
+    #[must_use]
     pub const fn block_index(self) -> u64 {
         self.0 >> BLOCK_SHIFT
     }
 
     /// Adds a byte offset.
     #[inline]
+    #[must_use]
     pub const fn offset(self, bytes: u64) -> PhysAddr {
         PhysAddr(self.0 + bytes)
     }
@@ -128,24 +133,28 @@ impl PhysAddr {
 impl VirtAddr {
     /// The virtual page containing this address.
     #[inline]
+    #[must_use]
     pub const fn vpn(self) -> Vpn {
         Vpn(self.0 >> PAGE_SHIFT)
     }
 
     /// Byte offset within the 4 KiB page.
     #[inline]
+    #[must_use]
     pub const fn page_offset(self) -> u64 {
         self.0 & (PAGE_SIZE - 1)
     }
 
     /// This address rounded down to its 128-byte memory block.
     #[inline]
+    #[must_use]
     pub const fn block_aligned(self) -> VirtAddr {
         VirtAddr(self.0 & !(BLOCK_SIZE - 1))
     }
 
     /// Adds a byte offset.
     #[inline]
+    #[must_use]
     pub const fn offset(self, bytes: u64) -> VirtAddr {
         VirtAddr(self.0 + bytes)
     }
@@ -154,12 +163,14 @@ impl VirtAddr {
 impl Ppn {
     /// First byte of the page.
     #[inline]
+    #[must_use]
     pub const fn base(self) -> PhysAddr {
         PhysAddr(self.0 << PAGE_SHIFT)
     }
 
     /// The `n`th page after this one.
     #[inline]
+    #[must_use]
     pub const fn add(self, n: u64) -> Ppn {
         Ppn(self.0 + n)
     }
@@ -170,6 +181,7 @@ impl Ppn {
     ///
     /// Panics in debug builds if `offset >= PAGE_SIZE`.
     #[inline]
+    #[must_use]
     pub fn byte(self, offset: u64) -> PhysAddr {
         debug_assert!(offset < PAGE_SIZE);
         PhysAddr((self.0 << PAGE_SHIFT) | offset)
@@ -179,12 +191,14 @@ impl Ppn {
 impl Vpn {
     /// First byte of the page.
     #[inline]
+    #[must_use]
     pub const fn base(self) -> VirtAddr {
         VirtAddr(self.0 << PAGE_SHIFT)
     }
 
     /// The `n`th page after this one.
     #[inline]
+    #[must_use]
     pub const fn add(self, n: u64) -> Vpn {
         Vpn(self.0 + n)
     }
@@ -192,6 +206,7 @@ impl Vpn {
     /// Radix-tree index at `level` (0 = leaf level, 3 = root) for a
     /// 4-level, 9-bits-per-level page table.
     #[inline]
+    #[must_use]
     pub const fn radix_index(self, level: usize) -> usize {
         ((self.0 >> (9 * level)) & 0x1FF) as usize
     }
@@ -200,12 +215,14 @@ impl Vpn {
 impl Asid {
     /// Wraps a raw address-space id.
     #[inline]
+    #[must_use]
     pub const fn new(raw: u16) -> Self {
         Asid(raw)
     }
 
     /// Unwraps to the raw id.
     #[inline]
+    #[must_use]
     pub const fn as_u16(self) -> u16 {
         self.0
     }
@@ -253,6 +270,7 @@ pub enum PageSize {
 
 impl PageSize {
     /// Size in bytes.
+    #[must_use]
     pub const fn bytes(self) -> u64 {
         match self {
             PageSize::Base4K => 4 << 10,
@@ -261,12 +279,14 @@ impl PageSize {
     }
 
     /// Number of 4 KiB base pages this page spans.
+    #[must_use]
     pub const fn base_pages(self) -> u64 {
         self.bytes() / PAGE_SIZE
     }
 
     /// Number of radix-tree levels a translation for this size walks
     /// (4 for base pages, 3 for 2 MiB pages whose leaf lives one level up).
+    #[must_use]
     pub const fn walk_levels(self) -> u64 {
         match self {
             PageSize::Base4K => 4,

@@ -45,6 +45,7 @@ impl Default for DramConfig {
 
 impl DramConfig {
     /// Peak bandwidth in blocks per cycle implied by this configuration.
+    #[must_use]
     pub fn peak_blocks_per_cycle(&self) -> f64 {
         self.channels as f64 / self.service_per_block as f64
     }
@@ -73,6 +74,7 @@ pub struct Dram {
 
 impl Dram {
     /// Creates a DRAM device with the given configuration.
+    #[must_use]
     pub fn new(config: DramConfig) -> Self {
         Dram {
             channels: Channels::new(config.channels),
@@ -83,6 +85,7 @@ impl Dram {
     }
 
     /// The configuration in use.
+    #[must_use]
     pub fn config(&self) -> DramConfig {
         self.config
     }
@@ -105,26 +108,31 @@ impl Dram {
     }
 
     /// Total block reads issued.
+    #[must_use]
     pub fn reads(&self) -> u64 {
         self.reads.get()
     }
 
     /// Total block writes issued.
+    #[must_use]
     pub fn writes(&self) -> u64 {
         self.writes.get()
     }
 
     /// Total blocks transferred in either direction.
+    #[must_use]
     pub fn total_accesses(&self) -> u64 {
         self.reads.get() + self.writes.get()
     }
 
     /// Aggregate channel utilization over an `elapsed`-cycle window.
+    #[must_use]
     pub fn utilization(&self, elapsed: u64) -> f64 {
         self.channels.utilization(elapsed)
     }
 
     /// Per-channel queue-delay histograms (diagnostics).
+    #[must_use]
     pub fn queue_delays(&self) -> Vec<&bc_sim::stats::Histogram> {
         self.channels
             .ports()
@@ -134,6 +142,7 @@ impl Dram {
     }
 
     /// Renders a stats table for reports.
+    #[must_use]
     pub fn stats(&self, elapsed: u64) -> StatsTable {
         let mut t = StatsTable::new("DRAM");
         t.push("reads", self.reads.get());

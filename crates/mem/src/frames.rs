@@ -63,6 +63,7 @@ impl FrameAllocator {
     /// # Panics
     ///
     /// Panics if `phys_bytes` is smaller than one page.
+    #[must_use]
     pub fn new(phys_bytes: u64) -> Self {
         let total_frames = phys_bytes / PAGE_SIZE;
         assert!(total_frames > 0, "physical memory smaller than one page");
@@ -76,21 +77,25 @@ impl FrameAllocator {
     }
 
     /// Total physical frames (including reserved frame 0).
+    #[must_use]
     pub fn total_frames(&self) -> u64 {
         self.total_frames
     }
 
     /// Physical memory size in bytes.
+    #[must_use]
     pub fn phys_bytes(&self) -> u64 {
         self.total_frames * PAGE_SIZE
     }
 
     /// Frames currently allocated.
+    #[must_use]
     pub fn allocated(&self) -> u64 {
         self.allocated
     }
 
     /// Frames still available.
+    #[must_use]
     pub fn available(&self) -> u64 {
         self.total_frames - 1 - self.allocated
     }

@@ -33,6 +33,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::indexing_slicing)]
 
 pub mod addr;
 pub mod dram;

@@ -6,6 +6,11 @@
 //! aligned. Translations report how many node accesses the walk performed,
 //! which the IOMMU uses to charge page-walk memory traffic.
 
+// `Vpn::radix_index` masks to 9 bits and every node holds exactly
+// `FANOUT = 512` slots, so the descent indexing below cannot go out of
+// bounds.
+#![allow(clippy::indexing_slicing)]
+
 use std::error::Error;
 use std::fmt;
 
@@ -40,6 +45,9 @@ pub enum MapError {
     MisalignedHugePage(Vpn),
     /// The requested range overlaps an existing huge page.
     OverlapsHugePage(Vpn),
+    /// An interior node expected during the radix descent was missing or
+    /// a leaf — the table structure is internally inconsistent.
+    TableCorrupt(Vpn),
 }
 
 impl fmt::Display for MapError {
@@ -52,6 +60,9 @@ impl fmt::Display for MapError {
             MapError::OverlapsHugePage(v) => {
                 write!(f, "mapping at {v} overlaps an existing huge page")
             }
+            MapError::TableCorrupt(v) => {
+                write!(f, "page table structure is corrupt on the path to {v}")
+            }
         }
     }
 }
@@ -63,12 +74,18 @@ impl Error for MapError {}
 pub enum TranslateError {
     /// No mapping exists for the virtual page.
     NotMapped(Vpn),
+    /// An interior node expected during the radix descent was missing or
+    /// a leaf — the table structure is internally inconsistent.
+    TableCorrupt(Vpn),
 }
 
 impl fmt::Display for TranslateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TranslateError::NotMapped(v) => write!(f, "virtual page {v} is not mapped"),
+            TranslateError::TableCorrupt(v) => {
+                write!(f, "page table structure is corrupt on the path to {v}")
+            }
         }
     }
 }
@@ -128,6 +145,7 @@ pub struct PageTable {
 
 impl PageTable {
     /// Creates an empty page table for address space `asid`.
+    #[must_use]
     pub fn new(asid: Asid) -> Self {
         PageTable {
             asid,
@@ -139,21 +157,25 @@ impl PageTable {
     }
 
     /// The address space this table belongs to.
+    #[must_use]
     pub fn asid(&self) -> Asid {
         self.asid
     }
 
     /// Number of 4 KiB pages currently mapped (huge pages count as 512).
+    #[must_use]
     pub fn mapped_base_pages(&self) -> u64 {
         self.mapped_base_pages
     }
 
     /// Total translations performed (for stats).
+    #[must_use]
     pub fn walks(&self) -> u64 {
         self.walks
     }
 
     /// Total page-table node accesses across all walks (for stats).
+    #[must_use]
     pub fn walk_node_accesses(&self) -> u64 {
         self.walk_node_accesses
     }
@@ -218,7 +240,7 @@ impl PageTable {
             }
             node = match slot {
                 Slot::Table(t) => t,
-                _ => unreachable!("slot was just made a table"),
+                _ => return Err(MapError::TableCorrupt(vpn)),
             };
         }
         let idx = vpn.radix_index(leaf_level);
@@ -357,7 +379,7 @@ impl PageTable {
             let idx = vpn.radix_index(level);
             node = match &mut node.slots[idx] {
                 Slot::Table(t) => t,
-                _ => unreachable!("lookup succeeded"),
+                _ => return Err(TranslateError::TableCorrupt(vpn)),
             };
         }
         let idx = vpn.radix_index(leaf_level);
@@ -387,6 +409,7 @@ impl PageTable {
 
     /// Collects the VPNs of all current mappings (huge pages once, at their
     /// base VPN). Convenience over [`PageTable::for_each_mapping`].
+    #[must_use]
     pub fn mapped_vpns(&self) -> Vec<Vpn> {
         let mut v = Vec::new();
         self.for_each_mapping(|vpn, _| v.push(vpn));

@@ -68,6 +68,7 @@ impl PagePerms {
     };
 
     /// Builds permissions from individual bits.
+    #[must_use]
     pub const fn new(read: bool, write: bool, execute: bool) -> Self {
         PagePerms {
             read,
@@ -77,26 +78,31 @@ impl PagePerms {
     }
 
     /// Whether reads are allowed.
+    #[must_use]
     pub const fn readable(self) -> bool {
         self.read
     }
 
     /// Whether writes are allowed.
+    #[must_use]
     pub const fn writable(self) -> bool {
         self.write
     }
 
     /// Whether instruction fetch is allowed.
+    #[must_use]
     pub const fn executable(self) -> bool {
         self.execute
     }
 
     /// Whether no access is allowed at all.
+    #[must_use]
     pub const fn is_none(self) -> bool {
         !self.read && !self.write && !self.execute
     }
 
     /// Whether `self` grants everything `other` grants (lattice ≥).
+    #[must_use]
     pub const fn contains(self, other: PagePerms) -> bool {
         (self.read || !other.read)
             && (self.write || !other.write)
@@ -104,6 +110,7 @@ impl PagePerms {
     }
 
     /// The intersection of two permission sets.
+    #[must_use]
     pub const fn intersect(self, other: PagePerms) -> PagePerms {
         PagePerms {
             read: self.read && other.read,
@@ -114,6 +121,7 @@ impl PagePerms {
 
     /// Whether moving from `self` to `new` *removes* any permission — the
     /// "permission downgrade" of §3.2.4 that forces cache flushes.
+    #[must_use]
     pub const fn downgraded_by(self, new: PagePerms) -> bool {
         !new.contains(self)
     }
@@ -121,6 +129,7 @@ impl PagePerms {
     /// The read/write projection Border Control can actually enforce;
     /// execute is dropped because the border cannot see how a block is used
     /// once inside the accelerator (§3.1.1).
+    #[must_use]
     pub const fn border_enforceable(self) -> PagePerms {
         PagePerms {
             read: self.read,
@@ -131,6 +140,7 @@ impl PagePerms {
 
     /// Removes write permission (the most common downgrade: copy-on-write,
     /// swap-out preparation).
+    #[must_use]
     pub const fn without_write(self) -> PagePerms {
         PagePerms {
             read: self.read,

@@ -5,6 +5,12 @@
 //! corrupts* a victim's data under the unsafe baseline and *cannot* under
 //! Border Control, the simulator carries a real sparse byte store.
 
+// The page-crossing copy loops bound every slice range with
+// `take = (PAGE_SIZE - offset).min(remaining)`, so `offset + take` never
+// exceeds the 4 KiB page buffer and the buffer ranges never exceed the
+// caller slice.
+#![allow(clippy::indexing_slicing)]
+
 use std::collections::HashMap;
 
 use crate::addr::{PhysAddr, Ppn, PAGE_SIZE};
@@ -48,6 +54,7 @@ pub enum WriteOrigin {
 
 impl PhysMemStore {
     /// Creates an empty store.
+    #[must_use]
     pub fn new() -> Self {
         PhysMemStore::default()
     }
@@ -81,6 +88,7 @@ impl PhysMemStore {
     }
 
     /// Number of pages that have been materialized.
+    #[must_use]
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
     }
@@ -109,6 +117,7 @@ impl PhysMemStore {
 
     /// Reads `len` bytes starting at `addr` into a new vector; untouched
     /// memory reads as zero.
+    #[must_use]
     pub fn read_vec(&self, addr: PhysAddr, len: usize) -> Vec<u8> {
         let mut out = vec![0u8; len];
         self.read_into(addr, &mut out);

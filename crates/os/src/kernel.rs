@@ -126,6 +126,7 @@ pub struct Kernel {
 
 impl Kernel {
     /// Boots a kernel over `config.phys_bytes` of physical memory.
+    #[must_use]
     pub fn new(config: KernelConfig) -> Self {
         Kernel {
             frames: FrameAllocator::new(config.phys_bytes),
@@ -161,16 +162,19 @@ impl Kernel {
     }
 
     /// The configuration the kernel booted with.
+    #[must_use]
     pub fn config(&self) -> KernelConfig {
         self.config
     }
 
     /// Physical memory size in bytes.
+    #[must_use]
     pub fn phys_bytes(&self) -> u64 {
         self.frames.phys_bytes()
     }
 
     /// Total physical frames.
+    #[must_use]
     pub fn total_frames(&self) -> u64 {
         self.frames.total_frames()
     }
@@ -186,6 +190,7 @@ impl Kernel {
     }
 
     /// Looks up a live process.
+    #[must_use]
     pub fn process(&self, asid: Asid) -> Option<&Process> {
         self.processes.get(&asid.as_u16())
     }
@@ -387,6 +392,7 @@ impl Kernel {
                 translation: tr,
                 faulted: false,
             }),
+            Err(e @ TranslateError::TableCorrupt(_)) => Err(e.into()),
             Err(TranslateError::NotMapped(_)) => {
                 let vma = *proc.vma_covering(vpn).ok_or(OsError::Segfault(asid, vpn))?;
                 let ppn = self.frames.alloc().map_err(|_| OsError::OutOfMemory)?;
@@ -513,7 +519,11 @@ impl Kernel {
                 .for_each_mapping(|vpn, tr| v.push((vpn, tr)));
             v
         };
-        let vmas: Vec<Vma> = self.process(parent).unwrap().vmas().to_vec();
+        let vmas: Vec<Vma> = self
+            .process(parent)
+            .ok_or(OsError::NoSuchProcess(parent))?
+            .vmas()
+            .to_vec();
         let child = self.create_process();
         for vma in vmas {
             let child_proc = self.process_mut(child)?;
@@ -571,7 +581,11 @@ impl Kernel {
             old_perms: old.perms,
             new_perms: old.perms, // old frame keeps read permission via the sibling
         });
-        Ok(self.process(asid).unwrap().page_table().peek(vpn)?)
+        Ok(self
+            .process(asid)
+            .ok_or(OsError::NoSuchProcess(asid))?
+            .page_table()
+            .peek(vpn)?)
     }
 
     // ---- data access (trusted CPU side) -------------------------------------
@@ -582,6 +596,8 @@ impl Kernel {
     /// # Errors
     ///
     /// Fails on segfault or if the VMA lacks write permission.
+    // Slice ranges are bounded by `take = (PAGE_SIZE - offset).min(len)`.
+    #[allow(clippy::indexing_slicing)]
     pub fn write_virt(&mut self, asid: Asid, va: VirtAddr, data: &[u8]) -> Result<(), OsError> {
         let mut cur = va;
         let mut remaining = data;
@@ -610,6 +626,8 @@ impl Kernel {
     /// # Errors
     ///
     /// Fails on segfault or if the VMA lacks read permission.
+    // Slice ranges are bounded by `take = (PAGE_SIZE - offset).min(len)`.
+    #[allow(clippy::indexing_slicing)]
     pub fn read_virt(&mut self, asid: Asid, va: VirtAddr, len: usize) -> Result<Vec<u8>, OsError> {
         let mut out = vec![0u8; len];
         let mut cur = va;
@@ -634,6 +652,7 @@ impl Kernel {
 
     /// Direct access to physical memory contents (trusted components and
     /// the DRAM model).
+    #[must_use]
     pub fn store(&self) -> &PhysMemStore {
         &self.store
     }
@@ -688,6 +707,7 @@ impl Kernel {
     }
 
     /// All violations reported so far.
+    #[must_use]
     pub fn violations(&self) -> &[Violation] {
         &self.violations
     }
@@ -700,16 +720,19 @@ impl Kernel {
     }
 
     /// Minor page faults taken (lazy allocation + CoW).
+    #[must_use]
     pub fn minor_faults(&self) -> u64 {
         self.minor_faults.get()
     }
 
     /// Permission downgrades performed.
+    #[must_use]
     pub fn downgrades(&self) -> u64 {
         self.downgrades.get()
     }
 
     /// Frames currently allocated.
+    #[must_use]
     pub fn frames_allocated(&self) -> u64 {
         self.frames.allocated()
     }

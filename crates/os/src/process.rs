@@ -31,11 +31,13 @@ pub struct Vma {
 
 impl Vma {
     /// Whether `vpn` falls inside this area.
+    #[must_use]
     pub fn contains(&self, vpn: Vpn) -> bool {
         vpn >= self.start && vpn.as_u64() < self.start.as_u64() + self.pages
     }
 
     /// Whether two areas overlap.
+    #[must_use]
     pub fn overlaps(&self, other: &Vma) -> bool {
         self.start.as_u64() < other.start.as_u64() + other.pages
             && other.start.as_u64() < self.start.as_u64() + self.pages
@@ -62,11 +64,13 @@ impl Process {
     }
 
     /// The process's address-space id.
+    #[must_use]
     pub fn asid(&self) -> Asid {
         self.asid
     }
 
     /// Lifecycle state.
+    #[must_use]
     pub fn state(&self) -> ProcessState {
         self.state
     }
@@ -76,6 +80,7 @@ impl Process {
     }
 
     /// The process page table (the OS-trusted source of permissions).
+    #[must_use]
     pub fn page_table(&self) -> &PageTable {
         &self.page_table
     }
@@ -85,6 +90,7 @@ impl Process {
     }
 
     /// The registered virtual memory areas.
+    #[must_use]
     pub fn vmas(&self) -> &[Vma] {
         &self.vmas
     }
@@ -98,6 +104,7 @@ impl Process {
     }
 
     /// The VMA covering `vpn`, if any.
+    #[must_use]
     pub fn vma_covering(&self, vpn: Vpn) -> Option<&Vma> {
         self.vmas.iter().find(|v| v.contains(vpn))
     }

@@ -45,6 +45,7 @@ impl ShootdownRequest {
     /// Whether the change *removes* permissions — the case that requires
     /// writing back dirty accelerator-cached data before the Protection
     /// Table entry is updated (§3.2.4).
+    #[must_use]
     pub fn is_downgrade(&self) -> bool {
         self.old_perms.downgraded_by(self.new_perms)
     }
@@ -53,6 +54,7 @@ impl ShootdownRequest {
     /// cache: only if it was writable before the change. Read-only pages
     /// (e.g. copy-on-write) need no flush — "Copy-on-write thus incurs no
     /// extra overhead over the trusted accelerator case" (§3.2.4).
+    #[must_use]
     pub fn may_have_dirty_data(&self) -> bool {
         self.old_perms.writable()
     }

@@ -29,6 +29,7 @@ pub struct GuestId(u16);
 
 impl GuestId {
     /// Raw id.
+    #[must_use]
     pub fn as_u16(self) -> u16 {
         self.0
     }
@@ -69,6 +70,7 @@ pub struct Vmm {
 
 impl Vmm {
     /// Boots the hypervisor over the machine's physical memory.
+    #[must_use]
     pub fn new(host_config: KernelConfig) -> Self {
         Vmm {
             host: Kernel::new(host_config),
@@ -80,6 +82,7 @@ impl Vmm {
     /// The host kernel (machine memory owner). Border Control's
     /// Protection Table is allocated here — from frames no guest mapping
     /// can name.
+    #[must_use]
     pub fn host_kernel(&self) -> &Kernel {
         &self.host
     }
@@ -117,6 +120,7 @@ impl Vmm {
     /// # Panics
     ///
     /// Panics on an unknown guest id.
+    #[must_use]
     pub fn guest_kernel(&self, id: GuestId) -> &Kernel {
         &self.guests.get(&id.0).expect("unknown guest").kernel
     }
@@ -185,6 +189,7 @@ impl Vmm {
     /// # Panics
     ///
     /// Panics on an unknown guest id.
+    #[must_use]
     pub fn host_frames_of(&self, id: GuestId) -> Vec<Ppn> {
         self.guests
             .get(&id.0)

@@ -103,6 +103,7 @@ pub struct AuditReport {
 
 impl AuditReport {
     /// Whether every evaluated assertion held.
+    #[must_use]
     pub fn is_clean(&self) -> bool {
         self.findings.is_empty()
     }
@@ -147,6 +148,7 @@ impl Auditor {
     /// Creates an auditor. `fatal` makes the first finding panic (the
     /// mode tests run under); otherwise findings accumulate in the
     /// report. `wb_capacity` is the writeback-buffer depth to enforce.
+    #[must_use]
     pub fn new(fatal: bool, wb_capacity: usize) -> Self {
         Auditor {
             fatal,
@@ -159,6 +161,7 @@ impl Auditor {
     }
 
     /// Whether findings panic immediately.
+    #[must_use]
     pub fn is_fatal(&self) -> bool {
         self.fatal
     }
@@ -181,6 +184,7 @@ impl Auditor {
     }
 
     /// Whether an oracle is active (a Border Control engine is attached).
+    #[must_use]
     pub fn oracle_active(&self) -> bool {
         self.oracle_bounds.is_some()
     }
@@ -207,6 +211,7 @@ impl Auditor {
     }
 
     /// The oracle's independent decision for a request.
+    #[must_use]
     pub fn oracle_decision(&self, page: u64, write: bool) -> bool {
         let Some(bounds) = self.oracle_bounds else {
             return false;
@@ -366,6 +371,7 @@ impl Auditor {
     // ---- report ---------------------------------------------------------
 
     /// The report accumulated so far.
+    #[must_use]
     pub fn report(&self) -> &AuditReport {
         &self.report
     }

@@ -33,24 +33,28 @@ impl Cycle {
 
     /// Creates an instant at `cycles` cycles after simulation start.
     #[inline]
+    #[must_use]
     pub const fn new(cycles: u64) -> Self {
         Cycle(cycles)
     }
 
     /// Returns the raw cycle count since simulation start.
     #[inline]
+    #[must_use]
     pub const fn as_u64(self) -> u64 {
         self.0
     }
 
     /// Returns the later of two instants.
     #[inline]
+    #[must_use]
     pub fn max(self, other: Cycle) -> Cycle {
         Cycle(self.0.max(other.0))
     }
 
     /// Returns the earlier of two instants.
     #[inline]
+    #[must_use]
     pub fn min(self, other: Cycle) -> Cycle {
         Cycle(self.0.min(other.0))
     }
@@ -58,6 +62,7 @@ impl Cycle {
     /// Cycles elapsed from `earlier` to `self`, or zero if `earlier` is in
     /// the future (saturating, like `Instant::saturating_duration_since`).
     #[inline]
+    #[must_use]
     pub fn saturating_since(self, earlier: Cycle) -> u64 {
         self.0.saturating_sub(earlier.0)
     }
@@ -130,27 +135,32 @@ impl Frequency {
     /// # Panics
     ///
     /// Panics if `hertz` is zero.
+    #[must_use]
     pub fn from_hz(hertz: u64) -> Self {
         assert!(hertz > 0, "frequency must be non-zero");
         Frequency { hertz }
     }
 
     /// Creates a frequency from megahertz.
+    #[must_use]
     pub fn from_mhz(mhz: u64) -> Self {
         Self::from_hz(mhz * 1_000_000)
     }
 
     /// Creates a frequency from gigahertz.
+    #[must_use]
     pub fn from_ghz(ghz: u64) -> Self {
         Self::from_hz(ghz * 1_000_000_000)
     }
 
     /// Raw frequency in hertz.
+    #[must_use]
     pub fn as_hz(self) -> u64 {
         self.hertz
     }
 
     /// Number of clock cycles in one second at this frequency.
+    #[must_use]
     pub fn cycles_per_second(self) -> u64 {
         self.hertz
     }
@@ -160,6 +170,7 @@ impl Frequency {
     ///
     /// Returns `u64::MAX` when `events_per_second` is zero (the event never
     /// occurs), which composes conveniently with event scheduling.
+    #[must_use]
     pub fn cycles_per_event(self, events_per_second: u64) -> u64 {
         self.hertz
             .checked_div(events_per_second)
@@ -168,6 +179,7 @@ impl Frequency {
 
     /// Converts a byte-per-second bandwidth into bytes per cycle at this
     /// frequency, rounding down but never returning zero.
+    #[must_use]
     pub fn bytes_per_cycle(self, bytes_per_second: u64) -> u64 {
         (bytes_per_second / self.hertz).max(1)
     }

@@ -125,6 +125,7 @@ impl<E> EventQueue<E> {
     pub const WHEEL_CYCLES: usize = N;
 
     /// Creates an empty queue.
+    #[must_use]
     pub fn new() -> Self {
         EventQueue {
             buckets: (0..N).map(|_| VecDeque::new()).collect(),
@@ -258,6 +259,7 @@ impl<E> EventQueue<E> {
     /// The timestamp of the earliest pending event, if any. Unlike `pop`
     /// this never mutates: the bitmap scan finds the wheel minimum without
     /// advancing the cursor.
+    #[must_use]
     pub fn peek_time(&self) -> Option<Cycle> {
         if let Some(e) = self.past.peek() {
             return Some(e.at);
@@ -270,11 +272,13 @@ impl<E> EventQueue<E> {
     }
 
     /// Number of pending events.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.wheel_len + self.overflow.len() + self.past.len()
     }
 
     /// Whether no events are pending.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }

@@ -52,12 +52,14 @@ pub struct Port {
 
 impl Port {
     /// Creates an idle port.
+    #[must_use]
     pub fn new() -> Self {
         Port::default()
     }
 
     /// Earliest instant a request arriving at `arrival` needing `service`
     /// cycles could start, without booking it.
+    #[must_use]
     pub fn earliest_start(&self, arrival: Cycle, service: u64) -> Cycle {
         let mut candidate = arrival.as_u64();
         if service == 0 {
@@ -176,27 +178,32 @@ impl Port {
     /// The end of the last booked interval — the instant from which the
     /// port is guaranteed idle (used by walker-style callers that want an
     /// exclusive grab).
+    #[must_use]
     pub fn idle_from(&self) -> Cycle {
         Cycle::new(self.busy.last().map(|&(_, e)| e).unwrap_or(0))
     }
 
     /// Number of requests served.
+    #[must_use]
     pub fn served(&self) -> u64 {
         self.served.get()
     }
 
     /// Total cycles spent actively serving requests.
+    #[must_use]
     pub fn busy_cycles(&self) -> u64 {
         self.busy_cycles
     }
 
     /// Distribution of per-request queueing delay.
+    #[must_use]
     pub fn queue_delay(&self) -> &Histogram {
         &self.queue_delay
     }
 
     /// Utilization over an observation window of `elapsed` cycles, in
     /// `[0, 1]` (clamped).
+    #[must_use]
     pub fn utilization(&self, elapsed: u64) -> f64 {
         if elapsed == 0 {
             0.0
@@ -233,6 +240,7 @@ impl Channels {
     /// # Panics
     ///
     /// Panics if `n` is zero.
+    #[must_use]
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "a resource needs at least one channel");
         Channels {
@@ -258,6 +266,7 @@ impl Channels {
     }
 
     /// Number of channels.
+    #[must_use]
     pub fn channel_count(&self) -> usize {
         self.ports.len()
     }
@@ -273,6 +282,7 @@ impl Channels {
     }
 
     /// Aggregate utilization over `elapsed` cycles, in `[0, 1]`.
+    #[must_use]
     pub fn utilization(&self, elapsed: u64) -> f64 {
         if elapsed == 0 {
             return 0.0;
@@ -282,6 +292,7 @@ impl Channels {
     }
 
     /// Read-only view of the underlying ports (diagnostics).
+    #[must_use]
     pub fn ports(&self) -> &[Port] {
         &self.ports
     }

@@ -27,6 +27,7 @@ pub struct SimRng {
 impl SimRng {
     /// Creates a generator from a 64-bit seed, expanding it with SplitMix64
     /// as recommended by the xoshiro authors.
+    #[must_use]
     pub fn seed_from(seed: u64) -> Self {
         let mut sm = SplitMix64::new(seed);
         SimRng {

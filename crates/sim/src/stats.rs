@@ -26,6 +26,7 @@ pub struct Counter(u64);
 
 impl Counter {
     /// Creates a counter at zero.
+    #[must_use]
     pub fn new() -> Self {
         Counter(0)
     }
@@ -44,6 +45,7 @@ impl Counter {
 
     /// Current value.
     #[inline]
+    #[must_use]
     pub fn get(&self) -> u64 {
         self.0
     }
@@ -82,6 +84,7 @@ pub struct HitMiss {
 
 impl HitMiss {
     /// Creates an empty tracker.
+    #[must_use]
     pub fn new() -> Self {
         HitMiss::default()
     }
@@ -109,21 +112,25 @@ impl HitMiss {
     }
 
     /// Total hits so far.
+    #[must_use]
     pub fn hits(&self) -> u64 {
         self.hits
     }
 
     /// Total misses so far.
+    #[must_use]
     pub fn misses(&self) -> u64 {
         self.misses
     }
 
     /// Total accesses (hits + misses).
+    #[must_use]
     pub fn accesses(&self) -> u64 {
         self.hits + self.misses
     }
 
     /// Miss ratio in `[0, 1]`; zero when there were no accesses.
+    #[must_use]
     pub fn miss_ratio(&self) -> f64 {
         if self.accesses() == 0 {
             0.0
@@ -133,6 +140,7 @@ impl HitMiss {
     }
 
     /// Hit ratio in `[0, 1]`; zero when there were no accesses.
+    #[must_use]
     pub fn hit_ratio(&self) -> f64 {
         if self.accesses() == 0 {
             0.0
@@ -188,6 +196,7 @@ pub struct Histogram {
 
 impl Histogram {
     /// Creates an empty histogram.
+    #[must_use]
     pub fn new() -> Self {
         Histogram {
             buckets: vec![0; 64],
@@ -211,16 +220,19 @@ impl Histogram {
     }
 
     /// Number of observations.
+    #[must_use]
     pub fn count(&self) -> u64 {
         self.count
     }
 
     /// Sum of all observations.
+    #[must_use]
     pub fn sum(&self) -> u64 {
         self.sum
     }
 
     /// Arithmetic mean; zero when empty.
+    #[must_use]
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -230,6 +242,7 @@ impl Histogram {
     }
 
     /// Smallest observation; zero when empty.
+    #[must_use]
     pub fn min(&self) -> u64 {
         if self.count == 0 {
             0
@@ -239,11 +252,13 @@ impl Histogram {
     }
 
     /// Largest observation; zero when empty.
+    #[must_use]
     pub fn max(&self) -> u64 {
         self.max
     }
 
     /// Approximate p-quantile (by bucket lower bound), `q` in `[0, 1]`.
+    #[must_use]
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -333,6 +348,7 @@ impl StatsTable {
     }
 
     /// Title given at construction.
+    #[must_use]
     pub fn title(&self) -> &str {
         &self.title
     }
@@ -343,11 +359,13 @@ impl StatsTable {
     }
 
     /// Number of rows.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.rows.len()
     }
 
     /// Whether the table has no rows.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }
@@ -377,6 +395,7 @@ impl fmt::Display for StatsTable {
 /// let g = geometric_mean(&[1.0, 4.0]).unwrap();
 /// assert!((g - 2.0).abs() < 1e-12);
 /// ```
+#[must_use]
 pub fn geometric_mean(values: &[f64]) -> Option<f64> {
     if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
         return None;

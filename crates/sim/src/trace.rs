@@ -93,6 +93,7 @@ pub struct Tracer {
 
 impl Tracer {
     /// Creates a tracer holding at most `capacity` events.
+    #[must_use]
     pub fn new(enabled: bool, capacity: usize) -> Self {
         Tracer {
             enabled,
@@ -103,6 +104,7 @@ impl Tracer {
     }
 
     /// Whether recording is on.
+    #[must_use]
     pub fn enabled(&self) -> bool {
         self.enabled
     }
@@ -125,6 +127,7 @@ impl Tracer {
     }
 
     /// The retained events, oldest first.
+    #[must_use]
     pub fn events(&self) -> &VecDeque<TraceEvent> {
         &self.events
     }
@@ -135,11 +138,13 @@ impl Tracer {
     }
 
     /// Events evicted from the ring because it was full.
+    #[must_use]
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
 
     /// Renders the whole ring.
+    #[must_use]
     pub fn render(&self) -> String {
         use fmt::Write;
         let mut out = String::new();

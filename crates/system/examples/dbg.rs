@@ -1,3 +1,5 @@
+// Driver/harness code: failing fast on setup errors is the right behavior.
+#![allow(clippy::unwrap_used)]
 use bc_system::*;
 use bc_workloads::WorkloadSize;
 

@@ -26,6 +26,7 @@ pub enum GpuClass {
 
 impl GpuClass {
     /// The matching structural preset.
+    #[must_use]
     pub fn gpu_config(self) -> GpuConfig {
         match self {
             GpuClass::HighlyThreaded => GpuConfig::highly_threaded(),
@@ -34,6 +35,7 @@ impl GpuClass {
     }
 
     /// Figure label ("(a) Highly threaded GPU").
+    #[must_use]
     pub fn label(self) -> &'static str {
         match self {
             GpuClass::HighlyThreaded => "Highly threaded",
@@ -139,6 +141,7 @@ impl SystemConfig {
     /// The paper's Table 3 machine: 700 MHz GPU, 180 GB/s memory,
     /// 64-entry L1 TLBs, 512-entry trusted L2 TLB, 8 KiB BCC at 10
     /// cycles, Protection Table at DRAM latency, ~3 GiB physical memory.
+    #[must_use]
     pub fn table3_defaults() -> Self {
         SystemConfig {
             safety: SafetyModel::BorderControlBcc,
@@ -175,11 +178,13 @@ impl SystemConfig {
     }
 
     /// The GPU clock as a [`Frequency`].
+    #[must_use]
     pub fn gpu_clock(&self) -> Frequency {
         Frequency::from_mhz(self.gpu_clock_mhz)
     }
 
     /// Cycles between injected downgrades, or `u64::MAX` when disabled.
+    #[must_use]
     pub fn downgrade_period_cycles(&self) -> u64 {
         self.gpu_clock()
             .cycles_per_event(self.downgrades_per_second)
@@ -187,6 +192,7 @@ impl SystemConfig {
 
     /// The GPU structural configuration implied by the safety model and
     /// GPU class (Table 2 row applied to the Table 3 machine).
+    #[must_use]
     pub fn effective_gpu_config(&self) -> GpuConfig {
         let mut g = self.gpu_class.gpu_config();
         g.has_l1 = self.safety.keeps_l1();
@@ -202,6 +208,7 @@ impl SystemConfig {
 
     /// The Border Control configuration implied by the safety model, if
     /// Border Control is present.
+    #[must_use]
     pub fn effective_bc_config(&self) -> Option<BorderControlConfig> {
         self.safety.has_bcc().map(|with_bcc| BorderControlConfig {
             bcc: with_bcc.then_some(self.bcc),

@@ -66,6 +66,7 @@ pub struct HostCpu {
 
 impl HostCpu {
     /// Creates the host actor.
+    #[must_use]
     pub fn new(config: HostActivityConfig, seed: u64) -> Self {
         HostCpu {
             config,
@@ -91,6 +92,7 @@ impl HostCpu {
     }
 
     /// The activity configuration.
+    #[must_use]
     pub fn config(&self) -> HostActivityConfig {
         self.config
     }
@@ -164,16 +166,19 @@ impl HostCpu {
     }
 
     /// Total CPU memory operations issued.
+    #[must_use]
     pub fn accesses(&self) -> u64 {
         self.accesses.get()
     }
 
     /// CPU operations that touched the shared footprint.
+    #[must_use]
     pub fn shared_touches(&self) -> u64 {
         self.shared_touches.get()
     }
 
     /// Dirty blocks recalled from the GPU on CPU demand.
+    #[must_use]
     pub fn recalls_from_gpu(&self) -> u64 {
         self.recalls_from_gpu.get()
     }

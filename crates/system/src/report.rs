@@ -24,6 +24,7 @@ pub enum AbortReason {
 
 impl AbortReason {
     /// Short human-readable label for report tables.
+    #[must_use]
     pub fn label(self) -> &'static str {
         match self {
             AbortReason::ViolationKill => "killed on violation",
@@ -107,6 +108,7 @@ pub struct RunReport {
 
 impl RunReport {
     /// Border checks per cycle — Figure 5's y-axis.
+    #[must_use]
     pub fn checks_per_cycle(&self) -> f64 {
         if self.cycles == 0 {
             0.0
@@ -116,6 +118,7 @@ impl RunReport {
     }
 
     /// BCC miss ratio — Figure 6's y-axis — if a BCC was present.
+    #[must_use]
     pub fn bcc_miss_ratio(&self) -> Option<f64> {
         self.bcc_hits_misses.map(|(h, m)| {
             if h + m == 0 {
@@ -128,6 +131,7 @@ impl RunReport {
 
     /// Runtime overhead of this run relative to a baseline run of the
     /// same workload — Figure 4's y-axis (e.g. 0.15 ⇒ 15 %).
+    #[must_use]
     pub fn overhead_vs(&self, baseline: &RunReport) -> f64 {
         if baseline.cycles == 0 {
             return 0.0;
@@ -141,6 +145,7 @@ impl RunReport {
     /// real JSON, so the golden-report snapshots under `tests/goldens/`
     /// use this hand-rolled serializer instead. Field order is fixed and
     /// `violations` is omitted, mirroring its `#[serde(skip)]`.
+    #[must_use]
     pub fn to_json(&self) -> String {
         fn esc(s: &str) -> String {
             let mut out = String::with_capacity(s.len() + 2);
@@ -243,6 +248,7 @@ impl RunReport {
     }
 
     /// Renders the report as a stats table.
+    #[must_use]
     pub fn stats_table(&self) -> StatsTable {
         let mut t = StatsTable::new(format!(
             "{} / {} / {}",

@@ -36,6 +36,7 @@ impl SafetyModel {
     ];
 
     /// Short label used in figure output.
+    #[must_use]
     pub fn label(self) -> &'static str {
         match self {
             SafetyModel::AtsOnlyIommu => "ATS-only IOMMU",
@@ -48,11 +49,13 @@ impl SafetyModel {
 
     /// Table 2: is the configuration safe against improper accelerator
     /// accesses?
+    #[must_use]
     pub fn is_safe(self) -> bool {
         !matches!(self, SafetyModel::AtsOnlyIommu)
     }
 
     /// Table 2: does the accelerator keep private L1 caches?
+    #[must_use]
     pub fn keeps_l1(self) -> bool {
         matches!(
             self,
@@ -63,16 +66,19 @@ impl SafetyModel {
     }
 
     /// Table 2: does the accelerator keep an L1 TLB?
+    #[must_use]
     pub fn keeps_l1_tlb(self) -> bool {
         self.keeps_l1()
     }
 
     /// Table 2: does a (possibly trusted) L2 cache exist?
+    #[must_use]
     pub fn keeps_l2(self) -> bool {
         !matches!(self, SafetyModel::FullIommu)
     }
 
     /// Table 2: does the configuration include a BCC?
+    #[must_use]
     pub fn has_bcc(self) -> Option<bool> {
         match self {
             SafetyModel::BorderControlNoBcc => Some(false),
@@ -82,6 +88,7 @@ impl SafetyModel {
     }
 
     /// Whether Border Control hardware is present at all.
+    #[must_use]
     pub fn uses_border_control(self) -> bool {
         matches!(
             self,
@@ -91,27 +98,32 @@ impl SafetyModel {
 
     /// Whether the accelerator's caches live in trusted, more distant
     /// hardware (the CAPI-like penalty).
+    #[must_use]
     pub fn trusted_caches(self) -> bool {
         matches!(self, SafetyModel::CapiLike)
     }
 
     /// Whether every request must be translated at the IOMMU.
+    #[must_use]
     pub fn translates_every_request(self) -> bool {
         matches!(self, SafetyModel::FullIommu | SafetyModel::CapiLike)
     }
 
     /// Table 1: does the approach protect the OS from the accelerator?
+    #[must_use]
     pub fn protects_os(self) -> bool {
         self.is_safe()
     }
 
     /// Table 1: does it protect *between processes*?
+    #[must_use]
     pub fn protects_between_processes(self) -> bool {
         self.is_safe()
     }
 
     /// Table 1: can the accelerator access memory directly by physical
     /// address (keeping physical caches/TLBs)?
+    #[must_use]
     pub fn direct_physical_access(self) -> bool {
         matches!(
             self,
@@ -143,6 +155,7 @@ pub struct Table1Row {
 }
 
 /// Regenerates Table 1 of the paper.
+#[must_use]
 pub fn table1() -> Vec<Table1Row> {
     vec![
         Table1Row {

@@ -32,6 +32,8 @@ pub enum BuildError {
     UnknownWorkload(String),
     /// Kernel setup failed.
     Os(OsError),
+    /// The configured ATS geometry cannot be built.
+    Ats(bc_iommu::AtsConfigError),
 }
 
 impl fmt::Display for BuildError {
@@ -39,6 +41,7 @@ impl fmt::Display for BuildError {
         match self {
             BuildError::UnknownWorkload(w) => write!(f, "unknown workload '{w}'"),
             BuildError::Os(e) => write!(f, "kernel setup failed: {e}"),
+            BuildError::Ats(e) => write!(f, "ATS setup failed: {e}"),
         }
     }
 }
@@ -47,6 +50,7 @@ impl Error for BuildError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             BuildError::Os(e) => Some(e),
+            BuildError::Ats(e) => Some(e),
             _ => None,
         }
     }
@@ -55,6 +59,12 @@ impl Error for BuildError {
 impl From<OsError> for BuildError {
     fn from(e: OsError) -> Self {
         BuildError::Os(e)
+    }
+}
+
+impl From<bc_iommu::AtsConfigError> for BuildError {
+    fn from(e: bc_iommu::AtsConfigError) -> Self {
+        BuildError::Ats(e)
     }
 }
 
@@ -266,7 +276,7 @@ impl System {
 
         let cu_count = gpu.cus.len();
         Ok(System {
-            ats: Ats::new(config.ats),
+            ats: Ats::try_new(config.ats)?,
             dram: Dram::new(config.dram),
             kernel,
             bc,
@@ -304,6 +314,7 @@ impl System {
     }
 
     /// The kernel (for examples that stage data or inspect memory).
+    #[must_use]
     pub fn kernel(&self) -> &Kernel {
         &self.kernel
     }
@@ -314,16 +325,19 @@ impl System {
     }
 
     /// The workload process's address-space id.
+    #[must_use]
     pub fn asid(&self) -> Asid {
         self.asid
     }
 
     /// The DRAM device (diagnostics).
+    #[must_use]
     pub fn dram(&self) -> &Dram {
         &self.dram
     }
 
     /// The Border Control engine, when the safety model includes one.
+    #[must_use]
     pub fn border_control(&self) -> Option<&BorderControl> {
         self.bc.as_ref()
     }
@@ -339,6 +353,7 @@ impl System {
 
     /// The post-mortem event trace (empty unless [`SystemConfig::trace`]
     /// was set).
+    #[must_use]
     pub fn trace(&self) -> &Tracer {
         &self.tracer
     }
@@ -490,12 +505,7 @@ impl System {
             Err(e) => return self.on_fatal_os_error(at, e),
         };
         // The IOMMU enforces permissions on the translated request.
-        let ok = if access.write {
-            resp.entry.perms.writable()
-        } else {
-            resp.entry.perms.readable()
-        };
-        if !ok {
+        if !bc_core::proto::access_allowed(resp.entry.perms, access.write) {
             return resp.done; // dropped by trusted hardware
         }
         let pa = Self::phys_block_from_entry(&resp.entry, access.va);
@@ -519,12 +529,7 @@ impl System {
             Ok(r) => r,
             Err(e) => return self.on_fatal_os_error(at, e),
         };
-        let ok = if access.write {
-            resp.entry.perms.writable()
-        } else {
-            resp.entry.perms.readable()
-        };
-        if !ok {
+        if !bc_core::proto::access_allowed(resp.entry.perms, access.write) {
             return resp.done;
         }
         let t = self.l2_port.serve(resp.done + penalty, 1);
@@ -882,45 +887,35 @@ impl System {
             .as_ref()
             .map(|l2| l2.is_dirty(pa))
             .unwrap_or(false);
-        if gpu_has_dirty {
-            if write {
-                // GetM: ownership moves to the CPU, so every GPU copy
-                // must go — the write-through L1s can hold (clean)
-                // copies of the block the L2 has dirty.
-                for cu in &mut self.gpu.cus {
-                    if let Some(l1) = &mut cu.l1 {
-                        l1.invalidate_block(pa);
-                    }
+        let plan = bc_core::proto::recall_plan(write, gpu_has_dirty);
+        if plan.invalidate_l1s {
+            // GetM: ownership moves to the CPU, so every GPU copy must
+            // go — the write-through L1s can hold (clean) copies of the
+            // block the L2 has dirty.
+            for cu in &mut self.gpu.cus {
+                if let Some(l1) = &mut cu.l1 {
+                    l1.invalidate_block(pa);
                 }
             }
-            {
-                let l2 = self.gpu.l2.as_mut().expect("checked above");
-                if write {
-                    l2.invalidate_block(pa);
-                } else {
-                    l2.downgrade_block(pa);
-                }
+        }
+        if let Some(l2) = &mut self.gpu.l2 {
+            if plan.invalidate_l2 {
+                l2.invalidate_block(pa);
+            } else if plan.downgrade_l2 {
+                l2.downgrade_block(pa);
             }
+        }
+        if plan.writeback_through_border {
             let (_admit, retire) = self.border_write_timed(t, pa);
             self.host.as_mut().expect("present").count_recall();
             self.tracer.record(self.now, TraceKind::Recall, || {
                 format!("CPU recalled dirty GPU block at {pa}")
             });
-            retire
-        } else {
-            if write {
-                // GetM: clean GPU copies are just invalidated.
-                for cu in &mut self.gpu.cus {
-                    if let Some(l1) = &mut cu.l1 {
-                        l1.invalidate_block(pa);
-                    }
-                }
-                if let Some(l2) = &mut self.gpu.l2 {
-                    l2.invalidate_block(pa);
-                }
+            if plan.wait_for_retire {
+                return retire;
             }
-            t
         }
+        t
     }
 
     // ---- malicious probes -------------------------------------------------

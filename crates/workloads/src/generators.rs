@@ -60,6 +60,7 @@ pub mod backprop {
 
     impl Backprop {
         /// Creates the workload at the given problem size.
+        #[must_use]
         pub fn new(size: WorkloadSize) -> Self {
             let s = size.scale();
             Backprop {
@@ -150,6 +151,7 @@ pub mod bfs {
 
     impl Bfs {
         /// Creates the workload at the given problem size.
+        #[must_use]
         pub fn new(size: WorkloadSize) -> Self {
             // The graph footprint stays fixed (its live hot window is what
             // matters for cache/TLB behaviour); problem size scales the
@@ -259,6 +261,7 @@ pub mod hotspot {
 
     impl Hotspot {
         /// Creates the workload at the given problem size.
+        #[must_use]
         pub fn new(size: WorkloadSize) -> Self {
             // Grid stays TLB-scaled; iteration count carries problem size.
             Hotspot {
@@ -362,6 +365,7 @@ pub mod lud {
 
     impl Lud {
         /// Creates the workload at the given problem size.
+        #[must_use]
         pub fn new(size: WorkloadSize) -> Self {
             // Explicit dims: total update ops grow with dim^3 / 3, so the
             // scale factor is applied gently.
@@ -455,6 +459,7 @@ pub mod nn {
 
     impl Nn {
         /// Creates the workload at the given problem size.
+        #[must_use]
         pub fn new(size: WorkloadSize) -> Self {
             let s = size.scale();
             Nn {
@@ -529,6 +534,7 @@ pub mod nw {
 
     impl Nw {
         /// Creates the workload at the given problem size.
+        #[must_use]
         pub fn new(size: WorkloadSize) -> Self {
             Nw {
                 n: match size {
@@ -635,6 +641,7 @@ pub mod pathfinder {
 
     impl Pathfinder {
         /// Creates the workload at the given problem size.
+        #[must_use]
         pub fn new(size: WorkloadSize) -> Self {
             let s = size.scale();
             Pathfinder {

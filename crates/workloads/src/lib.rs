@@ -146,6 +146,7 @@ pub enum WorkloadSize {
 
 impl WorkloadSize {
     /// A multiplier applied to iteration counts and footprints.
+    #[must_use]
     pub fn scale(self) -> u64 {
         match self {
             WorkloadSize::Tiny => 1,
@@ -156,6 +157,7 @@ impl WorkloadSize {
 }
 
 /// The seven-benchmark suite of the paper's Figure 4, in figure order.
+#[must_use]
 pub fn rodinia_suite(size: WorkloadSize) -> Vec<Box<dyn Workload>> {
     vec![
         Box::new(backprop::Backprop::new(size)),
@@ -169,6 +171,7 @@ pub fn rodinia_suite(size: WorkloadSize) -> Vec<Box<dyn Workload>> {
 }
 
 /// Looks a suite workload up by its figure label.
+#[must_use]
 pub fn by_name(name: &str, size: WorkloadSize) -> Option<Box<dyn Workload>> {
     rodinia_suite(size).into_iter().find(|w| w.name() == name)
 }

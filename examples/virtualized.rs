@@ -11,6 +11,9 @@
 //! cargo run --release --example virtualized
 //! ```
 
+// Driver/harness code: failing fast on setup errors is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use border_control::cache::TlbEntry;
 use border_control::core::{BorderControl, BorderControlConfig, MemRequest};
 use border_control::mem::{Dram, DramConfig, PagePerms, VirtAddr};

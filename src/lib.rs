@@ -3,6 +3,8 @@
 //! See the individual crates for detail; the most common entry point is
 //! [`system`] (full-system assembly) together with [`workloads`].
 
+#![forbid(unsafe_code)]
+
 pub use bc_accel as accel;
 pub use bc_cache as cache;
 pub use bc_core as core;

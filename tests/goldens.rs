@@ -15,6 +15,9 @@
 //!
 //! and review the golden diff like any other code change.
 
+// Driver/harness code: failing fast on setup errors is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use std::path::PathBuf;
 
 use bc_system::{GpuClass, SafetyModel, System, SystemConfig};

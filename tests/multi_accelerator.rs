@@ -6,6 +6,9 @@
 //! process's grants, tables live in distinct host frames, and revoking
 //! one accelerator's process leaves the other untouched.
 
+// Driver/harness code: failing fast on setup errors is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use border_control::cache::TlbEntry;
 use border_control::core::{BorderControl, BorderControlConfig, MemRequest, ProtectionTable};
 use border_control::mem::{Dram, DramConfig, PagePerms, VirtAddr};
