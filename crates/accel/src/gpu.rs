@@ -7,7 +7,7 @@ use bc_cache::tlb::{Tlb, TlbConfig};
 use bc_mem::addr::Ppn;
 use bc_os::{ShootdownRequest, ShootdownScope};
 use bc_sim::{Cycle, SimRng};
-use bc_workloads::{AccessStream, Workload};
+use bc_workloads::{AccessStream, WarpOp, Workload};
 
 /// Accelerator trust behaviour (§2.1 threat vectors).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -154,6 +154,11 @@ pub struct Wavefront {
     pub done: bool,
     /// Ops issued so far (drives malicious probe cadence).
     pub ops_issued: u64,
+    /// The op whose compute slots are in flight, parked here between its
+    /// issue decision and the cycle its memory accesses go out. Each
+    /// wavefront has at most one op in flight, so keeping the (inline,
+    /// `Copy`) op in the context keeps the event queue's entries small.
+    pub in_flight: Option<WarpOp>,
 }
 
 impl std::fmt::Debug for Wavefront {
@@ -173,6 +178,7 @@ impl Wavefront {
             ready_at: Cycle::ZERO,
             done: false,
             ops_issued: 0,
+            in_flight: None,
         }
     }
 }
@@ -299,37 +305,51 @@ impl Gpu {
     /// nothing — §3.2.4 explains why this is still safe: its stale dirty
     /// blocks will be caught at writeback time.
     pub fn flush_caches(&mut self) -> Vec<bc_cache::set_assoc::Evicted> {
-        if !self.behavior.honours_flushes() {
-            return Vec::new();
-        }
         let mut evicted = Vec::new();
+        self.flush_caches_into(&mut evicted);
+        evicted
+    }
+
+    /// [`flush_caches`](Self::flush_caches) into a caller-provided scratch
+    /// buffer (appended, not cleared), so downgrade storms reuse one
+    /// allocation. Eviction order is unchanged: each CU's L1, then the
+    /// shared L2.
+    pub fn flush_caches_into(&mut self, out: &mut Vec<bc_cache::set_assoc::Evicted>) {
+        if !self.behavior.honours_flushes() {
+            return;
+        }
         for cu in &mut self.cus {
             if let Some(l1) = &mut cu.l1 {
-                evicted.extend(l1.flush_all());
+                l1.flush_all_into(out);
             }
         }
         if let Some(l2) = &mut self.l2 {
-            evicted.extend(l2.flush_all());
+            l2.flush_all_into(out);
         }
-        evicted
     }
 
     /// Flushes blocks of a single physical page from all levels (the
     /// selective flush of §3.2.4).
     pub fn flush_page(&mut self, ppn: Ppn) -> Vec<bc_cache::set_assoc::Evicted> {
-        if !self.behavior.honours_flushes() {
-            return Vec::new();
-        }
         let mut evicted = Vec::new();
+        self.flush_page_into(ppn, &mut evicted);
+        evicted
+    }
+
+    /// [`flush_page`](Self::flush_page) into a caller-provided scratch
+    /// buffer (appended, not cleared).
+    pub fn flush_page_into(&mut self, ppn: Ppn, out: &mut Vec<bc_cache::set_assoc::Evicted>) {
+        if !self.behavior.honours_flushes() {
+            return;
+        }
         for cu in &mut self.cus {
             if let Some(l1) = &mut cu.l1 {
-                evicted.extend(l1.flush_page(ppn));
+                l1.flush_page_into(ppn, out);
             }
         }
         if let Some(l2) = &mut self.l2 {
-            evicted.extend(l2.flush_page(ppn));
+            l2.flush_page_into(ppn, out);
         }
-        evicted
     }
 
     /// For a malicious accelerator: whether this op index should carry a

@@ -1,0 +1,149 @@
+//! Downgrade-storm flush microbench.
+//!
+//! A Border Control permission downgrade forces the accelerator to flush
+//! every cached line of the revoked page before the new (tighter)
+//! permissions take effect (§3.2.4). Under a downgrade *storm* — the CPU
+//! revoking pages back-to-back while the GPU keeps refilling them — the
+//! per-flush cost is dominated by how the cache finds the page's resident
+//! lines. The pre-flattening cache scanned every line per flush
+//! (O(cache)); the page-resident index makes it O(lines on the page).
+//!
+//! Two parts, mirroring `benches/sweep.rs`:
+//!
+//! 1. A criterion group timing one flush+refill round in steady state.
+//! 2. A machine-readable trajectory: a fixed storm (fill, then
+//!    flush/refill round-robin over the working set) with flushes/sec and
+//!    the mean evicted-lines-per-flush written to `BENCH_flush.json` so
+//!    successive PRs have comparable numbers.
+//!
+//! Modes for part 2, same protocol as the sweep bench: default = three
+//! passes, best pass recorded, written to the repo root (or `$BENCH_OUT`);
+//! quick (`BENCH_QUICK=1` or `--test`) = one short pass, written only if
+//! `$BENCH_OUT` is set.
+
+use std::time::{Duration, Instant};
+
+use bc_cache::{Access, Cache, CacheConfig, Evicted, Replacement, WritePolicy};
+use bc_mem::addr::{PhysAddr, Ppn};
+use bc_mem::PAGE_SIZE;
+use criterion::{criterion_group, Criterion};
+
+/// The paper's shared-L2 geometry (Table 3): 2 MiB, 16-way, 128 B blocks.
+fn l2_config() -> CacheConfig {
+    CacheConfig {
+        size_bytes: 2 << 20,
+        ways: 16,
+        block_bytes: 128,
+        write_policy: WritePolicy::WriteBack,
+        replacement: Replacement::Lru,
+    }
+}
+
+const BLOCK_BYTES: u64 = 128;
+const BLOCKS_PER_PAGE: u64 = PAGE_SIZE / BLOCK_BYTES;
+
+/// Touches every block of `ppn`, dirtying alternate blocks.
+fn refill_page(cache: &mut Cache, ppn: u64) {
+    for b in 0..BLOCKS_PER_PAGE {
+        let addr = PhysAddr::new(ppn * PAGE_SIZE + b * BLOCK_BYTES);
+        let kind = if b % 2 == 0 {
+            Access::Write
+        } else {
+            Access::Read
+        };
+        cache.access(addr, kind);
+    }
+}
+
+/// One storm: flush/refill `rounds` pages round-robin over `pages`
+/// resident pages. Returns (wall, flushes, total evicted lines).
+fn run_storm(pages: u64, rounds: u64) -> (Duration, u64, u64) {
+    let mut cache = Cache::new(l2_config());
+    for ppn in 0..pages {
+        refill_page(&mut cache, ppn);
+    }
+    let mut scratch: Vec<Evicted> = Vec::new();
+    let mut evicted = 0u64;
+    let started = Instant::now();
+    for round in 0..rounds {
+        let ppn = round % pages;
+        scratch.clear();
+        cache.flush_page_into(Ppn::new(ppn), &mut scratch);
+        evicted += scratch.len() as u64;
+        refill_page(&mut cache, ppn);
+    }
+    (started.elapsed(), rounds, evicted)
+}
+
+fn flush_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("downgrade_storm");
+    group.sample_size(20);
+    group.bench_function("flush_refill_round", |b| {
+        // Half the L2's line capacity resident: 256 pages × 32 blocks.
+        let mut cache = Cache::new(l2_config());
+        for ppn in 0..256 {
+            refill_page(&mut cache, ppn);
+        }
+        let mut scratch: Vec<Evicted> = Vec::new();
+        let mut next = 0u64;
+        b.iter(|| {
+            scratch.clear();
+            cache.flush_page_into(Ppn::new(next % 256), &mut scratch);
+            refill_page(&mut cache, next % 256);
+            next += 1;
+            scratch.len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, flush_round);
+
+fn emit_flush_json() {
+    let quick =
+        std::env::var_os("BENCH_QUICK").is_some() || std::env::args().any(|a| a == "--test");
+    let passes = if quick { 1 } else { 3 };
+    let pages = 256u64;
+    let rounds = if quick { 20_000 } else { 400_000 };
+
+    let mut best: Option<(Duration, u64, u64)> = None;
+    for _ in 0..passes {
+        let pass = run_storm(pages, rounds);
+        if best.as_ref().is_none_or(|(w, _, _)| pass.0 < *w) {
+            best = Some(pass);
+        }
+    }
+    let (wall, flushes, evicted) = best.expect("at least one pass ran");
+
+    let wall_s = wall.as_secs_f64();
+    let json = format!(
+        "{{\n  \"bench\": \"flush\",\n  \"scenario\": \"downgrade_storm\",\n  \
+         \"quick\": {quick},\n  \"passes\": {passes},\n  \"pages\": {pages},\n  \
+         \"flushes\": {flushes},\n  \"wall_s\": {wall_s:.4},\n  \
+         \"flushes_per_sec\": {fps:.1},\n  \"mean_scan_lines\": {scan:.2}\n}}\n",
+        fps = flushes as f64 / wall_s,
+        scan = evicted as f64 / flushes as f64,
+    );
+
+    let out = std::env::var_os("BENCH_OUT").map(std::path::PathBuf::from);
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("writing BENCH_OUT");
+            println!("\nwrote {}", path.display());
+        }
+        None if quick => {
+            println!("\nquick mode, no BENCH_OUT set; BENCH_flush.json not written:");
+            print!("{json}");
+        }
+        None => {
+            let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_flush.json");
+            std::fs::write(path, &json).expect("writing BENCH_flush.json");
+            println!("\nwrote {path}");
+        }
+    }
+}
+
+fn main() {
+    benches();
+    emit_flush_json();
+}

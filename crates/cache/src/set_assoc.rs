@@ -1,8 +1,16 @@
 //! Generic set-associative cache model.
+//!
+//! Lines live in one contiguous array indexed `set * ways + way` (the
+//! classic flat tag store), and a per-page resident-line index makes the
+//! §3.2.4 selective page flush O(lines actually on the page) instead of
+//! O(sets × ways).
+
+use std::collections::hash_map::Entry as MapEntry;
 
 use serde::{Deserialize, Serialize};
 
 use bc_mem::addr::{PhysAddr, Ppn};
+use bc_sim::fxmap::FxHashMap;
 use bc_sim::stats::{Counter, HitMiss};
 use bc_sim::SimRng;
 
@@ -151,7 +159,8 @@ impl Line {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// Flat tag store: line for (set, way) lives at `set * ways + way`.
+    lines: Box<[Line]>,
     set_mask: u64,
     block_shift: u32,
     clock: u64,
@@ -159,6 +168,35 @@ pub struct Cache {
     stats: HitMiss,
     writebacks: Counter,
     write_throughs: Counter,
+    /// Incrementally maintained line-population counters (avoids the old
+    /// O(sets × ways) scans in `valid_lines`/`dirty_lines`).
+    valid_count: usize,
+    dirty_count: usize,
+    /// Resident-line index: physical page -> flat slots of the lines
+    /// currently caching blocks of that page. Maintained on every fill
+    /// and invalidation so `flush_page` visits only the page's own lines.
+    ///
+    /// Built lazily on the first page flush (`index_armed`): most runs
+    /// never issue a selective flush, and they should not pay index
+    /// upkeep on every miss for a structure they never read.
+    page_index: FxHashMap<u64, Vec<u32>>,
+    /// Whether `page_index` is live (set by the first `flush_page_into`).
+    index_armed: bool,
+    /// Recycled slot lists, so steady-state index churn never allocates.
+    spare_lists: Vec<Vec<u32>>,
+    #[cfg(feature = "hotprof")]
+    prof: CacheProfile,
+}
+
+/// Hot-path profile counters (compiled in under the `hotprof` feature).
+#[cfg(feature = "hotprof")]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheProfile {
+    /// Page flushes performed.
+    pub page_flushes: u64,
+    /// Total lines visited across all page flushes (with the resident
+    /// index this equals lines actually evicted, not sets × ways).
+    pub flush_scan_lines: u64,
 }
 
 impl Cache {
@@ -167,7 +205,7 @@ impl Cache {
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.sets();
         Cache {
-            sets: vec![vec![Line::INVALID; config.ways]; sets],
+            lines: vec![Line::INVALID; sets * config.ways].into_boxed_slice(),
             set_mask: sets as u64 - 1,
             block_shift: config.block_bytes.trailing_zeros(),
             clock: 0,
@@ -176,6 +214,53 @@ impl Cache {
             stats: HitMiss::new(),
             writebacks: Counter::new(),
             write_throughs: Counter::new(),
+            valid_count: 0,
+            dirty_count: 0,
+            page_index: FxHashMap::default(),
+            index_armed: false,
+            spare_lists: Vec::new(),
+            #[cfg(feature = "hotprof")]
+            prof: CacheProfile::default(),
+        }
+    }
+
+    /// Hot-path profile counters.
+    #[cfg(feature = "hotprof")]
+    #[must_use]
+    pub fn profile(&self) -> CacheProfile {
+        self.prof
+    }
+
+    /// Records `slot` as caching a block of page `ppn`.
+    fn index_add(&mut self, ppn: u64, slot: u32) {
+        if !self.index_armed {
+            return;
+        }
+        match self.page_index.entry(ppn) {
+            MapEntry::Occupied(mut e) => e.get_mut().push(slot),
+            MapEntry::Vacant(v) => {
+                let mut list = self.spare_lists.pop().unwrap_or_default();
+                list.push(slot);
+                v.insert(list);
+            }
+        }
+    }
+
+    /// Forgets `slot` as a resident of page `ppn`.
+    fn index_remove(&mut self, ppn: u64, slot: u32) {
+        if !self.index_armed {
+            return;
+        }
+        if let MapEntry::Occupied(mut e) = self.page_index.entry(ppn) {
+            let list = e.get_mut();
+            if let Some(pos) = list.iter().position(|&s| s == slot) {
+                list.swap_remove(pos);
+            }
+            if list.is_empty() {
+                let mut freed = e.remove();
+                freed.clear();
+                self.spare_lists.push(freed);
+            }
         }
     }
 
@@ -207,19 +292,33 @@ impl Cache {
         PhysAddr::new(self.unsplit(set, tag) << self.block_shift)
     }
 
+    /// The flat slice holding one set's ways.
+    #[inline]
+    fn set_lines(&self, set_idx: usize) -> &[Line] {
+        let base = set_idx * self.config.ways;
+        &self.lines[base..base + self.config.ways]
+    }
+
     /// Presents an access; updates contents, recency and statistics.
     pub fn access(&mut self, addr: PhysAddr, access: Access) -> LookupResult {
         self.clock += 1;
         let (set_idx, tag) = self.split(addr);
         let policy = self.config.write_policy;
         let clock = self.clock;
-        let set = &mut self.sets[set_idx];
+        let ways = self.config.ways;
+        let base = set_idx * ways;
+        let set = &mut self.lines[base..base + ways];
 
         if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
             line.last_use = clock;
             if access.is_write() {
                 match policy {
-                    WritePolicy::WriteBack => line.dirty = true,
+                    WritePolicy::WriteBack => {
+                        if !line.dirty {
+                            line.dirty = true;
+                            self.dirty_count += 1;
+                        }
+                    }
                     WritePolicy::WriteThrough => self.write_throughs.inc(),
                 }
             }
@@ -248,30 +347,39 @@ impl Cache {
                     .min_by_key(|(_, l)| l.last_use)
                     .map(|(i, _)| i)
                     .expect("non-empty set"),
-                Replacement::Random => self.rng.below(self.config.ways as u64) as usize,
+                Replacement::Random => self.rng.below(ways as u64) as usize,
             },
         };
 
-        let old_line = set[way];
+        let slot = (base + way) as u32;
+        let old_line = self.lines[base + way];
         let victim = if old_line.valid {
             if old_line.dirty {
                 self.writebacks.inc();
+                self.dirty_count -= 1;
             }
+            let victim_addr = self.block_addr(set_idx, old_line.tag);
+            self.index_remove(victim_addr.ppn().as_u64(), slot);
             Some(Evicted {
-                addr: self.block_addr(set_idx, old_line.tag),
+                addr: victim_addr,
                 dirty: old_line.dirty,
             })
         } else {
+            self.valid_count += 1;
             None
         };
 
-        let set = &mut self.sets[set_idx];
-        set[way] = Line {
+        let dirty = access.is_write() && policy == WritePolicy::WriteBack;
+        if dirty {
+            self.dirty_count += 1;
+        }
+        self.lines[base + way] = Line {
             tag,
             valid: true,
-            dirty: access.is_write() && policy == WritePolicy::WriteBack,
+            dirty,
             last_use: clock,
         };
+        self.index_add(addr.ppn().as_u64(), slot);
 
         LookupResult::Miss {
             victim,
@@ -283,14 +391,16 @@ impl Cache {
     #[must_use]
     pub fn contains(&self, addr: PhysAddr) -> bool {
         let (set_idx, tag) = self.split(addr);
-        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+        self.set_lines(set_idx)
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
     }
 
     /// Whether a block is cached dirty (no state change).
     #[must_use]
     pub fn is_dirty(&self, addr: PhysAddr) -> bool {
         let (set_idx, tag) = self.split(addr);
-        self.sets[set_idx]
+        self.set_lines(set_idx)
             .iter()
             .any(|l| l.valid && l.tag == tag && l.dirty)
     }
@@ -300,12 +410,14 @@ impl Cache {
     /// dirty (the caller writes dirty data back to memory).
     pub fn downgrade_block(&mut self, addr: PhysAddr) -> Option<bool> {
         let (set_idx, tag) = self.split(addr);
-        for line in self.sets[set_idx].iter_mut() {
+        let base = set_idx * self.config.ways;
+        for line in &mut self.lines[base..base + self.config.ways] {
             if line.valid && line.tag == tag {
                 let was_dirty = line.dirty;
                 line.dirty = false;
                 if was_dirty {
                     self.writebacks.inc();
+                    self.dirty_count -= 1;
                 }
                 return Some(was_dirty);
             }
@@ -316,8 +428,9 @@ impl Cache {
     /// Invalidates one block, returning it if it was valid.
     pub fn invalidate_block(&mut self, addr: PhysAddr) -> Option<Evicted> {
         let (set_idx, tag) = self.split(addr);
-        let set = &mut self.sets[set_idx];
-        for line in set.iter_mut() {
+        let base = set_idx * self.config.ways;
+        for way in 0..self.config.ways {
+            let line = self.lines[base + way];
             if line.valid && line.tag == tag {
                 let ev = Evicted {
                     addr,
@@ -325,8 +438,11 @@ impl Cache {
                 };
                 if line.dirty {
                     self.writebacks.inc();
+                    self.dirty_count -= 1;
                 }
-                *line = Line::INVALID;
+                self.lines[base + way] = Line::INVALID;
+                self.valid_count -= 1;
+                self.index_remove(addr.ppn().as_u64(), (base + way) as u32);
                 return Some(ev);
             }
         }
@@ -334,73 +450,113 @@ impl Cache {
     }
 
     /// Invalidates every block belonging to physical page `ppn` (the
-    /// selective-flush optimization of §3.2.4), returning the evicted
-    /// blocks. Dirty ones must be written back *before* the permission
-    /// change takes effect.
+    /// selective-flush optimization of §3.2.4), appending the evicted
+    /// blocks to `out` (not cleared here, so one scratch buffer can
+    /// collect across caches). Dirty ones must be written back *before*
+    /// the permission change takes effect.
+    ///
+    /// The resident-line index makes this O(lines actually on the page);
+    /// evictions are emitted in ascending (set, way) order, matching a
+    /// full set-major scan exactly.
+    pub fn flush_page_into(&mut self, ppn: Ppn, out: &mut Vec<Evicted>) {
+        if !self.index_armed {
+            // First selective flush: build the index from the tag store
+            // in one pass; from here on fills/evictions keep it current.
+            self.index_armed = true;
+            for slot in 0..self.lines.len() {
+                let line = self.lines[slot];
+                if line.valid {
+                    let page = self.block_addr(slot / self.config.ways, line.tag).ppn();
+                    self.index_add(page.as_u64(), slot as u32);
+                }
+            }
+        }
+        let Some(mut slots) = self.page_index.remove(&ppn.as_u64()) else {
+            #[cfg(feature = "hotprof")]
+            {
+                self.prof.page_flushes += 1;
+            }
+            return;
+        };
+        // The index records fill order; the legacy scan emitted set-major,
+        // way-ascending — i.e. ascending flat slot. Sort to preserve the
+        // exact eviction (and thus writeback-timing) order.
+        slots.sort_unstable();
+        #[cfg(feature = "hotprof")]
+        {
+            self.prof.page_flushes += 1;
+            self.prof.flush_scan_lines += slots.len() as u64;
+        }
+        for &slot in &slots {
+            let line = self.lines[slot as usize];
+            debug_assert!(line.valid, "page index held an invalid slot");
+            let set_idx = slot as usize / self.config.ways;
+            let addr = self.block_addr(set_idx, line.tag);
+            debug_assert_eq!(addr.ppn(), ppn, "page index held a foreign slot");
+            if line.dirty {
+                self.writebacks.inc();
+                self.dirty_count -= 1;
+            }
+            out.push(Evicted {
+                addr,
+                dirty: line.dirty,
+            });
+            self.lines[slot as usize] = Line::INVALID;
+            self.valid_count -= 1;
+        }
+        slots.clear();
+        self.spare_lists.push(slots);
+    }
+
+    /// [`flush_page_into`](Self::flush_page_into), allocating the result.
     pub fn flush_page(&mut self, ppn: Ppn) -> Vec<Evicted> {
         let mut out = Vec::new();
-        for set_idx in 0..self.sets.len() {
-            for way in 0..self.config.ways {
-                let line = self.sets[set_idx][way];
-                if line.valid {
-                    let addr = self.block_addr(set_idx, line.tag);
-                    if addr.ppn() == ppn {
-                        if line.dirty {
-                            self.writebacks.inc();
-                        }
-                        out.push(Evicted {
-                            addr,
-                            dirty: line.dirty,
-                        });
-                        self.sets[set_idx][way] = Line::INVALID;
-                    }
-                }
-            }
-        }
+        self.flush_page_into(ppn, &mut out);
         out
     }
 
-    /// Invalidates the whole cache, returning every valid block (callers
-    /// write back the dirty ones). Used on process completion (§3.2.5) and
-    /// full-flush downgrades.
+    /// Invalidates the whole cache, appending every valid block to `out`
+    /// (callers write back the dirty ones). Used on process completion
+    /// (§3.2.5) and full-flush downgrades.
+    pub fn flush_all_into(&mut self, out: &mut Vec<Evicted>) {
+        for slot in 0..self.lines.len() {
+            let line = self.lines[slot];
+            if line.valid {
+                if line.dirty {
+                    self.writebacks.inc();
+                }
+                out.push(Evicted {
+                    addr: self.block_addr(slot / self.config.ways, line.tag),
+                    dirty: line.dirty,
+                });
+                self.lines[slot] = Line::INVALID;
+            }
+        }
+        self.valid_count = 0;
+        self.dirty_count = 0;
+        for (_, mut list) in self.page_index.drain() {
+            list.clear();
+            self.spare_lists.push(list);
+        }
+    }
+
+    /// [`flush_all_into`](Self::flush_all_into), allocating the result.
     pub fn flush_all(&mut self) -> Vec<Evicted> {
         let mut out = Vec::new();
-        for set_idx in 0..self.sets.len() {
-            for way in 0..self.config.ways {
-                let line = self.sets[set_idx][way];
-                if line.valid {
-                    if line.dirty {
-                        self.writebacks.inc();
-                    }
-                    out.push(Evicted {
-                        addr: self.block_addr(set_idx, line.tag),
-                        dirty: line.dirty,
-                    });
-                    self.sets[set_idx][way] = Line::INVALID;
-                }
-            }
-        }
+        self.flush_all_into(&mut out);
         out
     }
 
-    /// Number of valid lines (for tests and reports).
+    /// Number of valid lines (incrementally maintained).
     #[must_use]
     pub fn valid_lines(&self) -> usize {
-        self.sets
-            .iter()
-            .flat_map(|s| s.iter())
-            .filter(|l| l.valid)
-            .count()
+        self.valid_count
     }
 
-    /// Number of dirty lines.
+    /// Number of dirty lines (incrementally maintained).
     #[must_use]
     pub fn dirty_lines(&self) -> usize {
-        self.sets
-            .iter()
-            .flat_map(|s| s.iter())
-            .filter(|l| l.valid && l.dirty)
-            .count()
+        self.dirty_count
     }
 
     /// Hit/miss statistics.

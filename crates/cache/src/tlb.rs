@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use bc_mem::addr::{Asid, PageSize, Ppn, Vpn};
 use bc_mem::perms::PagePerms;
+use bc_sim::fxmap::FxHashMap;
 use bc_sim::stats::HitMiss;
 
 /// TLB geometry.
@@ -73,6 +74,27 @@ struct Slot {
     valid: bool,
 }
 
+impl Slot {
+    const EMPTY: Slot = Slot {
+        entry: TlbEntry {
+            asid: Asid::new(0),
+            vpn: Vpn::new(0),
+            ppn: Ppn::new(0),
+            perms: PagePerms::NONE,
+            size: PageSize::Base4K,
+        },
+        last_use: 0,
+        valid: false,
+    };
+}
+
+/// Point-lookup key for a 4 KiB translation: ASID in the top 16 bits,
+/// VPN below. VPNs in this simulator are far below 2^48.
+fn key_of(asid: Asid, vpn: Vpn) -> u64 {
+    debug_assert!(vpn.as_u64() < 1 << 48, "VPN overflows the index key");
+    (u64::from(asid.as_u16()) << 48) | vpn.as_u64()
+}
+
 /// A set-associative TLB with LRU replacement.
 ///
 /// # Example
@@ -93,9 +115,21 @@ struct Slot {
 #[derive(Debug, Clone)]
 pub struct Tlb {
     config: TlbConfig,
-    sets: Vec<Vec<Option<Slot>>>,
+    /// All 4 KiB slots in one contiguous array, indexed `set * ways + way`.
+    /// The paper's per-CU L1 TLB is fully associative (one set, 64 ways),
+    /// so a linear scan per lookup would walk the whole structure; the
+    /// `index` below turns lookups into one hash probe instead.
+    slots: Box<[Slot]>,
+    /// `(asid, vpn) -> flat slot` for every valid 4 KiB entry. Entries are
+    /// unique per (asid, vpn) — `insert` refreshes in place — so the map
+    /// is authoritative; it is only ever probed by key, never iterated,
+    /// keeping behavior independent of hash order.
+    index: FxHashMap<u64, u32>,
     /// Fully associative 2 MiB entries, keyed by huge-page base VPN.
-    huge: Vec<Option<Slot>>,
+    huge: [Slot; TlbConfig::HUGE_SLOTS],
+    /// Valid entries in `huge`; lookups skip the huge scan when zero
+    /// (most workloads never map a huge page).
+    huge_valid: usize,
     set_mask: u64,
     clock: u64,
     stats: HitMiss,
@@ -107,8 +141,10 @@ impl Tlb {
     pub fn new(config: TlbConfig) -> Self {
         let sets = config.sets();
         Tlb {
-            sets: vec![vec![None; config.ways]; sets],
-            huge: vec![None; TlbConfig::HUGE_SLOTS],
+            slots: vec![Slot::EMPTY; sets * config.ways].into_boxed_slice(),
+            index: FxHashMap::default(),
+            huge: [Slot::EMPTY; TlbConfig::HUGE_SLOTS],
+            huge_valid: 0,
             set_mask: sets as u64 - 1,
             clock: 0,
             config,
@@ -137,21 +173,22 @@ impl Tlb {
     pub fn lookup(&mut self, asid: Asid, vpn: Vpn) -> Option<TlbEntry> {
         self.clock += 1;
         let clock = self.clock;
-        let huge_base = Vpn::new(vpn.as_u64() & !511);
-        for slot in self.huge.iter_mut().flatten() {
-            if slot.valid && slot.entry.asid == asid && slot.entry.vpn == huge_base {
-                slot.last_use = clock;
-                self.stats.hit();
-                return Some(slot.entry);
+        if self.huge_valid > 0 {
+            let huge_base = Vpn::new(vpn.as_u64() & !511);
+            for slot in &mut self.huge {
+                if slot.valid && slot.entry.asid == asid && slot.entry.vpn == huge_base {
+                    slot.last_use = clock;
+                    self.stats.hit();
+                    return Some(slot.entry);
+                }
             }
         }
-        let set = self.set_of(vpn);
-        for slot in self.sets[set].iter_mut().flatten() {
-            if slot.valid && slot.entry.asid == asid && slot.entry.vpn == vpn {
-                slot.last_use = clock;
-                self.stats.hit();
-                return Some(slot.entry);
-            }
+        if let Some(&i) = self.index.get(&key_of(asid, vpn)) {
+            let slot = &mut self.slots[i as usize];
+            debug_assert!(slot.valid && slot.entry.asid == asid && slot.entry.vpn == vpn);
+            slot.last_use = clock;
+            self.stats.hit();
+            return Some(slot.entry);
         }
         self.stats.miss();
         None
@@ -164,17 +201,13 @@ impl Tlb {
         if let Some(slot) = self
             .huge
             .iter()
-            .flatten()
             .find(|s| s.valid && s.entry.asid == asid && s.entry.vpn == huge_base)
         {
             return Some(slot.entry);
         }
-        let set = self.set_of(vpn);
-        self.sets[set]
-            .iter()
-            .flatten()
-            .find(|s| s.valid && s.entry.asid == asid && s.entry.vpn == vpn)
-            .map(|s| s.entry)
+        self.index
+            .get(&key_of(asid, vpn))
+            .map(|&i| self.slots[i as usize].entry)
     }
 
     /// Inserts (or refreshes) a translation, evicting LRU on conflict.
@@ -188,61 +221,64 @@ impl Tlb {
             if let Some(slot) = self
                 .huge
                 .iter_mut()
-                .flatten()
                 .find(|s| s.valid && s.entry.asid == entry.asid && s.entry.vpn == entry.vpn)
             {
                 slot.entry = entry;
                 slot.last_use = clock;
                 return;
             }
-            let way = match self
-                .huge
-                .iter()
-                .position(|s| !matches!(s, Some(x) if x.valid))
-            {
+            let way = match self.huge.iter().position(|s| !s.valid) {
                 Some(w) => w,
                 None => self
                     .huge
                     .iter()
                     .enumerate()
-                    .min_by_key(|(_, s)| s.as_ref().map(|x| x.last_use).unwrap_or(0))
+                    .min_by_key(|(_, s)| s.last_use)
                     .map(|(i, _)| i)
                     .expect("non-empty huge array"),
             };
-            self.huge[way] = Some(Slot {
+            if !self.huge[way].valid {
+                self.huge_valid += 1;
+            }
+            self.huge[way] = Slot {
                 entry,
                 last_use: clock,
                 valid: true,
-            });
+            };
             return;
         }
-        let set_idx = self.set_of(entry.vpn);
-        let set = &mut self.sets[set_idx];
         // Refresh in place if present.
-        if let Some(slot) = set
-            .iter_mut()
-            .flatten()
-            .find(|s| s.valid && s.entry.asid == entry.asid && s.entry.vpn == entry.vpn)
-        {
+        if let Some(&i) = self.index.get(&key_of(entry.asid, entry.vpn)) {
+            let slot = &mut self.slots[i as usize];
             slot.entry = entry;
             slot.last_use = clock;
             return;
         }
-        // Empty way, else LRU victim.
-        let way = match set.iter().position(|s| s.as_ref().is_none_or(|e| !e.valid)) {
+        // Empty way, else LRU victim (first-min-wins, as before).
+        let set_idx = self.set_of(entry.vpn);
+        let base = set_idx * self.config.ways;
+        let set = &mut self.slots[base..base + self.config.ways];
+        let way = match set.iter().position(|s| !s.valid) {
             Some(w) => w,
             None => set
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, s)| s.as_ref().map(|x| x.last_use).unwrap_or(0))
+                .min_by_key(|(_, s)| s.last_use)
                 .map(|(i, _)| i)
                 .expect("non-empty set"),
         };
-        set[way] = Some(Slot {
+        let victim = set[way];
+        if victim.valid {
+            self.index
+                .remove(&key_of(victim.entry.asid, victim.entry.vpn));
+        }
+        set[way] = Slot {
             entry,
             last_use: clock,
             valid: true,
-        });
+        };
+        self.index
+            .insert(key_of(entry.asid, entry.vpn), (base + way) as u32);
     }
 
     /// Invalidates one translation (single-entry shootdown). Returns
@@ -250,18 +286,16 @@ impl Tlb {
     /// huge entry invalidates the whole huge entry.
     pub fn invalidate(&mut self, asid: Asid, vpn: Vpn) -> bool {
         let huge_base = Vpn::new(vpn.as_u64() & !511);
-        for slot in self.huge.iter_mut().flatten() {
+        for slot in &mut self.huge {
             if slot.valid && slot.entry.asid == asid && slot.entry.vpn == huge_base {
                 slot.valid = false;
+                self.huge_valid -= 1;
                 return true;
             }
         }
-        let set = self.set_of(vpn);
-        for slot in self.sets[set].iter_mut().flatten() {
-            if slot.valid && slot.entry.asid == asid && slot.entry.vpn == vpn {
-                slot.valid = false;
-                return true;
-            }
+        if let Some(i) = self.index.remove(&key_of(asid, vpn)) {
+            self.slots[i as usize].valid = false;
+            return true;
         }
         false
     }
@@ -270,18 +304,18 @@ impl Tlb {
     /// for a process). Returns the number removed.
     pub fn flush_asid(&mut self, asid: Asid) -> usize {
         let mut n = 0;
-        for slot in self.huge.iter_mut().flatten() {
+        for slot in &mut self.huge {
             if slot.valid && slot.entry.asid == asid {
                 slot.valid = false;
+                self.huge_valid -= 1;
                 n += 1;
             }
         }
-        for set in &mut self.sets {
-            for slot in set.iter_mut().flatten() {
-                if slot.valid && slot.entry.asid == asid {
-                    slot.valid = false;
-                    n += 1;
-                }
+        for slot in self.slots.iter_mut() {
+            if slot.valid && slot.entry.asid == asid {
+                slot.valid = false;
+                self.index.remove(&key_of(slot.entry.asid, slot.entry.vpn));
+                n += 1;
             }
         }
         n
@@ -289,34 +323,25 @@ impl Tlb {
 
     /// Invalidates everything.
     pub fn flush_all(&mut self) -> usize {
-        let mut n = 0;
-        for slot in self.huge.iter_mut().flatten() {
+        let mut n = self.huge_valid;
+        for slot in &mut self.huge {
+            slot.valid = false;
+        }
+        self.huge_valid = 0;
+        for slot in self.slots.iter_mut() {
             if slot.valid {
                 slot.valid = false;
                 n += 1;
             }
         }
-        for set in &mut self.sets {
-            for slot in set.iter_mut().flatten() {
-                if slot.valid {
-                    slot.valid = false;
-                    n += 1;
-                }
-            }
-        }
+        self.index.clear();
         n
     }
 
     /// Number of valid entries (4 KiB and huge).
     #[must_use]
     pub fn valid_entries(&self) -> usize {
-        self.sets
-            .iter()
-            .flat_map(|s| s.iter())
-            .flatten()
-            .filter(|s| s.valid)
-            .count()
-            + self.huge.iter().flatten().filter(|s| s.valid).count()
+        self.slots.iter().filter(|s| s.valid).count() + self.huge_valid
     }
 
     /// Hit/miss statistics.

@@ -1,0 +1,428 @@
+//! Property tests pinning the flattened cache layout to the original
+//! nested-`Vec<Vec<Line>>` implementation.
+//!
+//! PR "flatten the hot path" replaced the cache's per-set `Vec`s with one
+//! contiguous slot array plus a lazily-armed page-resident index. The
+//! reference model below is a test-only copy of the pre-flattening code;
+//! arbitrary interleavings of accesses, per-block ops and flushes must
+//! produce byte-identical results (lookup outcomes, eviction lists in
+//! order, statistics) on both. This includes the flush-page path, so the
+//! index-driven flush is checked against the model's full set-major scan
+//! both before and after the index arms mid-sequence.
+
+use bc_cache::{Access, Cache, CacheConfig, Evicted, LookupResult, Replacement, WritePolicy};
+use bc_mem::addr::{PhysAddr, Ppn};
+use bc_sim::SimRng;
+use proptest::prelude::*;
+
+/// Test-only copy of the pre-flattening nested-`Vec` cache. Semantics are
+/// intentionally identical to the old `bc_cache::Cache`: first-invalid
+/// victim way, first-min-wins LRU, same rng stream for `Random`, and
+/// set-major way-ascending flush scans.
+mod reference {
+    use super::{
+        Access, CacheConfig, Evicted, LookupResult, PhysAddr, Ppn, Replacement, SimRng, WritePolicy,
+    };
+
+    #[derive(Debug, Clone, Copy)]
+    struct Line {
+        tag: u64,
+        valid: bool,
+        dirty: bool,
+        last_use: u64,
+    }
+
+    impl Line {
+        const INVALID: Line = Line {
+            tag: 0,
+            valid: false,
+            dirty: false,
+            last_use: 0,
+        };
+    }
+
+    pub struct RefCache {
+        config: CacheConfig,
+        sets: Vec<Vec<Line>>,
+        set_mask: u64,
+        block_shift: u32,
+        clock: u64,
+        rng: SimRng,
+        pub hits: u64,
+        pub misses: u64,
+        pub writebacks: u64,
+        pub write_throughs: u64,
+    }
+
+    impl RefCache {
+        pub fn new(config: CacheConfig) -> Self {
+            let sets = config.sets();
+            RefCache {
+                sets: vec![vec![Line::INVALID; config.ways]; sets],
+                set_mask: sets as u64 - 1,
+                block_shift: config.block_bytes.trailing_zeros(),
+                clock: 0,
+                rng: SimRng::seed_from(0xCAC4E),
+                config,
+                hits: 0,
+                misses: 0,
+                writebacks: 0,
+                write_throughs: 0,
+            }
+        }
+
+        fn split(&self, addr: PhysAddr) -> (usize, u64) {
+            let block = addr.as_u64() >> self.block_shift;
+            let bits = self.set_mask.count_ones();
+            let set = (block ^ (block >> bits) ^ (block >> (2 * bits))) & self.set_mask;
+            (set as usize, block >> bits)
+        }
+
+        fn unsplit(&self, set: usize, tag: u64) -> u64 {
+            let bits = self.set_mask.count_ones();
+            let low = (set as u64 ^ tag ^ (tag >> bits)) & self.set_mask;
+            (tag << bits) | low
+        }
+
+        fn block_addr(&self, set: usize, tag: u64) -> PhysAddr {
+            PhysAddr::new(self.unsplit(set, tag) << self.block_shift)
+        }
+
+        pub fn access(&mut self, addr: PhysAddr, access: Access) -> LookupResult {
+            self.clock += 1;
+            let (set_idx, tag) = self.split(addr);
+            let policy = self.config.write_policy;
+            let clock = self.clock;
+            let set = &mut self.sets[set_idx];
+
+            if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+                line.last_use = clock;
+                if access.is_write() {
+                    match policy {
+                        WritePolicy::WriteBack => line.dirty = true,
+                        WritePolicy::WriteThrough => self.write_throughs += 1,
+                    }
+                }
+                self.hits += 1;
+                return LookupResult::Hit;
+            }
+            self.misses += 1;
+
+            if access.is_write() && policy == WritePolicy::WriteThrough {
+                self.write_throughs += 1;
+                return LookupResult::Miss {
+                    victim: None,
+                    allocated: false,
+                };
+            }
+
+            let way = match set.iter().position(|l| !l.valid) {
+                Some(w) => w,
+                None => match self.config.replacement {
+                    Replacement::Lru => set
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, l)| l.last_use)
+                        .map(|(i, _)| i)
+                        .expect("non-empty set"),
+                    Replacement::Random => self.rng.below(self.config.ways as u64) as usize,
+                },
+            };
+
+            let old_line = set[way];
+            let victim = if old_line.valid {
+                if old_line.dirty {
+                    self.writebacks += 1;
+                }
+                Some(Evicted {
+                    addr: self.block_addr(set_idx, old_line.tag),
+                    dirty: old_line.dirty,
+                })
+            } else {
+                None
+            };
+
+            self.sets[set_idx][way] = Line {
+                tag,
+                valid: true,
+                dirty: access.is_write() && policy == WritePolicy::WriteBack,
+                last_use: clock,
+            };
+            LookupResult::Miss {
+                victim,
+                allocated: true,
+            }
+        }
+
+        pub fn downgrade_block(&mut self, addr: PhysAddr) -> Option<bool> {
+            let (set_idx, tag) = self.split(addr);
+            for line in self.sets[set_idx].iter_mut() {
+                if line.valid && line.tag == tag {
+                    let was_dirty = line.dirty;
+                    line.dirty = false;
+                    if was_dirty {
+                        self.writebacks += 1;
+                    }
+                    return Some(was_dirty);
+                }
+            }
+            None
+        }
+
+        pub fn invalidate_block(&mut self, addr: PhysAddr) -> Option<Evicted> {
+            let (set_idx, tag) = self.split(addr);
+            for line in self.sets[set_idx].iter_mut() {
+                if line.valid && line.tag == tag {
+                    let ev = Evicted {
+                        addr,
+                        dirty: line.dirty,
+                    };
+                    if line.dirty {
+                        self.writebacks += 1;
+                    }
+                    *line = Line::INVALID;
+                    return Some(ev);
+                }
+            }
+            None
+        }
+
+        /// The original full set-major scan — the oracle the indexed
+        /// `flush_page` must reproduce exactly, ordering included.
+        pub fn flush_page(&mut self, ppn: Ppn) -> Vec<Evicted> {
+            let mut out = Vec::new();
+            for set_idx in 0..self.sets.len() {
+                for way in 0..self.config.ways {
+                    let line = self.sets[set_idx][way];
+                    if line.valid {
+                        let addr = self.block_addr(set_idx, line.tag);
+                        if addr.ppn() == ppn {
+                            if line.dirty {
+                                self.writebacks += 1;
+                            }
+                            out.push(Evicted {
+                                addr,
+                                dirty: line.dirty,
+                            });
+                            self.sets[set_idx][way] = Line::INVALID;
+                        }
+                    }
+                }
+            }
+            out
+        }
+
+        pub fn flush_all(&mut self) -> Vec<Evicted> {
+            let mut out = Vec::new();
+            for set_idx in 0..self.sets.len() {
+                for way in 0..self.config.ways {
+                    let line = self.sets[set_idx][way];
+                    if line.valid {
+                        if line.dirty {
+                            self.writebacks += 1;
+                        }
+                        out.push(Evicted {
+                            addr: self.block_addr(set_idx, line.tag),
+                            dirty: line.dirty,
+                        });
+                        self.sets[set_idx][way] = Line::INVALID;
+                    }
+                }
+            }
+            out
+        }
+
+        pub fn valid_lines(&self) -> usize {
+            self.sets.iter().flatten().filter(|l| l.valid).count()
+        }
+
+        pub fn dirty_lines(&self) -> usize {
+            self.sets
+                .iter()
+                .flatten()
+                .filter(|l| l.valid && l.dirty)
+                .count()
+        }
+    }
+}
+
+use reference::RefCache;
+
+/// One step of an interleaving. Blocks are in units of `block_bytes`;
+/// pages hold 32 blocks at the 128-byte block size used below.
+#[derive(Debug, Clone)]
+enum Op {
+    Access(u64, bool),
+    Downgrade(u64),
+    InvalidateBlock(u64),
+    FlushPage(u64),
+    FlushAll,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Weighted mix: mostly accesses, with flushes frequent enough that
+    // sequences regularly cross the index-arming transition.
+    (0u8..13, 0u64..512, any::<bool>()).prop_map(|(sel, block, is_write)| match sel {
+        0..=7 => Op::Access(block, is_write),
+        8 => Op::Downgrade(block),
+        9 => Op::InvalidateBlock(block),
+        10 | 11 => Op::FlushPage(block % 16),
+        _ => Op::FlushAll,
+    })
+}
+
+fn config(write_policy: WritePolicy, replacement: Replacement) -> CacheConfig {
+    CacheConfig {
+        size_bytes: 64 * 128,
+        ways: 4,
+        block_bytes: 128,
+        write_policy,
+        replacement,
+    }
+}
+
+fn run_interleaving(config: CacheConfig, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut real = Cache::new(config);
+    let mut model = RefCache::new(config);
+    for (step, op) in ops.iter().enumerate() {
+        match op {
+            Op::Access(block, is_write) => {
+                let addr = PhysAddr::new(block * config.block_bytes);
+                let kind = if *is_write {
+                    Access::Write
+                } else {
+                    Access::Read
+                };
+                prop_assert_eq!(
+                    real.access(addr, kind),
+                    model.access(addr, kind),
+                    "step {}",
+                    step
+                );
+            }
+            Op::Downgrade(block) => {
+                let addr = PhysAddr::new(block * config.block_bytes);
+                prop_assert_eq!(
+                    real.downgrade_block(addr),
+                    model.downgrade_block(addr),
+                    "step {}",
+                    step
+                );
+            }
+            Op::InvalidateBlock(block) => {
+                let addr = PhysAddr::new(block * config.block_bytes);
+                prop_assert_eq!(
+                    real.invalidate_block(addr),
+                    model.invalidate_block(addr),
+                    "step {}",
+                    step
+                );
+            }
+            Op::FlushPage(ppn) => {
+                // Indexed flush vs the model's full scan: same blocks, same
+                // order, same dirtiness.
+                prop_assert_eq!(
+                    real.flush_page(Ppn::new(*ppn)),
+                    model.flush_page(Ppn::new(*ppn)),
+                    "step {}",
+                    step
+                );
+            }
+            Op::FlushAll => {
+                prop_assert_eq!(real.flush_all(), model.flush_all(), "step {}", step);
+            }
+        }
+        prop_assert_eq!(
+            real.valid_lines(),
+            model.valid_lines(),
+            "valid after step {}",
+            step
+        );
+        prop_assert_eq!(
+            real.dirty_lines(),
+            model.dirty_lines(),
+            "dirty after step {}",
+            step
+        );
+    }
+    prop_assert_eq!(real.stats().hits(), model.hits);
+    prop_assert_eq!(real.stats().misses(), model.misses);
+    prop_assert_eq!(real.writebacks(), model.writebacks);
+    prop_assert_eq!(real.write_throughs(), model.write_throughs);
+    // Final drain must agree line for line.
+    prop_assert_eq!(real.flush_all(), model.flush_all());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Write-back LRU (the shared L2 configuration).
+    #[test]
+    fn flat_layout_matches_nested_writeback_lru(
+        ops in proptest::collection::vec(op_strategy(), 1..400),
+    ) {
+        run_interleaving(config(WritePolicy::WriteBack, Replacement::Lru), &ops)?;
+    }
+
+    /// Write-through LRU (the per-CU L1 configuration).
+    #[test]
+    fn flat_layout_matches_nested_writethrough(
+        ops in proptest::collection::vec(op_strategy(), 1..400),
+    ) {
+        run_interleaving(config(WritePolicy::WriteThrough, Replacement::Lru), &ops)?;
+    }
+
+    /// Random replacement: both sides seed the same rng stream, so the
+    /// victim draws must line up draw for draw.
+    #[test]
+    fn flat_layout_matches_nested_random(
+        ops in proptest::collection::vec(op_strategy(), 1..400),
+    ) {
+        run_interleaving(config(WritePolicy::WriteBack, Replacement::Random), &ops)?;
+    }
+
+    /// The incrementally-maintained valid/dirty counters always equal a
+    /// brute-force recount by probing every block in the universe.
+    #[test]
+    fn counters_match_brute_force_recount(
+        ops in proptest::collection::vec(op_strategy(), 1..300),
+    ) {
+        let cfg = config(WritePolicy::WriteBack, Replacement::Lru);
+        let mut cache = Cache::new(cfg);
+        for op in &ops {
+            match op {
+                Op::Access(block, is_write) => {
+                    let kind = if *is_write { Access::Write } else { Access::Read };
+                    cache.access(PhysAddr::new(block * cfg.block_bytes), kind);
+                }
+                Op::Downgrade(block) => {
+                    cache.downgrade_block(PhysAddr::new(block * cfg.block_bytes));
+                }
+                Op::InvalidateBlock(block) => {
+                    cache.invalidate_block(PhysAddr::new(block * cfg.block_bytes));
+                }
+                Op::FlushPage(ppn) => {
+                    cache.flush_page(Ppn::new(*ppn));
+                }
+                Op::FlushAll => {
+                    cache.flush_all();
+                }
+            }
+            // Every block the ops can touch; each maps to at most one line.
+            let mut valid = 0;
+            let mut dirty = 0;
+            for block in 0u64..512 {
+                let addr = PhysAddr::new(block * cfg.block_bytes);
+                if cache.contains(addr) {
+                    valid += 1;
+                }
+                if cache.is_dirty(addr) {
+                    dirty += 1;
+                }
+            }
+            prop_assert_eq!(cache.valid_lines(), valid);
+            prop_assert_eq!(cache.dirty_lines(), dirty);
+        }
+    }
+}

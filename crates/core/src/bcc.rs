@@ -85,25 +85,29 @@ impl BccConfig {
     }
 }
 
-#[derive(Debug, Clone)]
+/// Largest per-entry permission payload: 512 pages × 2 bits = 128 bytes.
+/// Inlining the maximum keeps every entry one flat `Copy` record — no
+/// heap indirection on the lookup path; smaller `pages_per_entry`
+/// configurations simply use a prefix of the array.
+const ENTRY_BITS_BYTES: usize = (PAGES_PER_BLOCK as usize * 2) / 8;
+
+#[derive(Debug, Clone, Copy)]
 struct Entry {
     /// Group number: `ppn / pages_per_entry`.
     tag: u64,
     valid: bool,
     last_use: u64,
     /// 2 bits per page, packed 4 pages/byte, `pages_per_entry` pages.
-    bits: Vec<u8>,
+    bits: [u8; ENTRY_BITS_BYTES],
 }
 
 impl Entry {
-    fn empty(pages_per_entry: u64) -> Self {
-        Entry {
-            tag: 0,
-            valid: false,
-            last_use: 0,
-            bits: vec![0; (pages_per_entry as usize * 2).div_ceil(8)],
-        }
-    }
+    const EMPTY: Entry = Entry {
+        tag: 0,
+        valid: false,
+        last_use: 0,
+        bits: [0; ENTRY_BITS_BYTES],
+    };
 
     fn perms_of(&self, index: u64) -> PagePerms {
         let byte = self.bits[(index / 4) as usize];
@@ -142,10 +146,13 @@ impl Entry {
 #[derive(Debug, Clone)]
 pub struct Bcc {
     config: BccConfig,
-    sets: Vec<Vec<Entry>>,
+    /// Flat entry store: entry for (set, way) lives at `set * ways + way`.
+    entries: Box<[Entry]>,
     set_mask: u64,
     clock: u64,
     stats: HitMiss,
+    /// Incrementally maintained count of valid entries.
+    occupancy: usize,
 }
 
 impl Bcc {
@@ -154,11 +161,12 @@ impl Bcc {
     pub fn new(config: BccConfig) -> Self {
         let sets = config.sets();
         Bcc {
-            sets: vec![vec![Entry::empty(config.pages_per_entry); config.ways]; sets],
+            entries: vec![Entry::EMPTY; sets * config.ways].into_boxed_slice(),
             set_mask: sets as u64 - 1,
             clock: 0,
             config,
             stats: HitMiss::new(),
+            occupancy: 0,
         }
     }
 
@@ -176,6 +184,17 @@ impl Bcc {
         (group & self.set_mask) as usize
     }
 
+    /// The flat slice holding one set's ways.
+    fn set_slice(&self, set: usize) -> &[Entry] {
+        let base = set * self.config.ways;
+        &self.entries[base..base + self.config.ways]
+    }
+
+    fn set_slice_mut(&mut self, set: usize) -> &mut [Entry] {
+        let base = set * self.config.ways;
+        &mut self.entries[base..base + self.config.ways]
+    }
+
     /// Looks up one page's permissions; `None` is a BCC miss (the engine
     /// then reads the Protection Table block and [`Bcc::fill`]s).
     pub fn lookup(&mut self, ppn: Ppn) -> Option<PagePerms> {
@@ -184,11 +203,14 @@ impl Bcc {
         let group = self.group_of(ppn);
         let index = ppn.as_u64() % self.config.pages_per_entry;
         let set = self.set_of(group);
-        for e in &mut self.sets[set] {
+        let base = set * self.config.ways;
+        for way in 0..self.config.ways {
+            let e = &mut self.entries[base + way];
             if e.valid && e.tag == group {
                 e.last_use = clock;
+                let perms = e.perms_of(index);
                 self.stats.hit();
-                return Some(e.perms_of(index));
+                return Some(perms);
             }
         }
         self.stats.miss();
@@ -200,7 +222,7 @@ impl Bcc {
     pub fn peek(&self, ppn: Ppn) -> Option<PagePerms> {
         let group = self.group_of(ppn);
         let index = ppn.as_u64() % self.config.pages_per_entry;
-        self.sets[self.set_of(group)]
+        self.set_slice(self.set_of(group))
             .iter()
             .find(|e| e.valid && e.tag == group)
             .map(|e| e.perms_of(index))
@@ -217,7 +239,7 @@ impl Bcc {
         let ppe = self.config.pages_per_entry;
         let group = self.group_of(ppn);
         let set_idx = self.set_of(group);
-        let set = &mut self.sets[set_idx];
+        let set = self.set_slice_mut(set_idx);
         let way = match set.iter().position(|e| !e.valid) {
             Some(w) => w,
             None => set
@@ -228,6 +250,7 @@ impl Bcc {
                 .expect("non-empty set"),
         };
         let entry = &mut set[way];
+        let newly_valid = !entry.valid;
         entry.tag = group;
         entry.valid = true;
         entry.last_use = clock;
@@ -236,6 +259,9 @@ impl Bcc {
         let offset_in_block = group_base % PAGES_PER_BLOCK;
         for i in 0..ppe {
             entry.set_perms(i, block[(offset_in_block + i) as usize]);
+        }
+        if newly_valid {
+            self.occupancy += 1;
         }
     }
 
@@ -248,7 +274,7 @@ impl Bcc {
         let group = self.group_of(ppn);
         let index = ppn.as_u64() % self.config.pages_per_entry;
         let set = self.set_of(group);
-        for e in &mut self.sets[set] {
+        for e in self.set_slice_mut(set) {
             if e.valid && e.tag == group {
                 let old = e.perms_of(index);
                 e.set_perms(index, old | perms.border_enforceable());
@@ -266,7 +292,7 @@ impl Bcc {
         let group = self.group_of(ppn);
         let index = ppn.as_u64() % self.config.pages_per_entry;
         let set = self.set_of(group);
-        for e in &mut self.sets[set] {
+        for e in self.set_slice_mut(set) {
             if e.valid && e.tag == group {
                 e.set_perms(index, perms.border_enforceable());
                 return true;
@@ -279,9 +305,12 @@ impl Bcc {
     pub fn invalidate_page(&mut self, ppn: Ppn) -> bool {
         let group = self.group_of(ppn);
         let set = self.set_of(group);
-        for e in &mut self.sets[set] {
+        let base = set * self.config.ways;
+        for way in 0..self.config.ways {
+            let e = &mut self.entries[base + way];
             if e.valid && e.tag == group {
                 e.valid = false;
+                self.occupancy -= 1;
                 return true;
             }
         }
@@ -290,11 +319,10 @@ impl Bcc {
 
     /// Invalidates everything (full-flush downgrade / process completion).
     pub fn invalidate_all(&mut self) {
-        for set in &mut self.sets {
-            for e in set {
-                e.valid = false;
-            }
+        for e in self.entries.iter_mut() {
+            e.valid = false;
         }
+        self.occupancy = 0;
     }
 
     /// Visits every cached page permission: `f(ppn, perms)` for each page
@@ -304,14 +332,12 @@ impl Bcc {
     /// LRU/stats.
     pub fn for_each_valid(&self, mut f: impl FnMut(Ppn, PagePerms)) {
         let ppe = self.config.pages_per_entry;
-        for set in &self.sets {
-            for e in set {
-                if !e.valid {
-                    continue;
-                }
-                for i in 0..ppe {
-                    f(Ppn::new(e.tag * ppe + i), e.perms_of(i));
-                }
+        for e in self.entries.iter() {
+            if !e.valid {
+                continue;
+            }
+            for i in 0..ppe {
+                f(Ppn::new(e.tag * ppe + i), e.perms_of(i));
             }
         }
     }
@@ -325,7 +351,7 @@ impl Bcc {
         let group = self.group_of(ppn);
         let index = ppn.as_u64() % self.config.pages_per_entry;
         let set = self.set_of(group);
-        for e in &mut self.sets[set] {
+        for e in self.set_slice_mut(set) {
             if e.valid && e.tag == group {
                 e.set_perms(index, perms.border_enforceable());
                 return true;
@@ -334,14 +360,10 @@ impl Bcc {
         false
     }
 
-    /// Number of valid entries.
+    /// Number of valid entries (incrementally maintained).
     #[must_use]
     pub fn valid_entries(&self) -> usize {
-        self.sets
-            .iter()
-            .flat_map(|s| s.iter())
-            .filter(|e| e.valid)
-            .count()
+        self.occupancy
     }
 
     /// Hit/miss statistics — the quantity swept in Figure 6.

@@ -14,10 +14,6 @@
 //! table — which [`FineProtectionTable::storage_bytes`] quantifies so the
 //! `storage` experiment can print the comparison.
 
-// `read_vec(_, 1)` always returns exactly one byte, so `[0]` cannot be
-// out of bounds.
-#![allow(clippy::indexing_slicing)]
-
 use bc_mem::addr::{PhysAddr, Ppn, BLOCK_SIZE, PAGE_SIZE};
 use bc_mem::perms::PagePerms;
 use bc_mem::store::PhysMemStore;
@@ -109,7 +105,7 @@ impl FineProtectionTable {
         if !self.in_bounds(addr) {
             return PagePerms::NONE;
         }
-        let byte = store.read_vec(self.entry_addr(addr), 1)[0];
+        let byte = store.read_byte(self.entry_addr(addr));
         let shift = (addr.block_index() % 4) * 2;
         let bits = (byte >> shift) & 0b11;
         PagePerms::new(bits & 0b01 != 0, bits & 0b10 != 0, false)
@@ -121,11 +117,11 @@ impl FineProtectionTable {
             return;
         }
         let slot = self.entry_addr(addr);
-        let mut byte = store.read_vec(slot, 1)[0];
+        let mut byte = store.read_byte(slot);
         let shift = (addr.block_index() % 4) * 2;
         let bits = (perms.readable() as u8) | ((perms.writable() as u8) << 1);
         byte = (byte & !(0b11 << shift)) | (bits << shift);
-        store.write(slot, &[byte]);
+        store.write_byte(slot, byte);
     }
 
     /// Merges (ORs) permissions into the block's entry — the insertion

@@ -123,7 +123,7 @@ impl ProtectionTable {
         if !self.in_bounds(ppn) {
             return PagePerms::NONE;
         }
-        let byte = store.read_vec(self.entry_addr(ppn), 1)[0];
+        let byte = store.read_byte(self.entry_addr(ppn));
         let shift = (ppn.as_u64() % 4) * 2;
         let bits = (byte >> shift) & 0b11;
         PagePerms::new(bits & 0b01 != 0, bits & 0b10 != 0, false)
@@ -135,11 +135,11 @@ impl ProtectionTable {
             return;
         }
         let addr = self.entry_addr(ppn);
-        let mut byte = store.read_vec(addr, 1)[0];
+        let mut byte = store.read_byte(addr);
         let shift = (ppn.as_u64() % 4) * 2;
         let bits = (perms.readable() as u8) | ((perms.writable() as u8) << 1);
         byte = (byte & !(0b11 << shift)) | (bits << shift);
-        store.write(addr, &[byte]);
+        store.write_byte(addr, byte);
     }
 
     /// Merges (ORs) permissions into one page's entry — the lazy-insertion
@@ -179,7 +179,8 @@ impl ProtectionTable {
     #[must_use]
     pub fn read_block(&self, store: &PhysMemStore, ppn: Ppn) -> [PagePerms; 512] {
         let block_base_ppn = Ppn::new(ppn.as_u64() - (ppn.as_u64() % PAGES_PER_BLOCK));
-        let bytes = store.read_vec(self.block_addr(ppn), bc_mem::BLOCK_SIZE as usize);
+        let mut bytes = [0u8; bc_mem::BLOCK_SIZE as usize];
+        store.read_into(self.block_addr(ppn), &mut bytes);
         let mut out = [PagePerms::NONE; 512];
         for (i, slot) in out.iter_mut().enumerate() {
             let p = block_base_ppn.add(i as u64);

@@ -1,0 +1,313 @@
+//! Property tests pinning the flattened BCC layout to the original
+//! nested-`Vec<Vec<Entry>>` implementation.
+//!
+//! The flattening PR turned each BCC entry into a flat `Copy` record with
+//! an inline permission-bit array and packed all entries into one
+//! contiguous slab, with an incrementally-maintained occupancy counter.
+//! The reference model below is a test-only copy of the pre-flattening
+//! code (heap-allocated `bits: Vec<u8>` per entry, one `Vec` per set);
+//! arbitrary interleavings of lookups, fills, updates and invalidations
+//! must agree on every observable: lookup results, statistics, the
+//! `for_each_valid` sweep order, and occupancy vs a brute-force recount.
+
+use bc_core::table::PAGES_PER_BLOCK;
+use bc_core::{Bcc, BccConfig};
+use bc_mem::{PagePerms, Ppn};
+use proptest::prelude::*;
+
+/// Test-only copy of the pre-flattening BCC.
+mod reference {
+    use super::{BccConfig, PagePerms, Ppn, PAGES_PER_BLOCK};
+
+    #[derive(Debug, Clone)]
+    struct Entry {
+        tag: u64,
+        valid: bool,
+        last_use: u64,
+        bits: Vec<u8>,
+    }
+
+    impl Entry {
+        fn empty(pages_per_entry: u64) -> Self {
+            Entry {
+                tag: 0,
+                valid: false,
+                last_use: 0,
+                bits: vec![0; (pages_per_entry as usize * 2).div_ceil(8)],
+            }
+        }
+
+        fn perms_of(&self, index: u64) -> PagePerms {
+            let byte = self.bits[(index / 4) as usize];
+            let shift = (index % 4) * 2;
+            let bits = (byte >> shift) & 0b11;
+            PagePerms::new(bits & 0b01 != 0, bits & 0b10 != 0, false)
+        }
+
+        fn set_perms(&mut self, index: u64, perms: PagePerms) {
+            let slot = &mut self.bits[(index / 4) as usize];
+            let shift = (index % 4) * 2;
+            let bits = (perms.readable() as u8) | ((perms.writable() as u8) << 1);
+            *slot = (*slot & !(0b11 << shift)) | (bits << shift);
+        }
+    }
+
+    pub struct RefBcc {
+        config: BccConfig,
+        sets: Vec<Vec<Entry>>,
+        set_mask: u64,
+        clock: u64,
+        pub hits: u64,
+        pub misses: u64,
+    }
+
+    impl RefBcc {
+        pub fn new(config: BccConfig) -> Self {
+            let sets = config.sets();
+            RefBcc {
+                sets: vec![vec![Entry::empty(config.pages_per_entry); config.ways]; sets],
+                set_mask: sets as u64 - 1,
+                clock: 0,
+                config,
+                hits: 0,
+                misses: 0,
+            }
+        }
+
+        fn group_of(&self, ppn: Ppn) -> u64 {
+            ppn.as_u64() / self.config.pages_per_entry
+        }
+
+        fn set_of(&self, group: u64) -> usize {
+            (group & self.set_mask) as usize
+        }
+
+        pub fn lookup(&mut self, ppn: Ppn) -> Option<PagePerms> {
+            self.clock += 1;
+            let clock = self.clock;
+            let group = self.group_of(ppn);
+            let index = ppn.as_u64() % self.config.pages_per_entry;
+            let set = self.set_of(group);
+            for e in &mut self.sets[set] {
+                if e.valid && e.tag == group {
+                    e.last_use = clock;
+                    self.hits += 1;
+                    return Some(e.perms_of(index));
+                }
+            }
+            self.misses += 1;
+            None
+        }
+
+        pub fn peek(&self, ppn: Ppn) -> Option<PagePerms> {
+            let group = self.group_of(ppn);
+            let index = ppn.as_u64() % self.config.pages_per_entry;
+            self.sets[self.set_of(group)]
+                .iter()
+                .find(|e| e.valid && e.tag == group)
+                .map(|e| e.perms_of(index))
+        }
+
+        pub fn fill(&mut self, ppn: Ppn, block: &[PagePerms; 512]) {
+            self.clock += 1;
+            let clock = self.clock;
+            let ppe = self.config.pages_per_entry;
+            let group = self.group_of(ppn);
+            let set_idx = self.set_of(group);
+            let set = &mut self.sets[set_idx];
+            let way = match set.iter().position(|e| !e.valid) {
+                Some(w) => w,
+                None => set
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.last_use)
+                    .map(|(i, _)| i)
+                    .expect("non-empty set"),
+            };
+            let entry = &mut set[way];
+            entry.tag = group;
+            entry.valid = true;
+            entry.last_use = clock;
+            let group_base = group * ppe;
+            let offset_in_block = group_base % PAGES_PER_BLOCK;
+            for i in 0..ppe {
+                entry.set_perms(i, block[(offset_in_block + i) as usize]);
+            }
+        }
+
+        pub fn update(&mut self, ppn: Ppn, perms: PagePerms) -> bool {
+            self.clock += 1;
+            let clock = self.clock;
+            let group = self.group_of(ppn);
+            let index = ppn.as_u64() % self.config.pages_per_entry;
+            let set = self.set_of(group);
+            for e in &mut self.sets[set] {
+                if e.valid && e.tag == group {
+                    let old = e.perms_of(index);
+                    e.set_perms(index, old | perms.border_enforceable());
+                    e.last_use = clock;
+                    return true;
+                }
+            }
+            false
+        }
+
+        pub fn overwrite(&mut self, ppn: Ppn, perms: PagePerms) -> bool {
+            let group = self.group_of(ppn);
+            let index = ppn.as_u64() % self.config.pages_per_entry;
+            let set = self.set_of(group);
+            for e in &mut self.sets[set] {
+                if e.valid && e.tag == group {
+                    e.set_perms(index, perms.border_enforceable());
+                    return true;
+                }
+            }
+            false
+        }
+
+        pub fn invalidate_page(&mut self, ppn: Ppn) -> bool {
+            let group = self.group_of(ppn);
+            let set = self.set_of(group);
+            for e in &mut self.sets[set] {
+                if e.valid && e.tag == group {
+                    e.valid = false;
+                    return true;
+                }
+            }
+            false
+        }
+
+        pub fn invalidate_all(&mut self) {
+            for set in &mut self.sets {
+                for e in set {
+                    e.valid = false;
+                }
+            }
+        }
+
+        pub fn for_each_valid(&self, mut f: impl FnMut(Ppn, PagePerms)) {
+            let ppe = self.config.pages_per_entry;
+            for set in &self.sets {
+                for e in set {
+                    if !e.valid {
+                        continue;
+                    }
+                    for i in 0..ppe {
+                        f(Ppn::new(e.tag * ppe + i), e.perms_of(i));
+                    }
+                }
+            }
+        }
+
+        pub fn valid_entries(&self) -> usize {
+            self.sets.iter().flatten().filter(|e| e.valid).count()
+        }
+    }
+}
+
+use reference::RefBcc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Lookup(u64),
+    Peek(u64),
+    Fill(u64, u64),
+    Update(u64, u8),
+    Overwrite(u64, u8),
+    InvalidatePage(u64),
+    InvalidateAll,
+}
+
+const MAX_PPN: u64 = 2048;
+
+fn perms_from(bits: u8) -> PagePerms {
+    PagePerms::new(bits & 0b01 != 0, bits & 0b10 != 0, false)
+}
+
+/// A synthetic 512-page Protection-Table block derived from `seed`.
+fn block_from(seed: u64) -> [PagePerms; 512] {
+    let mut block = [PagePerms::NONE; 512];
+    for (i, slot) in block.iter_mut().enumerate() {
+        let b = (seed >> (i % 62)) ^ (i as u64 >> 2);
+        *slot = perms_from((b & 0b11) as u8);
+    }
+    block
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..12, 0u64..MAX_PPN, any::<u64>()).prop_map(|(sel, ppn, seed)| match sel {
+        0..=3 => Op::Lookup(ppn),
+        4 => Op::Peek(ppn),
+        5..=7 => Op::Fill(ppn, seed),
+        8 => Op::Update(ppn, (seed & 0b11) as u8),
+        9 => Op::Overwrite(ppn, (seed & 0b11) as u8),
+        10 => Op::InvalidatePage(ppn),
+        _ => Op::InvalidateAll,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The flattened BCC and the nested reference agree on every
+    /// observable under arbitrary interleavings, and the occupancy
+    /// counter always equals a brute-force recount of valid entries.
+    #[test]
+    fn flat_bcc_matches_nested_reference(
+        ops in proptest::collection::vec(op_strategy(), 1..250),
+    ) {
+        // Small geometry so conflict evictions actually happen: 32 groups
+        // of 64 pages land on 4 sets of 4 ways.
+        let cfg = BccConfig {
+            entries: 16,
+            pages_per_entry: 64,
+            ways: 4,
+            latency: 10,
+        };
+        let mut real = Bcc::new(cfg);
+        let mut model = RefBcc::new(cfg);
+        for (step, op) in ops.iter().enumerate() {
+            match op {
+                Op::Lookup(ppn) => {
+                    prop_assert_eq!(real.lookup(Ppn::new(*ppn)), model.lookup(Ppn::new(*ppn)), "step {}", step);
+                }
+                Op::Peek(ppn) => {
+                    prop_assert_eq!(real.peek(Ppn::new(*ppn)), model.peek(Ppn::new(*ppn)), "step {}", step);
+                }
+                Op::Fill(ppn, seed) => {
+                    let block = block_from(*seed);
+                    real.fill(Ppn::new(*ppn), &block);
+                    model.fill(Ppn::new(*ppn), &block);
+                }
+                Op::Update(ppn, bits) => {
+                    let p = perms_from(*bits);
+                    prop_assert_eq!(real.update(Ppn::new(*ppn), p), model.update(Ppn::new(*ppn), p), "step {}", step);
+                }
+                Op::Overwrite(ppn, bits) => {
+                    let p = perms_from(*bits);
+                    prop_assert_eq!(real.overwrite(Ppn::new(*ppn), p), model.overwrite(Ppn::new(*ppn), p), "step {}", step);
+                }
+                Op::InvalidatePage(ppn) => {
+                    prop_assert_eq!(real.invalidate_page(Ppn::new(*ppn)), model.invalidate_page(Ppn::new(*ppn)), "step {}", step);
+                }
+                Op::InvalidateAll => {
+                    real.invalidate_all();
+                    model.invalidate_all();
+                }
+            }
+            prop_assert_eq!(real.valid_entries(), model.valid_entries(), "occupancy after step {}", step);
+        }
+        prop_assert_eq!(real.stats().hits(), model.hits);
+        prop_assert_eq!(real.stats().misses(), model.misses);
+        // The audit sweep visits the same pages with the same permissions
+        // in the same (set-major, way-ascending) order on both layouts,
+        // and its entry count recounts the occupancy the counter tracks.
+        let mut real_sweep = Vec::new();
+        real.for_each_valid(|p, perms| real_sweep.push((p.as_u64(), perms)));
+        let mut model_sweep = Vec::new();
+        model.for_each_valid(|p, perms| model_sweep.push((p.as_u64(), perms)));
+        prop_assert_eq!(&real_sweep, &model_sweep);
+        let ppe = cfg.pages_per_entry as usize;
+        prop_assert_eq!(real_sweep.len(), real.valid_entries() * ppe, "sweep length recounts occupancy");
+    }
+}

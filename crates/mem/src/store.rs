@@ -4,16 +4,34 @@
 //! demonstrations do: to show that a malicious accelerator *actually
 //! corrupts* a victim's data under the unsafe baseline and *cannot* under
 //! Border Control, the simulator carries a real sparse byte store.
+//!
+//! # Layout
+//!
+//! Every functional access used to hash a `HashMap<Ppn, Box<[u8]>>`. The
+//! store is now a dense, lazily-materialized *slab*: a frame-indexed slot
+//! table (`u32` per physical frame, sized once from the machine's frame
+//! count) pointing into a single contiguous page arena. The hot path —
+//! Protection-Table byte reads on every border check — is two array
+//! indexes and no allocation. Pages still materialize zero-filled on
+//! first write, and probes outside the configured frame range (tests and
+//! doc examples construct stores with no sizing at all) fall back to the
+//! original sparse map with identical semantics.
 
 // The page-crossing copy loops bound every slice range with
 // `take = (PAGE_SIZE - offset).min(remaining)`, so `offset + take` never
 // exceeds the 4 KiB page buffer and the buffer ranges never exceed the
-// caller slice.
+// caller slice. Slot indexes are produced by the slot table, whose
+// entries are only ever written with in-bounds arena offsets.
 #![allow(clippy::indexing_slicing)]
 
-use std::collections::HashMap;
+use bc_sim::fxmap::FxHashMap;
 
 use crate::addr::{PhysAddr, Ppn, PAGE_SIZE};
+
+const PAGE: usize = PAGE_SIZE as usize;
+
+/// Slot-table sentinel: page not materialized.
+const NO_SLOT: u32 = u32::MAX;
 
 /// Sparse, byte-accurate physical memory contents.
 ///
@@ -32,11 +50,36 @@ use crate::addr::{PhysAddr, Ppn, PAGE_SIZE};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct PhysMemStore {
-    pages: HashMap<Ppn, Box<[u8]>>,
+    /// Frame-indexed slot table: `slots[ppn]` is the page's arena slot,
+    /// or [`NO_SLOT`] while the page is unmaterialized.
+    slots: Vec<u32>,
+    /// Contiguous page arena; slot `s` owns bytes `s*4096..(s+1)*4096`.
+    arena: Vec<u8>,
+    /// Recycled arena slots from discarded pages (zeroed on reuse).
+    free_slots: Vec<u32>,
+    /// Materialized in-range pages (kept so `resident_pages` stays O(1)).
+    dense_resident: usize,
+    /// Fallback for pages at or above the configured frame count.
+    sparse: FxHashMap<Ppn, Box<[u8]>>,
     /// When set, pages touched by accelerator-attributed writes are
     /// appended to `accel_writes` for the audit layer to drain.
     log_accel_writes: bool,
     accel_writes: Vec<Ppn>,
+    /// `Cell`s so `&self` read paths can count without threading `&mut`.
+    #[cfg(feature = "hotprof")]
+    prof_fast_hits: std::cell::Cell<u64>,
+    #[cfg(feature = "hotprof")]
+    prof_slow_hits: std::cell::Cell<u64>,
+}
+
+/// Hot-path profile counters (compiled in under the `hotprof` feature).
+#[cfg(feature = "hotprof")]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreProfile {
+    /// Page lookups served by the dense slot table.
+    pub fast_hits: u64,
+    /// Page lookups that fell back to the sparse map.
+    pub slow_hits: u64,
 }
 
 /// Who issued a functional-memory write. The timing model does not care,
@@ -53,10 +96,24 @@ pub enum WriteOrigin {
 }
 
 impl PhysMemStore {
-    /// Creates an empty store.
+    /// Creates an empty store with no dense range: every page lives in
+    /// the sparse fallback. Fine for tests and examples; machines built
+    /// by the kernel use [`with_frames`](Self::with_frames).
     #[must_use]
     pub fn new() -> Self {
         PhysMemStore::default()
+    }
+
+    /// Creates a store whose first `frames` physical pages are served by
+    /// the dense frame-indexed slab (out-of-range probes still work via
+    /// the sparse fallback). The slot table is allocated eagerly (4 bytes
+    /// per frame); page contents stay lazy.
+    #[must_use]
+    pub fn with_frames(frames: u64) -> Self {
+        PhysMemStore {
+            slots: vec![NO_SLOT; usize::try_from(frames).unwrap_or(0)],
+            ..PhysMemStore::default()
+        }
     }
 
     /// Turns accelerator-write logging on or off (off by default; the
@@ -70,7 +127,9 @@ impl PhysMemStore {
 
     /// Writes `data` at `addr` with an explicit origin. Identical byte
     /// semantics to [`write`](Self::write); accelerator-origin writes are
-    /// additionally logged (page-granular) when logging is enabled.
+    /// additionally logged when logging is enabled — each physical page
+    /// the range touches is pushed exactly once per call, in ascending
+    /// page order, with no duplicates for the audit layer to re-dedup.
     pub fn write_as(&mut self, origin: WriteOrigin, addr: PhysAddr, data: &[u8]) {
         if self.log_accel_writes && origin == WriteOrigin::Accelerator && !data.is_empty() {
             let first = addr.ppn().as_u64();
@@ -90,13 +149,89 @@ impl PhysMemStore {
     /// Number of pages that have been materialized.
     #[must_use]
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.dense_resident + self.sparse.len()
     }
 
+    /// Read-only page lookup across both tiers; `None` = unmaterialized.
+    #[inline]
+    fn page_ref(&self, ppn: Ppn) -> Option<&[u8]> {
+        let idx = usize::try_from(ppn.as_u64()).unwrap_or(usize::MAX);
+        match self.slots.get(idx) {
+            Some(&NO_SLOT) => {
+                self.prof_fast();
+                None
+            }
+            Some(&slot) => {
+                self.prof_fast();
+                let base = slot as usize * PAGE;
+                Some(&self.arena[base..base + PAGE])
+            }
+            None => {
+                self.prof_slow();
+                self.sparse.get(&ppn).map(|p| &p[..])
+            }
+        }
+    }
+
+    /// Materializes (zero-filled) and returns the page's bytes.
     fn page_mut(&mut self, ppn: Ppn) -> &mut [u8] {
-        self.pages
-            .entry(ppn)
-            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+        let idx = usize::try_from(ppn.as_u64()).unwrap_or(usize::MAX);
+        if let Some(slot) = self.slots.get(idx).copied() {
+            self.prof_fast();
+            let slot = if slot == NO_SLOT {
+                let s = self.materialize_slot();
+                self.slots[idx] = s;
+                self.dense_resident += 1;
+                s
+            } else {
+                slot
+            };
+            let base = slot as usize * PAGE;
+            &mut self.arena[base..base + PAGE]
+        } else {
+            self.prof_slow();
+            self.sparse
+                .entry(ppn)
+                .or_insert_with(|| vec![0u8; PAGE].into_boxed_slice())
+        }
+    }
+
+    /// Grabs a zeroed arena slot: recycled (re-zeroed) or freshly grown.
+    fn materialize_slot(&mut self) -> u32 {
+        match self.free_slots.pop() {
+            Some(s) => {
+                let base = s as usize * PAGE;
+                self.arena[base..base + PAGE].fill(0);
+                s
+            }
+            None => {
+                let s = u32::try_from(self.arena.len() / PAGE).expect("arena under 16 TiB");
+                self.arena.resize(self.arena.len() + PAGE, 0);
+                s
+            }
+        }
+    }
+
+    #[inline]
+    fn prof_fast(&self) {
+        #[cfg(feature = "hotprof")]
+        self.prof_fast_hits.set(self.prof_fast_hits.get() + 1);
+    }
+
+    #[inline]
+    fn prof_slow(&self) {
+        #[cfg(feature = "hotprof")]
+        self.prof_slow_hits.set(self.prof_slow_hits.get() + 1);
+    }
+
+    /// Hot-path profile counters.
+    #[cfg(feature = "hotprof")]
+    #[must_use]
+    pub fn profile(&self) -> StoreProfile {
+        StoreProfile {
+            fast_hits: self.prof_fast_hits.get(),
+            slow_hits: self.prof_slow_hits.get(),
+        }
     }
 
     /// Writes `data` starting at `addr`, crossing page boundaries as
@@ -106,13 +241,32 @@ impl PhysMemStore {
         let mut remaining = data;
         while !remaining.is_empty() {
             let offset = cur.page_offset() as usize;
-            let space = PAGE_SIZE as usize - offset;
+            let space = PAGE - offset;
             let take = space.min(remaining.len());
             let page = self.page_mut(cur.ppn());
             page[offset..offset + take].copy_from_slice(&remaining[..take]);
             remaining = &remaining[take..];
             cur = cur.offset(take as u64);
         }
+    }
+
+    /// Reads one byte — the Protection-Table lookup fast path: no
+    /// allocation, no page-crossing loop.
+    #[must_use]
+    #[inline]
+    pub fn read_byte(&self, addr: PhysAddr) -> u8 {
+        let offset = addr.page_offset() as usize;
+        match self.page_ref(addr.ppn()) {
+            Some(p) => p[offset],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte (the Protection-Table update fast path).
+    #[inline]
+    pub fn write_byte(&mut self, addr: PhysAddr, byte: u8) {
+        let offset = addr.page_offset() as usize;
+        self.page_mut(addr.ppn())[offset] = byte;
     }
 
     /// Reads `len` bytes starting at `addr` into a new vector; untouched
@@ -130,9 +284,9 @@ impl PhysMemStore {
         let mut filled = 0;
         while filled < buf.len() {
             let offset = cur.page_offset() as usize;
-            let space = PAGE_SIZE as usize - offset;
+            let space = PAGE - offset;
             let take = space.min(buf.len() - filled);
-            if let Some(page) = self.pages.get(&cur.ppn()) {
+            if let Some(page) = self.page_ref(cur.ppn()) {
                 buf[filled..filled + take].copy_from_slice(&page[offset..offset + take]);
             } else {
                 buf[filled..filled + take].fill(0);
@@ -151,16 +305,29 @@ impl PhysMemStore {
     /// Copies one whole page (used for copy-on-write resolution and memory
     /// compaction).
     pub fn copy_page(&mut self, from: Ppn, to: Ppn) {
-        let src: Box<[u8]> = match self.pages.get(&from) {
-            Some(p) => p.clone(),
-            None => vec![0u8; PAGE_SIZE as usize].into_boxed_slice(),
-        };
-        self.pages.insert(to, src);
+        // A 4 KiB bounce buffer keeps the two-tier borrow simple; page
+        // copies happen on CoW faults and compaction, not per access.
+        let mut buf = [0u8; PAGE];
+        if let Some(src) = self.page_ref(from) {
+            buf.copy_from_slice(src);
+        }
+        self.page_mut(to).copy_from_slice(&buf);
     }
 
     /// Drops a page's contents entirely (frame freed).
     pub fn discard_page(&mut self, ppn: Ppn) {
-        self.pages.remove(&ppn);
+        let idx = usize::try_from(ppn.as_u64()).unwrap_or(usize::MAX);
+        match self.slots.get_mut(idx) {
+            Some(slot) if *slot != NO_SLOT => {
+                self.free_slots.push(*slot);
+                *slot = NO_SLOT;
+                self.dense_resident -= 1;
+            }
+            Some(_) => {}
+            None => {
+                self.sparse.remove(&ppn);
+            }
+        }
     }
 }
 
@@ -233,6 +400,26 @@ mod tests {
     }
 
     #[test]
+    fn multi_page_accel_write_logs_each_page_once() {
+        let mut m = PhysMemStore::new();
+        m.set_accel_write_logging(true);
+        // 2.5 pages starting mid-page: spans pages 5, 6, 7, 8.
+        let start = PhysAddr::new(5 * PAGE_SIZE + PAGE_SIZE / 2);
+        let data = vec![0xAB; (3 * PAGE_SIZE) as usize];
+        m.write_as(WriteOrigin::Accelerator, start, &data);
+        let logged = m.take_accel_writes();
+        assert_eq!(
+            logged,
+            vec![Ppn::new(5), Ppn::new(6), Ppn::new(7), Ppn::new(8)],
+            "each touched page exactly once, ascending, no duplicates"
+        );
+        // Two calls in one drain window: per-call exactness, not global.
+        m.write_as(WriteOrigin::Accelerator, PhysAddr::new(5 * PAGE_SIZE), b"x");
+        m.write_as(WriteOrigin::Accelerator, PhysAddr::new(5 * PAGE_SIZE), b"y");
+        assert_eq!(m.take_accel_writes(), vec![Ppn::new(5), Ppn::new(5)]);
+    }
+
+    #[test]
     fn discard_page_reads_zero_again() {
         let mut m = PhysMemStore::new();
         m.write(PhysAddr::new(0x5000), b"x");
@@ -240,5 +427,55 @@ mod tests {
         m.discard_page(Ppn::new(5));
         assert_eq!(m.resident_pages(), 0);
         assert_eq!(m.read_vec(PhysAddr::new(0x5000), 1), vec![0]);
+    }
+
+    #[test]
+    fn dense_store_matches_sparse_semantics() {
+        let mut dense = PhysMemStore::with_frames(16);
+        let mut sparse = PhysMemStore::new();
+        for m in [&mut dense, &mut sparse] {
+            m.write(PhysAddr::new(0x1ff0), &[1; 32]); // crosses page 1 -> 2
+            m.write(PhysAddr::new(0x3000), b"abc");
+            m.zero_page(Ppn::new(1));
+            m.copy_page(Ppn::new(3), Ppn::new(5));
+            m.discard_page(Ppn::new(2));
+            // Out of the dense range (frame 100 >= 16): sparse fallback.
+            m.write(PhysAddr::new(100 * PAGE_SIZE + 7), b"far");
+        }
+        for addr in [0x1ff0, 0x2000, 0x3000, 0x5000, 100 * PAGE_SIZE + 7] {
+            assert_eq!(
+                dense.read_vec(PhysAddr::new(addr), 40),
+                sparse.read_vec(PhysAddr::new(addr), 40),
+                "mismatch at {addr:#x}"
+            );
+        }
+        assert_eq!(dense.resident_pages(), sparse.resident_pages());
+    }
+
+    #[test]
+    fn slot_recycling_zeroes_reused_frames() {
+        let mut m = PhysMemStore::with_frames(8);
+        m.write(PhysAddr::new(0x1000), &[0xFF; 64]);
+        m.discard_page(Ppn::new(1));
+        // New page reuses the slot and must read zero before its write.
+        m.write(PhysAddr::new(0x2004), &[9]);
+        assert_eq!(
+            m.read_vec(PhysAddr::new(0x2000), 8),
+            [0, 0, 0, 0, 9, 0, 0, 0]
+        );
+        // And the original page is zero again too.
+        assert_eq!(m.read_vec(PhysAddr::new(0x1000), 4), vec![0; 4]);
+    }
+
+    #[test]
+    fn byte_fast_paths_match_vec_paths() {
+        let mut m = PhysMemStore::with_frames(4);
+        assert_eq!(m.read_byte(PhysAddr::new(0x1abc)), 0);
+        m.write_byte(PhysAddr::new(0x1abc), 0x5A);
+        assert_eq!(m.read_byte(PhysAddr::new(0x1abc)), 0x5A);
+        assert_eq!(m.read_vec(PhysAddr::new(0x1abc), 1), vec![0x5A]);
+        // Out of dense range as well.
+        m.write_byte(PhysAddr::new(99 * PAGE_SIZE), 7);
+        assert_eq!(m.read_byte(PhysAddr::new(99 * PAGE_SIZE)), 7);
     }
 }

@@ -48,4 +48,68 @@ proptest! {
         // The copy survives the source's discard.
         prop_assert_eq!(store.read_vec(bc_mem::Ppn::new(to).base(), 4096), data);
     }
+
+    /// The dense frame slab (pages below the configured frame count live
+    /// in one contiguous arena; pages above fall back to the sparse map)
+    /// is indistinguishable from the old pure-HashMap store. Interleaves
+    /// writes, byte ops, page copies and discards straddling the
+    /// dense/sparse boundary against a flat byte-map model.
+    #[test]
+    fn dense_slab_matches_flat_memory_model(
+        ops in proptest::collection::vec(
+            (0u8..8, 0u64..16, proptest::collection::vec(any::<u8>(), 1..200), 0u64..500),
+            1..60,
+        ),
+        probes in proptest::collection::vec((0u64..66_000, 1usize..64), 1..20),
+    ) {
+        // 8 dense frames; ppn 0..8 hit the arena, ppn 8..16 the sparse
+        // fallback. `offset` pushes some writes across both boundaries.
+        let mut store = PhysMemStore::with_frames(8);
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        for (sel, ppn, data, offset) in &ops {
+            let base = ppn * 4096 + offset;
+            match sel {
+                0..=3 => {
+                    store.write(PhysAddr::new(base), data);
+                    for (i, b) in data.iter().enumerate() {
+                        model.insert(base + i as u64, *b);
+                    }
+                }
+                4 => {
+                    store.write_byte(PhysAddr::new(base), data[0]);
+                    model.insert(base, data[0]);
+                }
+                5 => {
+                    let got = store.read_byte(PhysAddr::new(base));
+                    let expect = model.get(&base).copied().unwrap_or(0);
+                    prop_assert_eq!(got, expect);
+                }
+                6 => {
+                    let to = (ppn + 7) % 16; // copies cross the boundary both ways
+                    store.copy_page(bc_mem::Ppn::new(*ppn), bc_mem::Ppn::new(to));
+                    for i in 0..4096u64 {
+                        let b = model.get(&(ppn * 4096 + i)).copied().unwrap_or(0);
+                        if b == 0 {
+                            model.remove(&(to * 4096 + i));
+                        } else {
+                            model.insert(to * 4096 + i, b);
+                        }
+                    }
+                }
+                _ => {
+                    store.discard_page(bc_mem::Ppn::new(*ppn));
+                    for i in 0..4096u64 {
+                        model.remove(&(ppn * 4096 + i));
+                    }
+                }
+            }
+        }
+        for (addr, len) in probes {
+            let got = store.read_vec(PhysAddr::new(addr), len);
+            for (i, b) in got.iter().enumerate() {
+                let expect = model.get(&(addr + i as u64)).copied().unwrap_or(0);
+                prop_assert_eq!(*b, expect, "byte at {:#x}", addr + i as u64);
+            }
+        }
+    }
 }

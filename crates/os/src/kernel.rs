@@ -130,7 +130,7 @@ impl Kernel {
     pub fn new(config: KernelConfig) -> Self {
         Kernel {
             frames: FrameAllocator::new(config.phys_bytes),
-            store: PhysMemStore::new(),
+            store: PhysMemStore::with_frames(config.phys_bytes / PAGE_SIZE),
             processes: BTreeMap::new(),
             next_asid: 1,
             pending_shootdowns: Vec::new(),

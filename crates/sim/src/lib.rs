@@ -40,6 +40,7 @@
 pub mod audit;
 mod cycle;
 mod event;
+pub mod fxmap;
 pub mod resource;
 pub mod rng;
 pub mod stats;

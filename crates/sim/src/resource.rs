@@ -44,6 +44,11 @@ pub struct Port {
     /// keep the calendar to a handful of intervals, and the serve path
     /// runs once per simulated memory operation.
     busy: Vec<(u64, u64)>,
+    /// Index of the first live interval in `busy`. `prune` retires
+    /// history by advancing this cursor; the dead prefix is compacted
+    /// away only once it outgrows the live tail, so pruning costs
+    /// amortized O(1) instead of a front-drain memmove per booking.
+    head: usize,
     max_arrival: u64,
     served: Counter,
     busy_cycles: u64,
@@ -57,6 +62,12 @@ impl Port {
         Port::default()
     }
 
+    /// The live (unretired) portion of the calendar.
+    #[inline]
+    fn live(&self) -> &[(u64, u64)] {
+        &self.busy[self.head..]
+    }
+
     /// Earliest instant a request arriving at `arrival` needing `service`
     /// cycles could start, without booking it.
     #[must_use]
@@ -65,8 +76,9 @@ impl Port {
         if service == 0 {
             return arrival;
         }
+        let live = self.live();
         // Fast path: arrival at or past the calendar's end.
-        match self.busy.last() {
+        match live.last() {
             None => return arrival,
             Some(&(_, e)) if candidate >= e => return arrival,
             _ => {}
@@ -74,9 +86,9 @@ impl Port {
         // Walk intervals that could overlap `[candidate, candidate+service)`,
         // starting from the first interval that ends after `candidate`
         // (interval ends are sorted because intervals are disjoint).
-        let mut i = self.busy.partition_point(|&(_, e)| e <= candidate);
-        while i < self.busy.len() {
-            let (s, e) = self.busy[i];
+        let mut i = live.partition_point(|&(_, e)| e <= candidate);
+        while i < live.len() {
+            let (s, e) = live[i];
             if s >= candidate + service {
                 break; // fits in the gap before this interval
             }
@@ -126,9 +138,10 @@ impl Port {
         if s == e {
             return;
         }
-        let i = self.busy.partition_point(|&(ps, _)| ps < e);
+        let live = self.live();
+        let i = live.partition_point(|&(ps, _)| ps < e);
         if i > 0 {
-            let (ps, pe) = self.busy[i - 1];
+            let (ps, pe) = live[i - 1];
             assert!(
                 pe <= s,
                 "port double-booked: [{s},{e}) overlaps busy [{ps},{pe})"
@@ -138,7 +151,13 @@ impl Port {
 
     fn insert_interval(&mut self, mut start: u64, mut end: u64) {
         // Fast path: the booking extends or follows the calendar's tail,
-        // which is where in-order traffic always lands.
+        // which is where in-order traffic always lands. An empty live
+        // region behaves like an empty calendar regardless of any dead
+        // prefix awaiting compaction.
+        if self.head == self.busy.len() {
+            self.busy.push((start, end));
+            return;
+        }
         match self.busy.last_mut() {
             None => {
                 self.busy.push((start, end));
@@ -157,8 +176,9 @@ impl Port {
             }
         }
         // General path: merge every interval touching `[start, end]`.
-        let lo = self.busy.partition_point(|&(_, e)| e < start);
-        let hi = self.busy.partition_point(|&(s, _)| s <= end);
+        let live = self.live();
+        let lo = self.head + live.partition_point(|&(_, e)| e < start);
+        let hi = self.head + live.partition_point(|&(s, _)| s <= end);
         if lo < hi {
             start = start.min(self.busy[lo].0);
             end = end.max(self.busy[hi - 1].1);
@@ -169,9 +189,13 @@ impl Port {
 
     fn prune(&mut self) {
         let cutoff = self.max_arrival.saturating_sub(RETAIN_CYCLES);
-        let k = self.busy.partition_point(|&(_, e)| e < cutoff);
-        if k > 0 {
-            self.busy.drain(..k);
+        let k = self.live().partition_point(|&(_, e)| e < cutoff);
+        self.head += k;
+        // Compact once the dead prefix dominates; amortized O(1) per
+        // retired interval, and memory stays bounded by 2x the live set.
+        if self.head >= 64 && self.head * 2 >= self.busy.len() {
+            self.busy.drain(..self.head);
+            self.head = 0;
         }
     }
 
@@ -180,7 +204,7 @@ impl Port {
     /// exclusive grab).
     #[must_use]
     pub fn idle_from(&self) -> Cycle {
-        Cycle::new(self.busy.last().map(|&(_, e)| e).unwrap_or(0))
+        Cycle::new(self.live().last().map(|&(_, e)| e).unwrap_or(0))
     }
 
     /// Number of requests served.

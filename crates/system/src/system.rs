@@ -77,11 +77,13 @@ enum Event {
         wf: usize,
     },
     /// An op's compute slots retired; its memory accesses issue *now*, so
-    /// every shared resource sees arrivals in global time order.
+    /// every shared resource sees arrivals in global time order. The op
+    /// itself is parked in the wavefront's `in_flight` slot (exactly one
+    /// op is ever in flight per wavefront), which keeps event-queue
+    /// entries small enough to move cheaply through the calendar queue.
     IssueOp {
         cu: usize,
         wf: usize,
-        op: bc_workloads::WarpOp,
     },
     Downgrade,
     /// The host CPU issues its next memory operation.
@@ -143,6 +145,13 @@ pub struct System {
     shared_bytes: u64,
     /// Runtime invariant auditor, when [`SystemConfig::audit`] is set.
     auditor: Option<Auditor>,
+    /// Reusable eviction buffer for downgrade flushes: a downgrade storm
+    /// stops allocating a fresh `Vec` per flush.
+    flush_scratch: Vec<bc_cache::set_assoc::Evicted>,
+    /// Per-event-kind dispatch counts, in [`Event`] declaration order:
+    /// wavefront-ready, issue-op, downgrade, cpu-tick.
+    #[cfg(feature = "hotprof")]
+    event_counts: [u64; 4],
 }
 
 impl fmt::Debug for System {
@@ -309,6 +318,9 @@ impl System {
             shared_base: base,
             shared_bytes: footprint,
             auditor,
+            flush_scratch: Vec::new(),
+            #[cfg(feature = "hotprof")]
+            event_counts: [0; 4],
             config: config.clone(),
         })
     }
@@ -385,9 +397,25 @@ impl System {
             }
             self.now = t;
             self.events_dispatched += 1;
+            #[cfg(feature = "hotprof")]
+            {
+                let kind = match &ev {
+                    Event::WavefrontReady { .. } => 0,
+                    Event::IssueOp { .. } => 1,
+                    Event::Downgrade => 2,
+                    Event::CpuTick => 3,
+                };
+                self.event_counts[kind] += 1;
+            }
             match ev {
                 Event::WavefrontReady { cu, wf } => self.step_wavefront(cu, wf),
-                Event::IssueOp { cu, wf, op } => self.issue_op(cu, wf, &op),
+                Event::IssueOp { cu, wf } => {
+                    let op = self.gpu.cus[cu].wavefronts[wf]
+                        .in_flight
+                        .take()
+                        .expect("IssueOp event with no op in flight");
+                    self.issue_op(cu, wf, &op);
+                }
                 Event::Downgrade => self.inject_downgrade(),
                 Event::CpuTick => self.cpu_tick(),
             }
@@ -447,7 +475,8 @@ impl System {
         // completion time so that shared resources (DRAM channels, the
         // IOMMU, Border Control) always observe arrivals in time order.
         let issue_at = self.cu_ports[cu].serve(self.now, op.think.max(1));
-        self.schedule(issue_at, Event::IssueOp { cu, wf, op });
+        self.gpu.cus[cu].wavefronts[wf].in_flight = Some(op);
+        self.schedule(issue_at, Event::IssueOp { cu, wf });
     }
 
     fn issue_op(&mut self, cu: usize, wf: usize, op: &bc_workloads::WarpOp) {
@@ -1043,15 +1072,16 @@ impl System {
         }
         let t = self.now;
         let action = bc.downgrade_action(req);
-        let flushed = match action {
-            DowngradeAction::CommitNow => Vec::new(),
-            DowngradeAction::FlushPage(ppn) => self.gpu.flush_page(ppn),
+        let mut flushed = std::mem::take(&mut self.flush_scratch);
+        flushed.clear();
+        match action {
+            DowngradeAction::CommitNow => {}
+            DowngradeAction::FlushPage(ppn) => self.gpu.flush_page_into(ppn, &mut flushed),
             DowngradeAction::FlushAll => {
-                let ev = self.gpu.flush_caches();
+                self.gpu.flush_caches_into(&mut flushed);
                 self.gpu.flush_tlbs();
-                ev
             }
-        };
+        }
         // Dirty blocks are written back through the border *before* the
         // Protection Table is updated, so they pass the old permissions.
         let mut flush_done = t;
@@ -1059,6 +1089,7 @@ impl System {
             self.border_write(flush_done, ev.addr);
             flush_done += 1; // back-to-back writeback issue
         }
+        self.flush_scratch = flushed;
         let bc = self.bc.as_mut().expect("still configured");
         let commit_done =
             bc.commit_downgrade(flush_done, req, self.kernel.store_mut(), &mut self.dram);
@@ -1244,6 +1275,34 @@ impl System {
             let s = self.ats.iotlb_stats();
             (s.accesses(), s.misses())
         };
+        #[cfg(not(feature = "hotprof"))]
+        let hot_profile = None;
+        #[cfg(feature = "hotprof")]
+        let hot_profile = {
+            let mut hp = crate::report::HotProfile {
+                event_counts: (
+                    self.event_counts[0],
+                    self.event_counts[1],
+                    self.event_counts[2],
+                    self.event_counts[3],
+                ),
+                ..Default::default()
+            };
+            let store = self.kernel.store().profile();
+            hp.store_fast_hits = store.fast_hits;
+            hp.store_slow_hits = store.slow_hits;
+            for cu in &self.gpu.cus {
+                if let Some(l1) = &cu.l1 {
+                    hp.page_flushes += l1.profile().page_flushes;
+                    hp.flush_scan_lines += l1.profile().flush_scan_lines;
+                }
+            }
+            if let Some(l2) = &self.gpu.l2 {
+                hp.page_flushes += l2.profile().page_flushes;
+                hp.flush_scan_lines += l2.profile().flush_scan_lines;
+            }
+            Some(hp)
+        };
         RunReport {
             safety: self.config.safety.label().to_string(),
             workload: self.config.workload.clone(),
@@ -1287,6 +1346,7 @@ impl System {
                 .as_ref()
                 .map(|h| (h.accesses(), h.shared_touches(), h.recalls_from_gpu())),
             audit: self.auditor.as_mut().map(Auditor::take_report),
+            hot_profile,
         }
     }
 }

@@ -11,7 +11,9 @@
 use bc_mem::addr::VirtAddr;
 use bc_sim::SimRng;
 
-use crate::{AccessStream, BlockAccess, RepeatStream, WarpOp, Workload, WorkloadSize, BASE_VA};
+use crate::{
+    AccessStream, BlockAccess, BlockList, RepeatStream, WarpOp, Workload, WorkloadSize, BASE_VA,
+};
 
 const BLOCK: u64 = 128;
 
@@ -125,7 +127,7 @@ pub mod backprop {
             let weight_off = self.w.input_bytes + wblock * BLOCK;
             let output_off =
                 self.w.input_bytes + self.w.weight_bytes + (wblock * 16) % self.w.output_bytes;
-            let mut blocks = vec![read(input_off), read(weight_off)];
+            let mut blocks = BlockList::of([read(input_off), read(weight_off)]);
             if self.pass == 1 && wblock.is_multiple_of(8) {
                 blocks.push(write(output_off));
             }
@@ -204,9 +206,9 @@ pub mod bfs {
             }
             self.i += 1;
             // Read the frontier entry (sequential, good locality)...
-            let mut blocks = vec![read(
+            let mut blocks = BlockList::of([read(
                 (frontier_slot * 4) % self.w.visited_bytes + self.w.node_bytes + self.w.edge_bytes,
-            )];
+            )]);
             // ...then gather the node and its (contiguous) edge list.
             // Real frontiers have community structure: most gathers land
             // in a hot window that drifts with the frontier, with an
@@ -333,13 +335,13 @@ pub mod hotspot {
             let (r, c) = (self.row, self.col);
             let north = r.saturating_sub(1);
             let south = (r + 1).min(self.w.rows - 1);
-            let blocks = vec![
+            let blocks = BlockList::of([
                 read(at(r, c)),             // centre (east/west share the block)
                 read(at(north, c)),         // north
                 read(at(south, c)),         // south
                 read(grid + at(r, c)),      // power grid
                 write(2 * grid + at(r, c)), // output grid
-            ];
+            ]);
             self.col += BLOCK;
             if self.col >= self.w.cols_bytes {
                 self.col = 0;
@@ -434,11 +436,11 @@ pub mod lud {
                 self.idx += 1;
                 let r = self.k + 1 + my_idx / trailing;
                 let c = self.k + 1 + my_idx % trailing;
-                let blocks = vec![
+                let blocks = BlockList::of([
                     read(self.w.at(self.k, c)), // pivot row (reused heavily)
                     read(self.w.at(r, self.k)), // pivot column
                     write(self.w.at(r, c)),     // update target
-                ];
+                ]);
                 return Some(WarpOp { think: 30, blocks });
             }
         }
@@ -509,7 +511,7 @@ pub mod nn {
             }
             let b = self.cur;
             self.cur += 1;
-            let mut blocks = vec![read(b * BLOCK)];
+            let mut blocks = BlockList::of([read(b * BLOCK)]);
             if b.is_multiple_of(16) {
                 blocks.push(write(
                     self.w.record_bytes + (b / 16 * BLOCK) % self.w.result_bytes,
@@ -615,12 +617,12 @@ pub mod nw {
                 };
                 let c0 = self.diag.saturating_sub(r0);
                 let score = self.w.n * self.w.row_bytes();
-                let blocks = vec![
+                let blocks = BlockList::of([
                     read(self.w.at(r0.saturating_sub(1), c0)), // up + diag share the row above
                     read(self.w.at(r0, c0.saturating_sub(1))), // left (same row)
                     read(score + self.w.at(r0, c0)),           // reference matrix
                     write(self.w.at(r0, c0)),
-                ];
+                ]);
                 return Some(WarpOp { think: 24, blocks });
             }
         }
@@ -702,13 +704,13 @@ pub mod pathfinder {
             let curr = result_base + ((self.row + 1) % 2) * self.w.row_bytes;
             let west = prev + (c.saturating_sub(1)) * BLOCK;
             let east = prev + ((c + 1) * BLOCK).min(self.w.row_bytes - BLOCK);
-            let blocks = vec![
+            let blocks = BlockList::of([
                 read(wall),
                 read(prev + c * BLOCK),
                 read(west),
                 read(east),
                 write(curr + c * BLOCK),
-            ];
+            ]);
             Some(WarpOp { think: 20, blocks })
         }
     }

@@ -50,16 +50,120 @@ pub struct BlockAccess {
     pub write: bool,
 }
 
+/// A fixed-capacity, inline list of coalesced block accesses.
+///
+/// Every generator emits at most 5 blocks per op, and ops flow through
+/// the event queue millions of times per run; a heap `Vec` here would
+/// put a malloc/free (and a clone per [`RepeatStream`] repeat) on the
+/// hottest path in the simulator. The inline array keeps [`WarpOp`]
+/// `Copy` so event dispatch and repeat streams never allocate.
+#[derive(Clone, Copy, Eq)]
+pub struct BlockList {
+    slots: [BlockAccess; Self::CAPACITY],
+    len: u8,
+}
+
+impl BlockList {
+    /// Maximum blocks per op (generators top out at 5; headroom for a
+    /// fully divergent quarter-wavefront).
+    pub const CAPACITY: usize = 8;
+
+    const EMPTY_SLOT: BlockAccess = BlockAccess {
+        va: VirtAddr::new(0),
+        write: false,
+    };
+
+    /// An empty list.
+    #[must_use]
+    pub const fn new() -> Self {
+        BlockList {
+            slots: [Self::EMPTY_SLOT; Self::CAPACITY],
+            len: 0,
+        }
+    }
+
+    /// Builds a list from up to [`Self::CAPACITY`] accesses.
+    ///
+    /// # Panics
+    /// If the iterator yields more than [`Self::CAPACITY`] items.
+    pub fn of(items: impl IntoIterator<Item = BlockAccess>) -> Self {
+        let mut list = Self::new();
+        for item in items {
+            list.push(item);
+        }
+        list
+    }
+
+    /// Appends an access.
+    ///
+    /// # Panics
+    /// If the list is already at [`Self::CAPACITY`].
+    pub fn push(&mut self, access: BlockAccess) {
+        assert!(
+            (self.len as usize) < Self::CAPACITY,
+            "BlockList overflow: a generator emitted more than {} blocks in one op",
+            Self::CAPACITY
+        );
+        self.slots[self.len as usize] = access;
+        self.len += 1;
+    }
+
+    /// The live accesses as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[BlockAccess] {
+        &self.slots[..self.len as usize]
+    }
+}
+
+impl Default for BlockList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for BlockList {
+    type Target = [BlockAccess];
+    fn deref(&self) -> &[BlockAccess] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for BlockList {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::fmt::Debug for BlockList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<'a> IntoIterator for &'a BlockList {
+    type Item = &'a BlockAccess;
+    type IntoIter = std::slice::Iter<'a, BlockAccess>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl FromIterator<BlockAccess> for BlockList {
+    fn from_iter<I: IntoIterator<Item = BlockAccess>>(iter: I) -> Self {
+        Self::of(iter)
+    }
+}
+
 /// One wavefront "instruction": some compute latency followed by a batch
 /// of coalesced memory accesses that must all complete before the
 /// wavefront can issue its next op.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WarpOp {
     /// Compute cycles consumed before the accesses issue.
     pub think: u64,
     /// Coalesced block accesses (1 for perfectly coalesced, up to 32 for a
     /// fully divergent gather).
-    pub blocks: Vec<BlockAccess>,
+    pub blocks: BlockList,
 }
 
 /// A per-wavefront access stream.
@@ -99,11 +203,11 @@ impl<S: AccessStream> AccessStream for RepeatStream<S> {
     fn next_op(&mut self) -> Option<WarpOp> {
         if self.remaining > 0 {
             self.remaining -= 1;
-            return self.current.clone();
+            return self.current;
         }
         let op = self.inner.next_op()?;
         self.remaining = self.factor - 1;
-        self.current = Some(op.clone());
+        self.current = Some(op);
         Some(op)
     }
 }
@@ -359,7 +463,7 @@ mod tests {
                 self.0 -= 1;
                 Some(WarpOp {
                     think: self.0 as u64,
-                    blocks: vec![],
+                    blocks: BlockList::new(),
                 })
             }
         }
