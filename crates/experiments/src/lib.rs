@@ -17,7 +17,10 @@
 //! All binaries accept `--size tiny|small|reference` (default `small`) and
 //! print aligned text tables to stdout. Reference size reproduces the
 //! paper-shape numbers recorded in `EXPERIMENTS.md`; smaller sizes are for
-//! quick smoke runs.
+//! quick smoke runs. Sweep binaries also accept `--jobs N` (cells run
+//! concurrently), `--shards N` (threads *inside* each simulation) and
+//! `--audit` (runtime invariant auditor); none of the three changes a
+//! single report byte.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -97,6 +100,32 @@ pub fn jobs_from_args() -> usize {
             _ => {
                 eprintln!("invalid --jobs '{raw}', using {default}");
                 default
+            }
+        },
+    }
+}
+
+/// Parses `--shards N` from argv (default 1): worker threads *inside*
+/// each simulation — the per-CU cluster frontends and the shared
+/// L2/Border-Control backend distributed over `N` cooperating shards of
+/// the event engine. Composes with `--jobs`: a sweep runs `--jobs` cells
+/// concurrently, each cell on `--shards` threads. Simulated timing and
+/// every report byte are identical at any shard count; only wall-clock
+/// changes (`determinism.rs` proves the cross product).
+#[must_use]
+pub fn shards_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    match args
+        .windows(2)
+        .find(|w| w[0] == "--shards")
+        .map(|w| w[1].as_str())
+    {
+        None => 1,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("invalid --shards '{raw}', using 1");
+                1
             }
         },
     }

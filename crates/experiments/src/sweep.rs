@@ -19,7 +19,10 @@
 //!   *same* generated access stream, exactly as the paper reruns one
 //!   benchmark under each scheme;
 //! * results are indexed by coordinates, so `--jobs 1` and `--jobs 64`
-//!   produce byte-identical reports (`determinism.rs` proves it);
+//!   produce byte-identical reports, and each cell's sharded event engine
+//!   is deterministic in its own right, so any `--jobs × --shards`
+//!   combination reports the same bytes (`determinism.rs` proves the
+//!   cross product);
 //! * a panicking or failing cell is captured as an error row ([`CellOutcome`])
 //!   instead of killing the sweep.
 //!
@@ -114,6 +117,7 @@ pub struct SweepMatrix {
     size: WorkloadSize,
     matrix_seed: u64,
     audit: bool,
+    shards: usize,
 }
 
 impl SweepMatrix {
@@ -132,6 +136,7 @@ impl SweepMatrix {
             size,
             matrix_seed: 2015,
             audit: crate::audit_from_args(),
+            shards: crate::shards_from_args(),
         }
     }
 
@@ -180,6 +185,15 @@ impl SweepMatrix {
         self
     }
 
+    /// Sets the intra-run shard count for every cell, overriding the
+    /// `--shards` default. Shards never change a cell's seed, label or
+    /// report — only how many threads simulate it.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
     /// Axis lengths `[override, gpu, safety, workload]` after defaulting.
     #[must_use]
     pub fn dims(&self) -> [usize; 4] {
@@ -220,8 +234,10 @@ impl SweepMatrix {
                     for (wi, workload) in workloads.iter().enumerate() {
                         let mut config = base_config(workload, gpu, self.size);
                         config.safety = safety;
-                        // Before the override, so an override can flip it.
+                        // Before the override, so an override can flip
+                        // them.
                         config.audit = self.audit;
+                        config.shards = self.shards;
                         let mut label_override = String::new();
                         if let Some((name, f)) = overrides.get(oi) {
                             f(&mut config);
@@ -586,6 +602,20 @@ mod tests {
         // And off by default (no --audit in the test harness's argv).
         let plain = SweepMatrix::new(WorkloadSize::Tiny).cells();
         assert!(plain.iter().all(|c| !c.config.audit));
+    }
+
+    #[test]
+    fn shards_apply_to_every_cell_without_touching_seeds_or_labels() {
+        let plain = tiny_matrix().cells();
+        let sharded = tiny_matrix().shards(4).cells();
+        assert!(plain.iter().all(|c| c.config.shards == 1));
+        assert!(sharded.iter().all(|c| c.config.shards == 4));
+        for (p, s) in plain.iter().zip(&sharded) {
+            assert_eq!(p.label, s.label);
+            assert_eq!(p.config.seed, s.config.seed);
+        }
+        // Sub-1 requests clamp rather than wedging the engine.
+        assert!(tiny_matrix().shards(0).cells()[0].config.shards == 1);
     }
 
     #[test]

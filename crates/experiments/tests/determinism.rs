@@ -67,12 +67,13 @@ fn sweep_reports_are_independent_of_thread_count() {
 /// Runs a matrix's cells at a reduced per-wavefront op cap (the full tiny
 /// cap across all ~300 production cells would dominate the suite's wall
 /// time) and returns each cell's serialized report, in matrix order.
-fn run_capped(cells: &[SweepCell], jobs: usize) -> Vec<(String, String)> {
+fn run_capped(cells: &[SweepCell], jobs: usize, shards: usize) -> Vec<(String, String)> {
     let capped: Vec<SweepCell> = cells
         .iter()
         .map(|c| {
             let mut c = c.clone();
             c.config.max_ops_per_wavefront = Some(200);
+            c.config.shards = shards;
             c
         })
         .collect();
@@ -89,12 +90,22 @@ fn run_capped(cells: &[SweepCell], jobs: usize) -> Vec<(String, String)> {
 }
 
 /// Every sweeping binary's production matrix (fig4–fig7, attacks,
-/// cpu_coherence), at tiny size: identical reports for every cell
-/// regardless of worker count. The matrices come from
-/// [`bc_experiments::matrices`] — the same constructors `main` uses — so
-/// an axis reorder or seed-derivation change fails here, not in a figure.
+/// cpu_coherence), at tiny size: identical reports for every cell across
+/// the `--jobs × --shards` cross product — cells fanned out over sweep
+/// workers, each simulation fanned out over engine shards, and both at
+/// once. The matrices come from [`bc_experiments::matrices`] — the same
+/// constructors `main` uses — so an axis reorder, seed-derivation change
+/// or shard-scheduling leak fails here, not in a figure.
+///
+/// Every matrix runs the `--jobs` variant; the shard-bearing variants
+/// run on fig4 (the full decomposed-frontend matrix) and cpu_coherence
+/// (host-activity events seeded into the backend component) — per-model
+/// shard identity across all ten golden configs is already pinned by
+/// `tests/shard_identity.rs`, and multi-shard cells on a starved host
+/// pay barrier quanta per cell, so repeating them for every matrix buys
+/// wall-time, not coverage.
 #[test]
-fn all_binary_matrices_are_thread_count_independent() {
+fn all_binary_matrices_are_jobs_and_shards_independent() {
     let tiny = WorkloadSize::Tiny;
     let all: [(&str, SweepMatrix); 6] = [
         ("fig4", matrices::fig4(tiny, &matrices::FIG4_GPUS)),
@@ -107,12 +118,26 @@ fn all_binary_matrices_are_thread_count_independent() {
     for (name, matrix) in all {
         let cells = matrix.cells();
         assert!(!cells.is_empty(), "{name} produced no cells");
-        let serial = run_capped(&cells, 1);
-        let parallel = run_capped(&cells, 4);
-        assert_eq!(serial.len(), parallel.len(), "{name} cell count diverged");
-        for ((sl, sr), (pl, pr)) in serial.iter().zip(parallel.iter()) {
-            assert_eq!(sl, pl, "{name}: cell order depends on thread count");
-            assert_eq!(sr, pr, "{name}/{sl} diverged between --jobs 1 and 4");
+        let baseline = run_capped(&cells, 1, 1);
+        let variants: &[(usize, usize)] = if matches!(name, "fig4" | "cpu_coherence") {
+            &[(1, 4), (4, 1), (2, 2)]
+        } else {
+            &[(4, 1)]
+        };
+        for &(jobs, shards) in variants {
+            let variant = run_capped(&cells, jobs, shards);
+            assert_eq!(
+                baseline.len(),
+                variant.len(),
+                "{name} cell count diverged at --jobs {jobs} --shards {shards}"
+            );
+            for ((bl, br), (vl, vr)) in baseline.iter().zip(variant.iter()) {
+                assert_eq!(bl, vl, "{name}: cell order depends on scheduling");
+                assert_eq!(
+                    br, vr,
+                    "{name}/{bl} diverged at --jobs {jobs} --shards {shards}"
+                );
+            }
         }
     }
 }

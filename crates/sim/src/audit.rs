@@ -57,6 +57,10 @@ pub enum AuditKind {
     WritebackOverflow,
     /// The downgrade-drain `stall_until` horizon moved backwards.
     StallRegression,
+    /// A sharded-engine send violated the mailbox ordering contract
+    /// (scheduled into the past, or across components below the
+    /// conservative lookahead floor).
+    ShardOrder,
 }
 
 impl fmt::Display for AuditKind {
@@ -69,6 +73,7 @@ impl fmt::Display for AuditKind {
             AuditKind::NonMonotonicCompletion => "non-monotonic-completion",
             AuditKind::WritebackOverflow => "writeback-overflow",
             AuditKind::StallRegression => "stall-regression",
+            AuditKind::ShardOrder => "shard-order",
         };
         f.write_str(s)
     }
@@ -308,6 +313,22 @@ impl Auditor {
             AuditKind::EventInPast,
             at,
             format!("event queue popped cycle {at} after already popping cycle {prev}"),
+        );
+    }
+
+    /// Records a sharded-engine scheduling-contract violation: component
+    /// `src` sent component `dst` an event for cycle `at`, below the
+    /// legal floor `floor` (now+1 for self-sends, now+lookahead across
+    /// components). The engine clamps the event to `floor`; the finding
+    /// documents that the model, not the engine, broke the contract.
+    pub fn shard_order(&mut self, now: u64, src: usize, dst: usize, at: u64, floor: u64) {
+        self.record(
+            AuditKind::ShardOrder,
+            now,
+            format!(
+                "component {src} sent component {dst} an event for cycle {at}, \
+                 below the mailbox floor {floor}"
+            ),
         );
     }
 

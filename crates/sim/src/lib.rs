@@ -17,6 +17,10 @@
 //! * [`resource`] — contended-resource helpers ([`resource::Port`],
 //!   [`resource::Channels`]) used to model bandwidth-limited structures
 //!   such as DRAM channels and IOMMU page-walkers.
+//! * [`shard`] — a conservative-lookahead sharded executor running one
+//!   [`EventQueue`] per logical component across worker threads, with a
+//!   `(cycle, src, seq)` total order that makes the schedule identical
+//!   at any shard count.
 //!
 //! # Example
 //!
@@ -43,6 +47,7 @@ mod event;
 pub mod fxmap;
 pub mod resource;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod trace;
 

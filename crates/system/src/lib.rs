@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod frontend;
 mod host;
 mod report;
 mod safety;

@@ -16,11 +16,13 @@ use bc_os::{
     Kernel, KernelConfig, OsError, ShootdownRequest, ShootdownScope, Violation, ViolationPolicy,
 };
 use bc_sim::audit::Auditor;
+use bc_sim::shard::{CompId, Outbox, ShardEngine, ShardHandler, ShardSpec};
 use bc_sim::trace::{TraceKind, Tracer};
-use bc_sim::{Cycle, EventQueue, SimRng};
+use bc_sim::{Cycle, SimRng};
 use bc_workloads::{by_name, BlockAccess, BASE_VA};
 
 use crate::config::SystemConfig;
+use crate::frontend::{phys_block_from_entry, Event, Frontend, FrontendParams};
 use crate::host::{CpuLookup, HostCpu};
 use crate::report::{AbortReason, RunReport};
 use crate::safety::SafetyModel;
@@ -68,28 +70,6 @@ impl From<bc_iommu::AtsConfigError> for BuildError {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum Event {
-    /// A wavefront is ready to fetch its next op and contend for the CU
-    /// issue pipeline.
-    WavefrontReady {
-        cu: usize,
-        wf: usize,
-    },
-    /// An op's compute slots retired; its memory accesses issue *now*, so
-    /// every shared resource sees arrivals in global time order. The op
-    /// itself is parked in the wavefront's `in_flight` slot (exactly one
-    /// op is ever in flight per wavefront), which keeps event-queue
-    /// entries small enough to move cheaply through the calendar queue.
-    IssueOp {
-        cu: usize,
-        wf: usize,
-    },
-    Downgrade,
-    /// The host CPU issues its next memory operation.
-    CpuTick,
-}
-
 /// Splits a footprint of `pages` pages into `(read_only, read_write)`
 /// counts by the workload's writable fraction. An f64 multiply here used
 /// to under/over-count a page on large footprints; scale the fraction to
@@ -105,7 +85,22 @@ fn split_footprint(pages: u64, writable_fraction: f64) -> (u64, u64) {
 ///
 /// Build one from a [`SystemConfig`], then [`System::run`] it to
 /// completion; see the crate-level example.
+///
+/// Internally the machine is decomposed into logical components of the
+/// sharded engine ([`bc_sim::shard`]): when the safety model keeps
+/// per-CU L1s, each CU cluster becomes a [`Frontend`] and everything
+/// shared (L2, MSHRs, Border Control, IOMMU, DRAM, host CPU, OS) stays
+/// in the [`Backend`]. [`SystemConfig::shards`] spreads the components
+/// over worker threads; simulated timing is identical at any count.
 pub struct System {
+    pub(crate) back: Backend,
+    pub(crate) frontends: Vec<Frontend>,
+}
+
+/// The shared side of the machine (plus, for centralized safety models,
+/// the whole machine): everything behind the accelerator's on-chip
+/// interconnect, driven as one logical component of the sharded engine.
+pub(crate) struct Backend {
     config: SystemConfig,
     kernel: Kernel,
     dram: Dram,
@@ -113,7 +108,6 @@ pub struct System {
     bc: Option<BorderControl>,
     gpu: Gpu,
     asid: Asid,
-    queue: EventQueue<Event>,
     now: Cycle,
     stall_until: Cycle,
     ops: u64,
@@ -148,8 +142,30 @@ pub struct System {
     /// Reusable eviction buffer for downgrade flushes: a downgrade storm
     /// stops allocating a fresh `Vec` per flush.
     flush_scratch: Vec<bc_cache::set_assoc::Evicted>,
-    /// Per-event-kind dispatch counts, in [`Event`] declaration order:
-    /// wavefront-ready, issue-op, downgrade, cpu-tick.
+    /// Cross-component latency floor == the engine's lookahead window.
+    lookahead: u64,
+    /// Number of per-CU frontend components (0 = centralized machine).
+    n_frontends: usize,
+    /// Wavefronts that reported `WfDone` (decomposed termination).
+    done_wfs: u64,
+    total_wfs: u64,
+    /// Messages produced by the current dispatch, drained into the
+    /// engine's outbox by the shard worker (self-sends included).
+    outgoing: Vec<(CompId, Cycle, Event)>,
+    /// Latest in-flight `TlbFill` arrival at any frontend. A mapping
+    /// downgrade must quiesce past this horizon before committing, or a
+    /// block resumed by an old-permission fill could cross the border
+    /// after the Protection Table was rewritten.
+    fill_horizon: Cycle,
+    /// Injected downgrades sitting between their quiesce broadcast and
+    /// the Protection-Table commit.
+    pending_commits: u32,
+    /// Translation requests that arrived during a downgrade quiesce
+    /// window; served in arrival order once the commit lands, so their
+    /// fills carry post-commit permissions.
+    deferred_translates: Vec<(usize, Vpn)>,
+    /// Per-event-kind dispatch counts: wavefront-ready, issue-op,
+    /// downgrade, cpu-tick (frontend counts are merged at report time).
     #[cfg(feature = "hotprof")]
     event_counts: [u64; 4],
 }
@@ -157,24 +173,22 @@ pub struct System {
 impl fmt::Debug for System {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("System")
-            .field("safety", &self.config.safety)
-            .field("workload", &self.config.workload)
-            .field("now", &self.now)
-            .field("ops", &self.ops)
+            .field("safety", &self.back.config.safety)
+            .field("workload", &self.back.config.workload)
+            .field("now", &self.back.now)
+            .field("ops", &self.back.ops)
             .finish_non_exhaustive()
     }
 }
 
-impl System {
-    /// Builds the machine described by `config`: boots the kernel, creates
-    /// the workload process and its memory areas, constructs the GPU per
-    /// Table 2's structure for the chosen safety model, and (for Border
-    /// Control configurations) allocates the Protection Table.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`BuildError`] for unknown workloads or kernel failures.
-    pub fn build(config: &SystemConfig) -> Result<Self, BuildError> {
+impl Backend {
+    /// Builds the centralized machine described by `config` (the caller
+    /// then peels per-CU frontends off it when the safety model keeps
+    /// L1s): boots the kernel, creates the workload process and its
+    /// memory areas, constructs the GPU per Table 2's structure for the
+    /// chosen safety model, and (for Border Control configurations)
+    /// allocates the Protection Table.
+    fn build(config: &SystemConfig) -> Result<Self, BuildError> {
         let workload = by_name(&config.workload, config.size)
             .ok_or_else(|| BuildError::UnknownWorkload(config.workload.clone()))?;
 
@@ -269,29 +283,15 @@ impl System {
             a
         });
 
-        let mut queue = EventQueue::new();
-        for cu in 0..gpu.cus.len() {
-            for wf in 0..gpu.cus[cu].wavefronts.len() {
-                queue.push(Cycle::ZERO, Event::WavefrontReady { cu, wf });
-            }
-        }
-        let period = config.downgrade_period_cycles();
-        if period != u64::MAX {
-            queue.push(Cycle::new(period), Event::Downgrade);
-        }
-        if let Some(activity) = config.host_activity {
-            queue.push(Cycle::new(activity.period), Event::CpuTick);
-        }
-
         let cu_count = gpu.cus.len();
-        Ok(System {
+        let total_wfs = gpu.cus.iter().map(|cu| cu.wavefronts.len() as u64).sum();
+        Ok(Backend {
             ats: Ats::try_new(config.ats)?,
             dram: Dram::new(config.dram),
             kernel,
             bc,
             gpu,
             asid,
-            queue,
             now: Cycle::ZERO,
             stall_until: Cycle::ZERO,
             ops: 0,
@@ -319,117 +319,181 @@ impl System {
             shared_bytes: footprint,
             auditor,
             flush_scratch: Vec::new(),
+            lookahead: config.cluster_hop_latency.max(1),
+            n_frontends: 0,
+            done_wfs: 0,
+            total_wfs,
+            outgoing: Vec::new(),
+            fill_horizon: Cycle::ZERO,
+            pending_commits: 0,
+            deferred_translates: Vec::new(),
             #[cfg(feature = "hotprof")]
             event_counts: [0; 4],
             config: config.clone(),
         })
     }
 
-    /// The kernel (for examples that stage data or inspect memory).
-    #[must_use]
-    pub fn kernel(&self) -> &Kernel {
-        &self.kernel
+    /// Global completion: every wavefront drained. The decomposed machine
+    /// counts `WfDone` notifications; the centralized one asks the GPU.
+    fn done(&self) -> bool {
+        if self.n_frontends > 0 {
+            self.done_wfs >= self.total_wfs
+        } else {
+            self.gpu.all_done()
+        }
     }
 
-    /// Mutable kernel access (trusted CPU side).
-    pub fn kernel_mut(&mut self) -> &mut Kernel {
-        &mut self.kernel
+    /// The backend's own component id (frontends occupy `0..n_frontends`).
+    fn comp_id(&self) -> CompId {
+        self.n_frontends
     }
 
-    /// The workload process's address-space id.
-    #[must_use]
-    pub fn asid(&self) -> Asid {
-        self.asid
-    }
-
-    /// The DRAM device (diagnostics).
-    #[must_use]
-    pub fn dram(&self) -> &Dram {
-        &self.dram
-    }
-
-    /// The Border Control engine, when the safety model includes one.
-    #[must_use]
-    pub fn border_control(&self) -> Option<&BorderControl> {
-        self.bc.as_ref()
-    }
-
-    /// Drains the recorded border-check stream (see
-    /// [`SystemConfig::record_check_stream`]).
-    pub fn take_check_stream(&mut self) -> Vec<(bc_mem::Ppn, bool)> {
-        self.bc
-            .as_mut()
-            .map(|b| b.take_stream())
-            .unwrap_or_default()
-    }
-
-    /// The post-mortem event trace (empty unless [`SystemConfig::trace`]
-    /// was set).
-    #[must_use]
-    pub fn trace(&self) -> &Tracer {
-        &self.tracer
-    }
-
-    /// Runs the machine until every wavefront drains (or a violation kills
-    /// the process / the cycle valve trips), returning the report.
-    pub fn run(&mut self) -> RunReport {
-        while let Some((t, ev)) = self.queue.pop() {
-            // Route the queue's own pop-monotonicity self-check into the
-            // audit report (offending cycle pair included); without an
-            // auditor attached it still fails loudly like the old assert.
-            #[cfg(feature = "audit")]
-            for (prev, at) in self.queue.take_order_findings() {
-                match &mut self.auditor {
-                    Some(a) => a.queue_pop_order(prev.as_u64(), at.as_u64()),
-                    None => panic!("event queue popped cycle {at} after already popping {prev}"),
-                }
-            }
-            if self.aborted || self.gpu.all_done() {
-                break;
-            }
-            if t.as_u64() > self.config.max_cycles {
-                self.aborted = true;
-                self.abort_reason = Some(AbortReason::CycleLimit);
-                break;
-            }
-            if let Some(a) = &mut self.auditor {
-                a.event_dispatched(self.now.as_u64(), t.as_u64());
-            }
-            self.now = t;
-            self.events_dispatched += 1;
-            #[cfg(feature = "hotprof")]
-            {
-                let kind = match &ev {
-                    Event::WavefrontReady { .. } => 0,
-                    Event::IssueOp { .. } => 1,
-                    Event::Downgrade => 2,
-                    Event::CpuTick => 3,
-                };
+    /// Dispatches one backend event, mirroring the old single-queue run
+    /// loop: the abort/completion drop, the cycle valve, then the event
+    /// itself. A posted store's `L2Req` is exempt from the completion
+    /// drop — the serial loop processed a final op's trailing stores
+    /// inline before the last wavefront flipped `done`.
+    fn handle(&mut self, t: Cycle, ev: Event) {
+        let posted_store = matches!(ev, Event::L2Req { write: true, .. });
+        if self.aborted || (self.done() && !posted_store) {
+            return;
+        }
+        if t.as_u64() > self.config.max_cycles {
+            self.aborted = true;
+            self.abort_reason = Some(AbortReason::CycleLimit);
+            return;
+        }
+        // Termination bookkeeping, not a simulated event (its serial
+        // equivalent was a flag flip inside the wavefront step).
+        if matches!(ev, Event::WfDone) {
+            self.done_wfs += 1;
+            return;
+        }
+        if let Some(a) = &mut self.auditor {
+            a.event_dispatched(self.now.as_u64(), t.as_u64());
+        }
+        self.now = t;
+        self.events_dispatched += 1;
+        #[cfg(feature = "hotprof")]
+        {
+            let kind = match &ev {
+                Event::WavefrontReady { .. } => Some(0),
+                Event::IssueOp { .. } => Some(1),
+                Event::Downgrade => Some(2),
+                Event::CpuTick => Some(3),
+                _ => None,
+            };
+            if let Some(kind) = kind {
                 self.event_counts[kind] += 1;
             }
-            match ev {
-                Event::WavefrontReady { cu, wf } => self.step_wavefront(cu, wf),
-                Event::IssueOp { cu, wf } => {
-                    let op = self.gpu.cus[cu].wavefronts[wf]
-                        .in_flight
-                        .take()
-                        .expect("IssueOp event with no op in flight");
-                    self.issue_op(cu, wf, &op);
-                }
-                Event::Downgrade => self.inject_downgrade(),
-                Event::CpuTick => self.cpu_tick(),
-            }
         }
-        self.report()
+        match ev {
+            Event::WavefrontReady { cu, wf } => self.step_wavefront(cu, wf),
+            Event::IssueOp { cu, wf } => {
+                let op = self.gpu.cus[cu].wavefronts[wf]
+                    .in_flight
+                    .take()
+                    .expect("IssueOp event with no op in flight");
+                self.issue_op(cu, wf, &op);
+            }
+            Event::Downgrade => self.inject_downgrade(),
+            Event::CommitDowngrade { vpn } => self.commit_injected_downgrade(vpn),
+            Event::CpuTick => self.cpu_tick(),
+            Event::Translate { cu, vpn } => self.translate_for(cu, vpn),
+            Event::L2Req {
+                cu,
+                wf,
+                block,
+                pa,
+                write,
+            } => self.l2_req(cu, wf, block, pa, write),
+            Event::Probe { ppn, write } => {
+                let at = self.now;
+                self.issue_probe(at, ppn, write);
+            }
+            ev => unreachable!("frontend-only event routed to the backend: {ev:?}"),
+        }
     }
 
-    /// Schedules an event from within the run loop, auditing that nothing
-    /// is ever scheduled in the past.
+    /// Schedules a backend self-event, auditing that nothing is ever
+    /// scheduled in the past.
     fn schedule(&mut self, at: Cycle, ev: Event) {
         if let Some(a) = &mut self.auditor {
             a.event_scheduled(self.now.as_u64(), at.as_u64());
         }
-        self.queue.push(at, ev);
+        let comp = self.comp_id();
+        self.outgoing.push((comp, at, ev));
+    }
+
+    /// Sends a reply/broadcast to a frontend. Arrival respects the
+    /// interconnect's latency floor: a response computed for an earlier
+    /// cycle still takes the hop.
+    fn send_front(&mut self, cu: usize, at: Cycle, ev: Event) {
+        let at = at.max(self.now + self.lookahead);
+        if let Some(a) = &mut self.auditor {
+            a.event_scheduled(self.now.as_u64(), at.as_u64());
+        }
+        self.outgoing.push((cu, at, ev));
+    }
+
+    /// Broadcasts a control event to every frontend (no-op when the
+    /// machine is centralized).
+    fn broadcast(&mut self, ev: Event) {
+        for cu in 0..self.n_frontends {
+            self.send_front(cu, self.now + self.lookahead, ev.clone());
+        }
+    }
+
+    /// Raises the downgrade-drain stall horizon and tells the frontends.
+    fn raise_stall(&mut self, until: Cycle) {
+        if until > self.stall_until {
+            self.stall_until = until;
+            self.broadcast(Event::StallHorizon { until });
+        }
+    }
+
+    // ---- decomposed-machine request handlers ----------------------------
+
+    /// An L1-TLB miss forwarded by a frontend: translate at the IOMMU/ATS
+    /// and report the granted translation to Border Control (Fig 3b),
+    /// exactly as the serial TLB-miss path did, then answer the cluster.
+    fn translate_for(&mut self, cu: usize, vpn: Vpn) {
+        // A pending mapping downgrade holds translation service (the
+        // IOMMU's invalidation epoch): answering now would hand out a
+        // pre-commit entry whose blocks could cross the border after the
+        // Protection Table changed underneath them.
+        if self.pending_commits > 0 {
+            self.deferred_translates.push((cu, vpn));
+            return;
+        }
+        let now = self.now;
+        let resp = match self
+            .ats
+            .translate(now, &mut self.kernel, &mut self.dram, self.asid, vpn)
+        {
+            Ok(r) => r,
+            Err(e) => {
+                self.on_fatal_os_error(now, e);
+                return;
+            }
+        };
+        if let Some(bc) = &mut self.bc {
+            bc.on_translation(now, &resp.entry, self.kernel.store_mut(), &mut self.dram);
+            self.audit_translation_granted(&resp.entry);
+        }
+        self.fill_horizon = self.fill_horizon.max(resp.done.max(now + self.lookahead));
+        self.send_front(cu, resp.done, Event::TlbFill { entry: resp.entry });
+    }
+
+    /// A frontend access crossing to the shared L2 (read fill or posted
+    /// store). Reads are answered with their completion time; stores are
+    /// posted, so nothing is waiting.
+    fn l2_req(&mut self, cu: usize, wf: usize, block: u8, pa: PhysAddr, write: bool) {
+        let now = self.now;
+        let done = self.l2_and_memory(now, pa, write);
+        if !write && !self.aborted {
+            self.send_front(cu, done, Event::BlockDone { wf, block, done });
+        }
     }
 
     // ---- wavefront stepping ---------------------------------------------
@@ -537,7 +601,7 @@ impl System {
         if !bc_core::proto::access_allowed(resp.entry.perms, access.write) {
             return resp.done; // dropped by trusted hardware
         }
-        let pa = Self::phys_block_from_entry(&resp.entry, access.va);
+        let pa = phys_block_from_entry(&resp.entry, access.va);
         if access.write {
             self.dram.write_block(resp.done, pa);
             resp.done
@@ -562,7 +626,7 @@ impl System {
             return resp.done;
         }
         let t = self.l2_port.serve(resp.done + penalty, 1);
-        let pa = Self::phys_block_from_entry(&resp.entry, access.va);
+        let pa = phys_block_from_entry(&resp.entry, access.va);
         let l2_latency = self.gpu.config.l2_latency + penalty;
         let result = self
             .gpu
@@ -660,7 +724,7 @@ impl System {
             }
         };
 
-        let pa = Self::phys_block_from_entry(&entry, access.va);
+        let pa = phys_block_from_entry(&entry, access.va);
         let kind = if access.write {
             Access::Write
         } else {
@@ -872,7 +936,7 @@ impl System {
     /// the CPU hierarchy, and on a miss recall any dirty GPU copy through
     /// the border before reading memory.
     fn cpu_tick(&mut self) {
-        if self.gpu.all_done() || self.aborted {
+        if self.done() || self.aborted {
             return;
         }
         let Some(host) = &mut self.host else { return };
@@ -920,12 +984,13 @@ impl System {
         if plan.invalidate_l1s {
             // GetM: ownership moves to the CPU, so every GPU copy must
             // go — the write-through L1s can hold (clean) copies of the
-            // block the L2 has dirty.
+            // block the L2 has dirty. Decomposed L1s live one hop away.
             for cu in &mut self.gpu.cus {
                 if let Some(l1) = &mut cu.l1 {
                     l1.invalidate_block(pa);
                 }
             }
+            self.broadcast(Event::RecallInv { pa });
         }
         if let Some(l2) = &mut self.gpu.l2 {
             if plan.invalidate_l2 {
@@ -1023,6 +1088,7 @@ impl System {
             ViolationPolicy::KillProcess => {
                 self.aborted = true;
                 self.abort_reason = Some(AbortReason::ViolationKill);
+                self.broadcast(Event::Halt);
                 self.tracer.record(self.now, TraceKind::Process, || {
                     format!("policy KillProcess: terminating {:?}", v.asid)
                 });
@@ -1037,6 +1103,10 @@ impl System {
                         wf.done = true;
                     }
                 }
+                // Decomposed wavefronts halt quietly (no WfDone races the
+                // fence); completion is forced here instead.
+                self.done_wfs = self.total_wfs;
+                self.broadcast(Event::Disable);
                 self.tracer.record(self.now, TraceKind::Process, || {
                     "policy DisableAccelerator: device fenced off".to_string()
                 });
@@ -1052,15 +1122,21 @@ impl System {
         let _ = e;
         self.aborted = true;
         self.abort_reason = Some(AbortReason::FatalOsError);
+        self.broadcast(Event::Halt);
         at
     }
 
     /// Delivers queued shootdowns to every translation-holding structure
     /// and runs Border Control's mapping-update flow (Fig 3d).
+    ///
+    /// `Gpu::shootdown` covers any CUs still held centrally *and* counts
+    /// an ignored shootdown device-wide; decomposed L1 TLBs get the same
+    /// request over the interconnect.
     fn drain_shootdowns(&mut self) {
         for req in self.kernel.take_shootdowns() {
             self.ats.shootdown(&req);
             self.gpu.shootdown(&req);
+            self.broadcast(Event::Shootdown(req));
             self.handle_bc_downgrade(&req);
         }
     }
@@ -1076,10 +1152,14 @@ impl System {
         flushed.clear();
         match action {
             DowngradeAction::CommitNow => {}
-            DowngradeAction::FlushPage(ppn) => self.gpu.flush_page_into(ppn, &mut flushed),
+            DowngradeAction::FlushPage(ppn) => {
+                self.gpu.flush_page_into(ppn, &mut flushed);
+                self.broadcast(Event::FlushPage(ppn));
+            }
             DowngradeAction::FlushAll => {
                 self.gpu.flush_caches_into(&mut flushed);
                 self.gpu.flush_tlbs();
+                self.broadcast(Event::FlushAll);
             }
         }
         // Dirty blocks are written back through the border *before* the
@@ -1093,10 +1173,8 @@ impl System {
         let bc = self.bc.as_mut().expect("still configured");
         let commit_done =
             bc.commit_downgrade(flush_done, req, self.kernel.store_mut(), &mut self.dram);
-        self.stall_until = self
-            .stall_until
-            .max(t + self.config.downgrade_drain_cycles)
-            .max(commit_done);
+        let stall = (t + self.config.downgrade_drain_cycles).max(commit_done);
+        self.raise_stall(stall);
 
         // Mirror the commit into the shadow oracle, then verify the BCC
         // still agrees with the Protection Table.
@@ -1129,7 +1207,7 @@ impl System {
 
     fn inject_downgrade(&mut self) {
         let period = self.config.downgrade_period_cycles();
-        if period != u64::MAX && !self.aborted && !self.gpu.all_done() {
+        if period != u64::MAX && !self.aborted && !self.done() {
             self.schedule(self.now + period, Event::Downgrade);
         }
 
@@ -1150,30 +1228,67 @@ impl System {
             format!("injected downgrade of {vpn} (rw -> r-)")
         });
 
+        if self.n_frontends > 0 {
+            // Decomposed machine: the OS cannot yank a mapping out from
+            // under in-flight device traffic. Quiesce first — stall new
+            // issues, hold translation service, and let every request
+            // already on the interconnect (issues up to one hop out,
+            // blocks resumed by in-flight fills) reach the border under
+            // the old permissions — then commit. Mirrors the serial
+            // machine, where dispatch order made flush + commit atomic
+            // with respect to all accesses.
+            let slack = 2 * self.lookahead + self.gpu.config.l1_latency + 2;
+            let commit_at = self.now.max(self.fill_horizon) + slack;
+            self.pending_commits += 1;
+            self.schedule(commit_at, Event::CommitDowngrade { vpn });
+            self.raise_stall(commit_at + self.config.downgrade_drain_cycles);
+            if let Some(a) = &mut self.auditor {
+                let stall = self.stall_until.as_u64();
+                a.stall_horizon(self.now.as_u64(), stall);
+            }
+            return;
+        }
+        self.commit_injected_downgrade(vpn);
+    }
+
+    /// The downgrade proper: protect read-only, shoot down + flush +
+    /// commit, restore. Runs inline on the centralized machine and at the
+    /// end of the quiesce window on the decomposed one.
+    fn commit_injected_downgrade(&mut self, vpn: Vpn) {
+        self.pending_commits = self.pending_commits.saturating_sub(1);
+
         // Downgrade (e.g. context switch away / swap preparation)...
         if self
             .kernel
             .protect_page(self.asid, vpn, PagePerms::READ_ONLY)
-            .is_err()
+            .is_ok()
         {
-            return;
-        }
-        // Even a trusted accelerator pays the drain: outstanding requests
-        // finish, TLB entries are invalidated, the ATS flushes (§5.2.4).
-        self.stall_until = self
-            .stall_until
-            .max(self.now + self.config.downgrade_drain_cycles);
-        if let Some(a) = &mut self.auditor {
-            let stall = self.stall_until.as_u64();
-            a.stall_horizon(self.now.as_u64(), stall);
-        }
-        self.drain_shootdowns();
+            // Even a trusted accelerator pays the drain: outstanding
+            // requests finish, TLB entries are invalidated, the ATS
+            // flushes (§5.2.4).
+            let drain = self.now + self.config.downgrade_drain_cycles;
+            self.raise_stall(drain);
+            if let Some(a) = &mut self.auditor {
+                let stall = self.stall_until.as_u64();
+                a.stall_horizon(self.now.as_u64(), stall);
+            }
+            self.drain_shootdowns();
 
-        // ...and restore (switched back): an upgrade, no flush needed.
-        let _ = self
-            .kernel
-            .protect_page(self.asid, vpn, PagePerms::READ_WRITE);
-        self.drain_shootdowns();
+            // ...and restore (switched back): an upgrade, no flush needed.
+            let _ = self
+                .kernel
+                .protect_page(self.asid, vpn, PagePerms::READ_WRITE);
+            self.drain_shootdowns();
+        }
+
+        // Reopen translation service: deferred requests are answered in
+        // arrival order against the post-commit page tables.
+        if self.pending_commits == 0 && !self.deferred_translates.is_empty() {
+            let deferred = std::mem::take(&mut self.deferred_translates);
+            for (cu, vpn) in deferred {
+                self.translate_for(cu, vpn);
+            }
+        }
     }
 
     // ---- invariant auditing (bc_sim::audit) -------------------------------------
@@ -1230,24 +1345,24 @@ impl System {
 
     // ---- helpers ---------------------------------------------------------------
 
-    /// Physical block address implied by a TLB entry — huge entries carry
-    /// their 2 MiB base, so the sub-page offset is re-applied.
-    fn phys_block_from_entry(entry: &bc_cache::TlbEntry, va: VirtAddr) -> PhysAddr {
-        match entry.size {
-            bc_mem::PageSize::Base4K => entry.ppn.byte(va.page_offset()).block_aligned(),
-            bc_mem::PageSize::Huge2M => {
-                let sub = va.vpn().as_u64() - entry.vpn.as_u64();
-                entry.ppn.add(sub).byte(va.page_offset()).block_aligned()
-            }
-        }
-    }
-
-    fn report(&mut self) -> RunReport {
-        let elapsed = self.now.as_u64().max(1);
+    /// Builds the final report, merging the per-CU frontends' counters
+    /// and cache statistics with the backend's own.
+    fn report(&mut self, frontends: &[Frontend]) -> RunReport {
+        // The run "ends" at the latest event any component dispatched.
+        let end = frontends
+            .iter()
+            .map(|f| f.last_event)
+            .fold(self.now, Cycle::max);
+        let elapsed = end.as_u64().max(1);
+        let ops = self.ops + frontends.iter().map(|f| f.ops).sum::<u64>();
+        let events = self.events_dispatched + frontends.iter().map(|f| f.events).sum::<u64>();
+        let block_accesses =
+            self.block_accesses + frontends.iter().map(|f| f.block_accesses).sum::<u64>();
+        let cus = || self.gpu.cus.iter().chain(frontends.iter().map(|f| &f.cu));
         let l1 = self.config.safety.keeps_l1().then(|| {
             let mut acc = 0;
             let mut miss = 0;
-            for cu in &self.gpu.cus {
+            for cu in cus() {
                 if let Some(l1) = &cu.l1 {
                     acc += l1.stats().accesses();
                     miss += l1.stats().misses();
@@ -1258,7 +1373,7 @@ impl System {
         let l1_tlb = self.config.safety.keeps_l1_tlb().then(|| {
             let mut acc = 0;
             let mut miss = 0;
-            for cu in &self.gpu.cus {
+            for cu in cus() {
                 if let Some(tlb) = &cu.tlb {
                     acc += tlb.stats().accesses();
                     miss += tlb.stats().misses();
@@ -1281,8 +1396,8 @@ impl System {
         let hot_profile = {
             let mut hp = crate::report::HotProfile {
                 event_counts: (
-                    self.event_counts[0],
-                    self.event_counts[1],
+                    self.event_counts[0] + frontends.iter().map(|f| f.ev_ready).sum::<u64>(),
+                    self.event_counts[1] + frontends.iter().map(|f| f.ev_issue).sum::<u64>(),
                     self.event_counts[2],
                     self.event_counts[3],
                 ),
@@ -1291,7 +1406,7 @@ impl System {
             let store = self.kernel.store().profile();
             hp.store_fast_hits = store.fast_hits;
             hp.store_slow_hits = store.slow_hits;
-            for cu in &self.gpu.cus {
+            for cu in cus() {
                 if let Some(l1) = &cu.l1 {
                     hp.page_flushes += l1.profile().page_flushes;
                     hp.flush_scan_lines += l1.profile().flush_scan_lines;
@@ -1307,10 +1422,10 @@ impl System {
             safety: self.config.safety.label().to_string(),
             workload: self.config.workload.clone(),
             gpu_class: self.config.gpu_class.label().to_string(),
-            cycles: self.now.as_u64(),
-            ops: self.ops,
-            events: self.events_dispatched,
-            block_accesses: self.block_accesses,
+            cycles: end.as_u64(),
+            ops,
+            events,
+            block_accesses,
             aborted: self.aborted,
             abort_reason: self.abort_reason,
             accel_disabled: self.accel_disabled,
@@ -1348,6 +1463,209 @@ impl System {
             audit: self.auditor.as_mut().map(Auditor::take_report),
             hot_profile,
         }
+    }
+}
+
+/// One shard's slice of the machine: at most one worker owns the
+/// backend; each owns the frontends assigned to its shard.
+struct Worker<'a> {
+    back: Option<&'a mut Backend>,
+    fronts: Vec<(usize, &'a mut Frontend)>,
+}
+
+impl ShardHandler<Event> for Worker<'_> {
+    fn handle(&mut self, comp: CompId, now: Cycle, ev: Event, out: &mut Outbox<'_, Event>) {
+        match self.fronts.iter_mut().find(|(id, _)| *id == comp) {
+            Some((_, f)) => f.handle(now, ev, out),
+            None => {
+                let back = self
+                    .back
+                    .as_mut()
+                    .expect("event routed to a shard owning neither backend nor component");
+                back.handle(now, ev);
+                // Drain the dispatch's messages into the engine (the
+                // buffer swap keeps its allocation warm).
+                let mut msgs = std::mem::take(&mut back.outgoing);
+                for (to, at, ev) in msgs.drain(..) {
+                    out.send(to, at, ev);
+                }
+                back.outgoing = msgs;
+            }
+        }
+    }
+}
+
+impl System {
+    /// Builds the machine described by `config`: boots the kernel, creates
+    /// the workload process and its memory areas, constructs the GPU per
+    /// Table 2's structure for the chosen safety model, and (for Border
+    /// Control configurations) allocates the Protection Table. Safety
+    /// models that keep per-CU L1s get their CU clusters peeled off into
+    /// per-component frontends so the run can shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] for unknown workloads or kernel failures.
+    pub fn build(config: &SystemConfig) -> Result<Self, BuildError> {
+        let mut back = Backend::build(config)?;
+        let mut frontends = Vec::new();
+        if config.safety.keeps_l1() {
+            let params = FrontendParams {
+                asid: back.asid,
+                behavior: config.behavior,
+                l1_latency: back.gpu.config.l1_latency,
+                lookahead: back.lookahead,
+                max_ops: config.max_ops_per_wavefront,
+                max_cycles: config.max_cycles,
+                total_frames: back.kernel.total_frames(),
+                seed: config.seed,
+            };
+            let cus: Vec<_> = back.gpu.cus.drain(..).collect();
+            let n = cus.len();
+            back.n_frontends = n;
+            for (i, cu) in cus.into_iter().enumerate() {
+                frontends.push(Frontend::new(i, n, cu, &params));
+            }
+        }
+        Ok(System { back, frontends })
+    }
+
+    /// The kernel (for examples that stage data or inspect memory).
+    #[must_use]
+    pub fn kernel(&self) -> &Kernel {
+        &self.back.kernel
+    }
+
+    /// Mutable kernel access (trusted CPU side).
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        &mut self.back.kernel
+    }
+
+    /// The workload process's address-space id.
+    #[must_use]
+    pub fn asid(&self) -> Asid {
+        self.back.asid
+    }
+
+    /// The DRAM device (diagnostics).
+    #[must_use]
+    pub fn dram(&self) -> &Dram {
+        &self.back.dram
+    }
+
+    /// The Border Control engine, when the safety model includes one.
+    #[must_use]
+    pub fn border_control(&self) -> Option<&BorderControl> {
+        self.back.bc.as_ref()
+    }
+
+    /// Drains the recorded border-check stream (see
+    /// [`SystemConfig::record_check_stream`]).
+    pub fn take_check_stream(&mut self) -> Vec<(bc_mem::Ppn, bool)> {
+        self.back
+            .bc
+            .as_mut()
+            .map(|b| b.take_stream())
+            .unwrap_or_default()
+    }
+
+    /// The post-mortem event trace (empty unless [`SystemConfig::trace`]
+    /// was set).
+    #[must_use]
+    pub fn trace(&self) -> &Tracer {
+        &self.back.tracer
+    }
+
+    /// Runs the machine until every wavefront drains (or a violation kills
+    /// the process / the cycle valve trips), returning the report.
+    ///
+    /// The event schedule — and therefore every byte of the report — is
+    /// identical at any [`SystemConfig::shards`] setting: shard count
+    /// only decides which worker thread dispatches which component.
+    pub fn run(&mut self) -> RunReport {
+        let components = self.frontends.len() + 1;
+        let back_comp = self.frontends.len();
+        let shards = self.back.config.shards.max(1).min(components);
+        let mut assignment = vec![0usize; components];
+        if shards > 1 {
+            // The backend gets shard 0 to itself (it is the contended
+            // component); frontends round-robin over the rest. Every
+            // shard is non-empty because `shards <= components`.
+            for (i, slot) in assignment.iter_mut().enumerate().take(back_comp) {
+                *slot = 1 + (i % (shards - 1));
+            }
+        }
+        let spec = ShardSpec {
+            components,
+            shards,
+            assignment: assignment.clone(),
+            lookahead: self.back.lookahead,
+        };
+        let mut engine = ShardEngine::new(spec);
+
+        // Seed the calendar queues in the serial seeding order.
+        if self.frontends.is_empty() {
+            for cu in 0..self.back.gpu.cus.len() {
+                for wf in 0..self.back.gpu.cus[cu].wavefronts.len() {
+                    engine.seed(back_comp, Cycle::ZERO, Event::WavefrontReady { cu, wf });
+                }
+            }
+        } else {
+            for (i, f) in self.frontends.iter().enumerate() {
+                for wf in 0..f.cu.wavefronts.len() {
+                    engine.seed(i, Cycle::ZERO, Event::WavefrontReady { cu: i, wf });
+                }
+            }
+        }
+        let period = self.back.config.downgrade_period_cycles();
+        if period != u64::MAX {
+            engine.seed(back_comp, Cycle::new(period), Event::Downgrade);
+        }
+        if let Some(activity) = self.back.config.host_activity {
+            engine.seed(back_comp, Cycle::new(activity.period), Event::CpuTick);
+        }
+
+        let run = {
+            let mut workers: Vec<Worker<'_>> = (0..shards)
+                .map(|_| Worker {
+                    back: None,
+                    fronts: Vec::new(),
+                })
+                .collect();
+            workers[0].back = Some(&mut self.back);
+            for (i, f) in self.frontends.iter_mut().enumerate() {
+                workers[assignment[i]].fronts.push((i, f));
+            }
+            engine.run(&mut workers)
+        };
+
+        // Engine contract telemetry routes into the audit layer. The
+        // production components never trip the ordering floors (every
+        // cross-component send is latency-padded by construction), so a
+        // finding here means a scheduler or component bug.
+        for v in &run.violations {
+            match &mut self.back.auditor {
+                Some(a) => a.shard_order(v.now, v.src, v.dst, v.at, v.floor),
+                None => debug_assert!(false, "sharded engine clamped a send: {v:?}"),
+            }
+        }
+        #[cfg(feature = "audit")]
+        for (comp, prev, at) in &run.queue_findings {
+            match &mut self.back.auditor {
+                Some(a) => a.queue_pop_order(*prev, *at),
+                None => {
+                    panic!("component {comp} queue popped cycle {at} after already popping {prev}")
+                }
+            }
+        }
+
+        // A frontend-side cycle-valve trip is a global CycleLimit abort
+        // (the serial loop's single valve covered the whole machine).
+        if !self.back.aborted && self.frontends.iter().any(|f| f.valve_tripped) {
+            self.back.aborted = true;
+            self.back.abort_reason = Some(AbortReason::CycleLimit);
+        }
+        self.back.report(&self.frontends)
     }
 }
 
@@ -1694,25 +2012,26 @@ mod tests {
     /// Translates one writable workload page on `sys` (so the Protection
     /// Table authorizes border writes to it) and returns its block address.
     fn translate_writable_page(sys: &mut System) -> PhysAddr {
-        let va = VirtAddr::new(BASE_VA + (sys.footprint_pages - 1) * bc_mem::PAGE_SIZE);
-        let resp = sys
+        let back = &mut sys.back;
+        let va = VirtAddr::new(BASE_VA + (back.footprint_pages - 1) * bc_mem::PAGE_SIZE);
+        let resp = back
             .ats
             .translate(
                 Cycle::new(1),
-                &mut sys.kernel,
-                &mut sys.dram,
-                sys.asid,
+                &mut back.kernel,
+                &mut back.dram,
+                back.asid,
                 va.vpn(),
             )
             .expect("workload page translates");
-        let bc = sys.bc.as_mut().expect("BC present");
+        let bc = back.bc.as_mut().expect("BC present");
         bc.on_translation(
             Cycle::new(1),
             &resp.entry,
-            sys.kernel.store_mut(),
-            &mut sys.dram,
+            back.kernel.store_mut(),
+            &mut back.dram,
         );
-        System::phys_block_from_entry(&resp.entry, va)
+        phys_block_from_entry(&resp.entry, va)
     }
 
     fn coherence_config(safety: SafetyModel) -> SystemConfig {
@@ -1740,12 +2059,12 @@ mod tests {
         let pa = translate_writable_page(&mut sys);
         assert_eq!(pa, translate_writable_page(&mut reference));
 
-        sys.gpu.l2.as_mut().unwrap().access(pa, Access::Write);
-        assert!(sys.gpu.l2.as_ref().unwrap().is_dirty(pa));
+        sys.back.gpu.l2.as_mut().unwrap().access(pa, Access::Write);
+        assert!(sys.back.gpu.l2.as_ref().unwrap().is_dirty(pa));
 
         let t = Cycle::new(500);
-        let done = sys.recall_from_gpu(t, pa, false);
-        let (admit, retire) = reference.border_write_timed(t, pa);
+        let done = sys.back.recall_from_gpu(t, pa, false);
+        let (admit, retire) = reference.back.border_write_timed(t, pa);
         assert!(retire > admit, "retire must trail admission");
         assert_eq!(
             done, retire,
@@ -1764,30 +2083,47 @@ mod tests {
         let pa = translate_writable_page(&mut sys);
 
         // Clean copies in every CU L1 (the write-through L1s allocate on
-        // reads), dirty block in the shared L2.
-        for cu in &mut sys.gpu.cus {
-            cu.l1
+        // reads), dirty block in the shared L2. BC keeps L1s, so the CUs
+        // live in per-component frontends.
+        for f in &mut sys.frontends {
+            f.cu.l1
                 .as_mut()
                 .expect("BC keeps L1s")
                 .access(pa, Access::Read);
         }
-        sys.gpu.l2.as_mut().unwrap().access(pa, Access::Write);
-        assert!(sys.gpu.cus.len() > 1);
+        sys.back.gpu.l2.as_mut().unwrap().access(pa, Access::Write);
+        assert!(sys.frontends.len() > 1);
         assert!(sys
-            .gpu
-            .cus
+            .frontends
             .iter()
-            .all(|cu| cu.l1.as_ref().unwrap().contains(pa)));
+            .all(|f| f.cu.l1.as_ref().unwrap().contains(pa)));
 
-        sys.recall_from_gpu(Cycle::new(500), pa, true);
-        for (i, cu) in sys.gpu.cus.iter().enumerate() {
+        sys.back.recall_from_gpu(Cycle::new(500), pa, true);
+        // The backend queues an invalidation broadcast for the remote
+        // L1s; deliver it by hand (no engine running in this test).
+        let msgs: Vec<_> = sys.back.outgoing.drain(..).collect();
+        assert!(
+            msgs.iter()
+                .filter(|(_, _, ev)| matches!(ev, Event::RecallInv { .. }))
+                .count()
+                == sys.frontends.len(),
+            "one RecallInv per frontend"
+        );
+        for (to, _at, ev) in msgs {
+            if let Event::RecallInv { pa } = ev {
+                if let Some(l1) = &mut sys.frontends[to].cu.l1 {
+                    l1.invalidate_block(pa);
+                }
+            }
+        }
+        for (i, f) in sys.frontends.iter().enumerate() {
             assert!(
-                !cu.l1.as_ref().unwrap().contains(pa),
+                !f.cu.l1.as_ref().unwrap().contains(pa),
                 "CU{i}'s L1 kept a stale copy across the CPU's GetM"
             );
         }
         assert!(
-            !sys.gpu.l2.as_ref().unwrap().contains(pa),
+            !sys.back.gpu.l2.as_ref().unwrap().contains(pa),
             "the L2 copy must be gone too"
         );
     }
@@ -1854,5 +2190,42 @@ mod tests {
         assert!(r.probes.1 > 0, "probes were blocked");
         let audit = r.audit.expect("audit report attached");
         assert!(audit.is_clean(), "audit violations: {:?}", audit.findings);
+    }
+
+    #[test]
+    fn shard_count_never_changes_the_report() {
+        // Decomposed (8 frontends) and centralized (single-component)
+        // models, byte-compared across shard counts — including counts
+        // past the component clamp.
+        for safety in [
+            SafetyModel::AtsOnlyIommu,
+            SafetyModel::BorderControlBcc,
+            SafetyModel::FullIommu,
+        ] {
+            let mut c = tiny(safety);
+            c.gpu_class = GpuClass::HighlyThreaded;
+            c.max_ops_per_wavefront = Some(300);
+            let baseline = System::build(&c).unwrap().run().to_json();
+            for shards in [2, 4, 8] {
+                c.shards = shards;
+                let got = System::build(&c).unwrap().run().to_json();
+                assert_eq!(baseline, got, "{safety} diverged at {shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn decomposition_follows_the_safety_model() {
+        // Direct models shard per CU; centralized models keep one
+        // component (and degenerate to the serial schedule).
+        let mut c = tiny(SafetyModel::BorderControlBcc);
+        c.gpu_class = GpuClass::HighlyThreaded;
+        let sys = System::build(&c).unwrap();
+        assert_eq!(sys.frontends.len(), 8);
+        assert!(sys.back.gpu.cus.is_empty());
+
+        let sys = System::build(&tiny(SafetyModel::FullIommu)).unwrap();
+        assert!(sys.frontends.is_empty());
+        assert!(!sys.back.gpu.cus.is_empty());
     }
 }

@@ -167,7 +167,10 @@ pub struct WarpOp {
 }
 
 /// A per-wavefront access stream.
-pub trait AccessStream {
+///
+/// `Send` so a wavefront (and the compute unit that owns it) can live on a
+/// worker thread of the sharded engine.
+pub trait AccessStream: Send {
     /// Produces the next op, or `None` when the wavefront's work is done.
     fn next_op(&mut self) -> Option<WarpOp>;
 }
