@@ -4,9 +4,9 @@
 //! ```text
 //! bc-check [--model SLUG|all] [--pages N] [--bcc N] [--depth N]
 //!          [--order bfs|dfs] [--downgrades N]
-//!          [--inject bcc-corrupt|downgrade-reorder]
+//!          [--inject bcc-corrupt|downgrade-reorder|bind-before-scrub]
 //!          [--no-malicious] [--enforce-sandbox] [--expect-violation]
-//!          [--golden PATH]
+//!          [--golden PATH] [--sched NxM]
 //! ```
 //!
 //! Model slugs follow the golden-file convention: `ats-only-iommu`,
@@ -18,12 +18,19 @@
 //! semantic change to the protocol and must be reviewed); run with the
 //! `BLESS=1` environment variable to regenerate it.
 //!
+//! With `--sched NxM` the binary instead exhaustively explores the OS
+//! accelerator-scheduling protocol for N tenants over M accelerators
+//! (scrub-before-bind, binding coherence, terminal reachability);
+//! `--inject bind-before-scrub` seeds the reuse-before-flush bug the
+//! residue invariant must catch.
+//!
 //! Exit status: `0` when every sweep is clean (or, under
 //! `--expect-violation`, when every sweep found one); `1` otherwise —
 //! including state-count drift.
 
 use std::process::ExitCode;
 
+use bc_check::sched::{explore_sched, SchedCheckConfig};
 use bc_check::{explore, model_kind, model_slug, CheckConfig, SearchOrder};
 use bc_core::proto::{Bug, ProtoConfig};
 use bc_system::SafetyModel;
@@ -40,13 +47,17 @@ struct Args {
     enforce_sandbox: bool,
     expect_violation: bool,
     golden: Option<String>,
+    sched: Option<(usize, usize)>,
+    sched_inject: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: bc-check [--model SLUG|all] [--pages N] [--bcc N] [--depth N] \
-         [--order bfs|dfs] [--downgrades N] [--inject bcc-corrupt|downgrade-reorder] \
-         [--no-malicious] [--enforce-sandbox] [--expect-violation] [--golden PATH]"
+         [--order bfs|dfs] [--downgrades N] \
+         [--inject bcc-corrupt|downgrade-reorder|bind-before-scrub] \
+         [--no-malicious] [--enforce-sandbox] [--expect-violation] [--golden PATH] \
+         [--sched NxM]"
     );
     std::process::exit(2);
 }
@@ -70,6 +81,8 @@ fn parse_args() -> Args {
         enforce_sandbox: false,
         expect_violation: false,
         golden: None,
+        sched: None,
+        sched_inject: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -98,12 +111,22 @@ fn parse_args() -> Args {
                     _ => usage(),
                 }
             }
-            "--inject" => {
-                args.inject = match value().as_str() {
-                    "bcc-corrupt" => Bug::BccCorrupt,
-                    "downgrade-reorder" => Bug::DowngradeReorder,
-                    _ => usage(),
+            "--inject" => match value().as_str() {
+                "bcc-corrupt" => args.inject = Bug::BccCorrupt,
+                "downgrade-reorder" => args.inject = Bug::DowngradeReorder,
+                "bind-before-scrub" => args.sched_inject = true,
+                _ => usage(),
+            },
+            "--sched" => {
+                let v = value();
+                let (n, m) = v.split_once('x').unwrap_or_else(|| usage());
+                let n: usize = n.parse().unwrap_or_else(|_| usage());
+                let m: usize = m.parse().unwrap_or_else(|_| usage());
+                if n == 0 || n > 4 || m == 0 || m > 3 {
+                    eprintln!("--sched must be 1..=4 tenants x 1..=3 accels");
+                    usage();
                 }
+                args.sched = Some((n, m));
             }
             "--no-malicious" => args.malicious = false,
             "--enforce-sandbox" => args.enforce_sandbox = true,
@@ -125,6 +148,9 @@ fn parse_args() -> Args {
 
 fn main() -> ExitCode {
     let args = parse_args();
+    if let Some((tenants, accels)) = args.sched {
+        return run_sched(&args, tenants, accels);
+    }
     let mut ok = true;
     let mut counts: Vec<(String, u64)> = Vec::new();
 
@@ -191,6 +217,40 @@ fn main() -> ExitCode {
         }
     }
 
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_sched(args: &Args, tenants: usize, accels: usize) -> ExitCode {
+    let mut check = SchedCheckConfig::new(tenants, accels);
+    check.depth = args.depth;
+    check.order = args.order;
+    check.bind_before_scrub = args.sched_inject;
+    let result = explore_sched(&check);
+    println!(
+        "sched {tenants}x{accels}: {} states, {} transitions, {} terminal, max depth {}{}",
+        result.states,
+        result.transitions,
+        result.terminals,
+        result.max_depth,
+        if result.truncated { " (truncated)" } else { "" },
+    );
+    let mut ok = true;
+    if args.expect_violation {
+        match result.violations.first() {
+            Some(cex) => print!("{cex}"),
+            None => {
+                println!("  expected a violation, found none");
+                ok = false;
+            }
+        }
+    } else if let Some(cex) = result.violations.first() {
+        print!("{cex}");
+        ok = false;
+    }
     if ok {
         ExitCode::SUCCESS
     } else {

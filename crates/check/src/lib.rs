@@ -49,6 +49,7 @@ use bc_core::proto::{
 use bc_system::SafetyModel;
 
 pub mod replay;
+pub mod sched;
 
 /// Search order over the interleaving tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -1,0 +1,265 @@
+//! Exhaustive exploration of the OS accelerator-scheduling protocol.
+//!
+//! The multi-tenant scheduler in [`bc_os::sched`] is written in the same
+//! pure-transition-function style as `bc_core::proto` precisely so this
+//! module can enumerate every interleaving of quantum expiries, job
+//! completions, violations, drains and teardowns for a small (N tenants,
+//! M accelerators) world and check the structural invariants — most
+//! importantly **scrub-before-bind**: no tenant is ever bound to an
+//! accelerator still carrying another tenant's PT/BCC/IOTLB residue.
+//!
+//! On top of the per-state invariants the checker proves a liveness
+//! property by reverse reachability over the explored graph: **every
+//! reachable state can still reach a terminal state** (all tenants Done
+//! or Killed). Preemption loops mean the graph is cyclic, so simple
+//! depth arguments do not apply; reverse reachability from the terminal
+//! set is exactly the "no livelock region" condition.
+//!
+//! The seeded bug [`bc_os::sched::step_bind_before_scrub`] — rebinding
+//! an accelerator the moment the old tenant drains, before the scrub —
+//! must be caught by the residue invariant with a minimal trace, which
+//! the negative tests pin.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use bc_os::sched::{
+    canonical_key, enabled_events, invariant_violations, step, step_bind_before_scrub, SchedEvent,
+    SchedState,
+};
+
+use crate::SearchOrder;
+
+/// Scheduler-checker configuration: world size plus search knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedCheckConfig {
+    /// Number of tenant processes.
+    pub tenants: usize,
+    /// Number of accelerator instances.
+    pub accels: usize,
+    /// Maximum trace length to explore (`None` = exhaust).
+    pub depth: Option<u32>,
+    /// Search order.
+    pub order: SearchOrder,
+    /// Use the seeded bind-before-scrub bug instead of the real
+    /// transition function (negative testing).
+    pub bind_before_scrub: bool,
+    /// Stop at the first violation (default) instead of exploring on.
+    pub stop_at_first: bool,
+}
+
+impl SchedCheckConfig {
+    /// Default exhaustive BFS check of an `(tenants, accels)` world.
+    #[must_use]
+    pub fn new(tenants: usize, accels: usize) -> Self {
+        SchedCheckConfig {
+            tenants,
+            accels,
+            depth: None,
+            order: SearchOrder::Bfs,
+            bind_before_scrub: false,
+            stop_at_first: true,
+        }
+    }
+}
+
+/// A broken scheduler invariant plus the event trace reaching it.
+#[derive(Debug, Clone)]
+pub struct SchedCounterexample {
+    /// Human-readable description from
+    /// [`bc_os::sched::invariant_violations`] (or the liveness note).
+    pub problem: String,
+    /// Minimal (under BFS) event sequence from the initial state; the
+    /// final event is the one that exposed the violation.
+    pub trace: Vec<SchedEvent>,
+}
+
+impl fmt::Display for SchedCounterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "violation: {} ({} steps)", self.problem, self.trace.len())?;
+        for (i, e) in self.trace.iter().enumerate() {
+            writeln!(f, "  {:>3}. {e:?}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of one exhaustive scheduler exploration.
+#[derive(Debug, Clone)]
+pub struct SchedCheckResult {
+    /// Distinct states reached.
+    pub states: u64,
+    /// Transitions taken (edges in the explored graph).
+    pub transitions: u64,
+    /// Reachable terminal states (all tenants Done or Killed).
+    pub terminals: u64,
+    /// Longest trace depth reached.
+    pub max_depth: u32,
+    /// Whether the depth bound truncated the exploration.
+    pub truncated: bool,
+    /// Invariant violations found (empty = safe within the space).
+    pub violations: Vec<SchedCounterexample>,
+}
+
+impl SchedCheckResult {
+    /// Whether the sweep finished with zero violations.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// One explored node: state, depth, trace parent.
+struct Node {
+    state: SchedState,
+    depth: u32,
+    parent: Option<(usize, SchedEvent)>,
+}
+
+/// Exhaustively explores the scheduling protocol and checks every
+/// invariant on every reachable state, plus terminal reachability.
+#[must_use]
+pub fn explore_sched(cfg: &SchedCheckConfig) -> SchedCheckResult {
+    let stepper = if cfg.bind_before_scrub {
+        step_bind_before_scrub
+    } else {
+        step
+    };
+    let init = SchedState::new(cfg.tenants, cfg.accels);
+    let mut nodes: Vec<Node> = vec![Node {
+        state: init.clone(),
+        depth: 0,
+        parent: None,
+    }];
+    let mut visited: HashMap<String, usize> = HashMap::new();
+    visited.insert(canonical_key(&init), 0);
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut frontier: VecDeque<usize> = VecDeque::from([0]);
+    let mut violations: Vec<SchedCounterexample> = Vec::new();
+    let mut transitions = 0u64;
+    let mut max_depth = 0u32;
+    let mut truncated = false;
+
+    for problem in invariant_violations(&init) {
+        violations.push(SchedCounterexample {
+            problem,
+            trace: Vec::new(),
+        });
+    }
+
+    'search: while let Some(id) = match cfg.order {
+        SearchOrder::Bfs => frontier.pop_front(),
+        SearchOrder::Dfs => frontier.pop_back(),
+    } {
+        let depth = nodes[id].depth;
+        max_depth = max_depth.max(depth);
+        if cfg.depth.is_some_and(|d| depth >= d) {
+            truncated = true;
+            continue;
+        }
+        for ev in enabled_events(&nodes[id].state) {
+            transitions += 1;
+            let Some((next, _actions)) = stepper(&nodes[id].state, ev) else {
+                // enabled_events only lists steppable events; a refusal
+                // here is itself a protocol bug worth reporting.
+                let mut trace = trace_to(&nodes, id);
+                trace.push(ev);
+                violations.push(SchedCounterexample {
+                    problem: format!("enabled event {ev:?} was refused by step()"),
+                    trace,
+                });
+                if cfg.stop_at_first {
+                    break 'search;
+                }
+                continue;
+            };
+            let key = canonical_key(&next);
+            let (next_id, is_new) = match visited.entry(key) {
+                Entry::Occupied(e) => (*e.get(), false),
+                Entry::Vacant(e) => {
+                    let nid = nodes.len();
+                    e.insert(nid);
+                    nodes.push(Node {
+                        state: next,
+                        depth: depth + 1,
+                        parent: Some((id, ev)),
+                    });
+                    frontier.push_back(nid);
+                    (nid, true)
+                }
+            };
+            edges.push((id, next_id));
+            if is_new {
+                for problem in invariant_violations(&nodes[next_id].state) {
+                    let mut trace = trace_to(&nodes, id);
+                    trace.push(ev);
+                    violations.push(SchedCounterexample { problem, trace });
+                    if cfg.stop_at_first {
+                        break 'search;
+                    }
+                }
+            }
+        }
+    }
+
+    // Liveness: every reachable state must still be able to terminate.
+    // Preemption makes the graph cyclic, so this is reverse reachability
+    // from the terminal set, not a depth argument.
+    if violations.is_empty() && !truncated {
+        if let Some(stuck) = find_nonterminating(&nodes, &edges) {
+            violations.push(SchedCounterexample {
+                problem: "state cannot reach any terminal state (livelock)".to_string(),
+                trace: trace_to(&nodes, stuck),
+            });
+        }
+    }
+
+    SchedCheckResult {
+        states: nodes.len() as u64,
+        transitions,
+        terminals: nodes.iter().filter(|n| n.state.is_terminal()).count() as u64,
+        max_depth,
+        truncated,
+        violations,
+    }
+}
+
+/// Reconstructs the event trace from the initial state to `id`.
+fn trace_to(nodes: &[Node], mut id: usize) -> Vec<SchedEvent> {
+    let mut rev = Vec::new();
+    while let Some((parent, ev)) = nodes[id].parent {
+        rev.push(ev);
+        id = parent;
+    }
+    rev.reverse();
+    rev
+}
+
+/// Marks every state that can reach a terminal state; returns the first
+/// state that cannot, if any.
+fn find_nonterminating(nodes: &[Node], edges: &[(usize, usize)]) -> Option<usize> {
+    let mut reverse: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for &(from, to) in edges {
+        if let Some(r) = reverse.get_mut(to) {
+            r.push(from);
+        }
+    }
+    let mut can_finish = vec![false; nodes.len()];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for (i, n) in nodes.iter().enumerate() {
+        if n.state.is_terminal() {
+            can_finish[i] = true;
+            queue.push_back(i);
+        }
+    }
+    while let Some(i) = queue.pop_front() {
+        for &p in reverse.get(i).map(Vec::as_slice).unwrap_or(&[]) {
+            if !can_finish.get(p).copied().unwrap_or(true) {
+                can_finish[p] = true;
+                queue.push_back(p);
+            }
+        }
+    }
+    (0..nodes.len()).find(|&i| !can_finish[i])
+}

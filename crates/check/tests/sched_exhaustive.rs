@@ -1,0 +1,108 @@
+//! Exhaustive model-checking of the OS accelerator-scheduling protocol.
+//!
+//! Mirrors `tests/exhaustive.rs` for `bc_os::sched`: pinned
+//! reachable-state counts (state-space drift is a semantic change to the
+//! context-switch/teardown protocol and must be reviewed), BFS/DFS
+//! agreement, terminal-reachability liveness, and the seeded
+//! bind-before-scrub bug caught with a minimal trace.
+
+use bc_check::sched::{explore_sched, SchedCheckConfig};
+use bc_check::SearchOrder;
+use bc_os::sched::SchedEvent;
+
+#[test]
+fn small_worlds_are_clean_and_live() {
+    // (tenants, accels, states, transitions, terminals). Terminals are
+    // 2^N: each tenant independently ends Done or Killed.
+    let pinned = [
+        (2, 1, 52, 60, 4),
+        (2, 2, 192, 400, 4),
+        (3, 2, 1340, 3120, 8),
+        (3, 3, 5372, 17280, 8),
+    ];
+    for (tenants, accels, states, transitions, terminals) in pinned {
+        let r = explore_sched(&SchedCheckConfig::new(tenants, accels));
+        assert!(
+            r.is_clean(),
+            "{tenants}x{accels}: {}",
+            r.violations.first().map_or(String::new(), |c| c.to_string())
+        );
+        assert!(!r.truncated);
+        assert_eq!(
+            (r.states, r.transitions, r.terminals),
+            (states, transitions, terminals),
+            "{tenants}x{accels} state space drifted — protocol change needs review"
+        );
+    }
+}
+
+#[test]
+fn scale_up_stays_clean() {
+    // More tenants than fit, and more accels than tenants, both stay
+    // clean and live (dispatch starvation / idle-slot edge cases).
+    for (tenants, accels) in [(4, 2), (2, 3), (1, 1)] {
+        let r = explore_sched(&SchedCheckConfig::new(tenants, accels));
+        assert!(r.is_clean(), "{tenants}x{accels} not clean");
+        assert_eq!(r.terminals, 1 << tenants);
+    }
+}
+
+#[test]
+fn dfs_reaches_the_same_states_as_bfs() {
+    let bfs = explore_sched(&SchedCheckConfig::new(3, 2));
+    let mut cfg = SchedCheckConfig::new(3, 2);
+    cfg.order = SearchOrder::Dfs;
+    let dfs = explore_sched(&cfg);
+    assert!(dfs.is_clean());
+    assert_eq!(bfs.states, dfs.states);
+    assert_eq!(bfs.transitions, dfs.transitions);
+    assert_eq!(bfs.terminals, dfs.terminals);
+}
+
+#[test]
+fn depth_bound_truncates() {
+    let mut cfg = SchedCheckConfig::new(3, 2);
+    cfg.depth = Some(3);
+    let r = explore_sched(&cfg);
+    assert!(r.truncated);
+    assert!(r.states < 1340);
+    // Truncated runs skip the liveness pass, so clean means only "no
+    // structural violation within the bound".
+    assert!(r.is_clean());
+}
+
+#[test]
+fn seeded_bind_before_scrub_is_caught_minimally() {
+    let mut cfg = SchedCheckConfig::new(2, 1);
+    cfg.bind_before_scrub = true;
+    let r = explore_sched(&cfg);
+    let cex = r.violations.first().expect("the seeded bug must be found");
+    assert!(
+        cex.problem.contains("residue"),
+        "wrong invariant tripped: {}",
+        cex.problem
+    );
+    // BFS minimality: dispatch, drain (any reason), drain-complete.
+    assert_eq!(cex.trace.len(), 3);
+    assert!(matches!(
+        cex.trace.last(),
+        Some(SchedEvent::DrainComplete { .. })
+    ));
+}
+
+#[test]
+fn seeded_bug_caught_even_via_kill_path() {
+    // The kill path takes the same drain→teardown route; the bug must
+    // be caught there too (kill-under-load is not a special case).
+    let mut cfg = SchedCheckConfig::new(3, 2);
+    cfg.bind_before_scrub = true;
+    cfg.stop_at_first = false;
+    let r = explore_sched(&cfg);
+    assert!(r
+        .violations
+        .iter()
+        .any(|c| c.problem.contains("residue")
+            && c.trace
+                .iter()
+                .any(|e| matches!(e, SchedEvent::Violation { .. }))));
+}

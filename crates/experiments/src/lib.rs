@@ -27,6 +27,7 @@
 
 pub mod matrices;
 pub mod sweep;
+pub mod tenants_grid;
 
 use bc_system::{GpuClass, RunReport, SafetyModel, System, SystemConfig};
 use bc_workloads::WorkloadSize;

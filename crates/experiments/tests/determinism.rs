@@ -9,10 +9,12 @@
 //!    yields byte-identical reports for every cell — results depend on
 //!    cell coordinates, never on thread scheduling.
 
+use bc_experiments::tenants_grid::{run_tenants_cells, tenants_cells, tenants_matrix_json};
 use bc_experiments::{
     base_config, matrices, run_cells_with, SweepCell, SweepMatrix, SweepOptions, WORKLOADS,
 };
-use bc_system::{GpuClass, SafetyModel, System};
+use bc_mem::dram::MemBackend;
+use bc_system::{GpuClass, SafetyModel, System, TenantsConfig};
 use bc_workloads::WorkloadSize;
 
 #[test]
@@ -139,6 +141,39 @@ fn all_binary_matrices_are_jobs_and_shards_independent() {
                 );
             }
         }
+    }
+}
+
+/// The `tenants` binary's production matrix at its production scale —
+/// 1000 tenants over 4 accelerators, both memory backends — emits a
+/// byte-identical JSON document across the full `--jobs × --shards`
+/// cross product: cells fanned over sweep workers, each multi-tenant
+/// simulation fanned over engine shards, and both at once. This is the
+/// document the bench artifact records, so a scheduling leak anywhere
+/// in the scheduler/teardown/storm machinery fails here as a byte diff
+/// with the cell label in the panic message.
+#[test]
+fn tenants_matrix_is_jobs_and_shards_independent() {
+    let matrix_json = |jobs: usize, shards: usize| {
+        let base = TenantsConfig {
+            tenants: 1000,
+            accels: 4,
+            shards,
+            ..TenantsConfig::default()
+        };
+        let cells = tenants_cells(&base, &[MemBackend::LocalDram, MemBackend::CxlPool]);
+        tenants_matrix_json(&run_tenants_cells(&cells, jobs))
+    };
+
+    let baseline = matrix_json(1, 1);
+    assert!(baseline.contains("\"local-dram\""));
+    assert!(baseline.contains("\"cxl-pool\""));
+    for (jobs, shards) in [(1, 4), (4, 1), (4, 4)] {
+        assert_eq!(
+            baseline,
+            matrix_json(jobs, shards),
+            "tenants matrix diverged at --jobs {jobs} --shards {shards}"
+        );
     }
 }
 

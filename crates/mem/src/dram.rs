@@ -17,6 +17,77 @@ use bc_sim::Cycle;
 
 use crate::addr::PhysAddr;
 
+/// Where the physical memory behind the border lives.
+///
+/// The paper assumes accelerator and host share local DRAM; Space-Control
+/// style deployments put the shared pool behind a CXL-like fabric, where
+/// every access pays a cross-host hop and writes additionally pay the
+/// pool's coherence protocol. Border Control's checks sit in front of
+/// either — the profile only changes what a block costs once it is
+/// allowed through.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemBackend {
+    /// Host-local DRAM (Table 3's 180 GB/s device). The default; adds
+    /// nothing, so existing configurations are bit-identical.
+    #[default]
+    LocalDram,
+    /// A CXL-like disaggregated pool: ~170 ns extra round-trip at
+    /// 700 MHz GPU cycles, half the per-channel bandwidth of local
+    /// DRAM (the fabric link, not the DIMMs, is the bottleneck), and a
+    /// cross-host coherence charge on every write (ownership must be
+    /// granted by the pool's directory before the line can change).
+    CxlPool,
+}
+
+impl MemBackend {
+    /// Extra cycles added to every access (the fabric round-trip).
+    #[must_use]
+    pub fn extra_latency(self) -> u64 {
+        match self {
+            MemBackend::LocalDram => 0,
+            MemBackend::CxlPool => 120,
+        }
+    }
+
+    /// Multiplier on per-channel block service time (link bandwidth).
+    #[must_use]
+    pub fn service_factor(self) -> u64 {
+        match self {
+            MemBackend::LocalDram => 1,
+            MemBackend::CxlPool => 2,
+        }
+    }
+
+    /// Extra cycles a write pays for cross-host coherence (directory
+    /// ownership grant). Reads are served from the pool's current copy.
+    #[must_use]
+    pub fn write_coherence_cycles(self) -> u64 {
+        match self {
+            MemBackend::LocalDram => 0,
+            MemBackend::CxlPool => 40,
+        }
+    }
+
+    /// Parses the `--mem` experiment flag spelling.
+    #[must_use]
+    pub fn from_flag(s: &str) -> Option<MemBackend> {
+        match s {
+            "local" | "dram" => Some(MemBackend::LocalDram),
+            "cxl" | "pool" => Some(MemBackend::CxlPool),
+            _ => None,
+        }
+    }
+}
+
+impl core::fmt::Display for MemBackend {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            MemBackend::LocalDram => "local-dram",
+            MemBackend::CxlPool => "cxl-pool",
+        })
+    }
+}
+
 /// Configuration for the DRAM timing model.
 ///
 /// Defaults follow Table 3 of the paper, expressed in GPU (700 MHz)
@@ -31,6 +102,8 @@ pub struct DramConfig {
     pub service_per_block: u64,
     /// Number of independent channels.
     pub channels: usize,
+    /// Where the memory lives (local DRAM or a disaggregated pool).
+    pub backend: MemBackend,
 }
 
 impl Default for DramConfig {
@@ -39,6 +112,7 @@ impl Default for DramConfig {
             access_latency: 100,
             service_per_block: 2,
             channels: 4,
+            backend: MemBackend::LocalDram,
         }
     }
 }
@@ -47,7 +121,13 @@ impl DramConfig {
     /// Peak bandwidth in blocks per cycle implied by this configuration.
     #[must_use]
     pub fn peak_blocks_per_cycle(&self) -> f64 {
-        self.channels as f64 / self.service_per_block as f64
+        self.channels as f64 / (self.service_per_block * self.backend.service_factor()) as f64
+    }
+
+    /// Effective first-data latency including the backend's fabric hop.
+    #[must_use]
+    pub fn effective_latency(&self) -> u64 {
+        self.access_latency + self.backend.extra_latency()
     }
 }
 
@@ -94,17 +174,20 @@ impl Dram {
     /// (arrival + queueing + access latency + transfer).
     pub fn read_block(&mut self, at: Cycle, _addr: PhysAddr) -> Cycle {
         self.reads.inc();
-        let served = self.channels.serve(at, self.config.service_per_block);
-        served + self.config.access_latency
+        let service = self.config.service_per_block * self.config.backend.service_factor();
+        let served = self.channels.serve(at, service);
+        served + self.config.effective_latency()
     }
 
     /// Issues a block write arriving at `at`; returns the completion time.
     /// Writes are posted — callers usually don't wait — but the bandwidth
-    /// they consume is real and is charged to the channel.
+    /// they consume is real and is charged to the channel. Disaggregated
+    /// backends additionally pay the pool's coherence ownership grant.
     pub fn write_block(&mut self, at: Cycle, _addr: PhysAddr) -> Cycle {
         self.writes.inc();
-        let served = self.channels.serve(at, self.config.service_per_block);
-        served + self.config.access_latency
+        let service = self.config.service_per_block * self.config.backend.service_factor();
+        let served = self.channels.serve(at, service);
+        served + self.config.effective_latency() + self.config.backend.write_coherence_cycles()
     }
 
     /// Total block reads issued.
@@ -170,6 +253,7 @@ mod tests {
             access_latency: 10,
             service_per_block: 2,
             channels: 1,
+            backend: MemBackend::LocalDram,
         };
         let mut d = Dram::new(cfg);
         // 5 simultaneous requests on one channel serialize at 2 cycles each.
@@ -185,6 +269,7 @@ mod tests {
             access_latency: 10,
             service_per_block: 2,
             channels: 4,
+            backend: MemBackend::LocalDram,
         };
         let mut d = Dram::new(cfg);
         let finish: Vec<u64> = (0..4)
@@ -199,6 +284,7 @@ mod tests {
             access_latency: 10,
             service_per_block: 2,
             channels: 1,
+            backend: MemBackend::LocalDram,
         };
         let mut d = Dram::new(cfg);
         d.write_block(Cycle::ZERO, PhysAddr::new(0));
@@ -215,6 +301,28 @@ mod tests {
         assert!((cfg.peak_blocks_per_cycle() - 2.0).abs() < 1e-12);
         let bytes_per_sec = cfg.peak_blocks_per_cycle() * 128.0 * 700e6;
         assert!((bytes_per_sec - 180e9).abs() / 180e9 < 0.01);
+    }
+
+    #[test]
+    fn cxl_pool_pays_fabric_and_coherence() {
+        let local = DramConfig::default();
+        let pool = DramConfig {
+            backend: MemBackend::CxlPool,
+            ..DramConfig::default()
+        };
+        // Half the bandwidth of local DRAM, not of the DIMMs.
+        assert!((pool.peak_blocks_per_cycle() - local.peak_blocks_per_cycle() / 2.0).abs() < 1e-12);
+        let mut d = Dram::new(pool);
+        let read = d.read_block(Cycle::ZERO, PhysAddr::new(0)).as_u64();
+        assert_eq!(read, 4 + 100 + 120, "transfer + DIMM latency + fabric hop");
+        let mut d = Dram::new(pool);
+        let write = d.write_block(Cycle::ZERO, PhysAddr::new(0)).as_u64();
+        assert_eq!(read + 40, write, "writes add the ownership grant");
+        // The default backend changes nothing (golden-report safety).
+        assert_eq!(local.backend, MemBackend::LocalDram);
+        assert_eq!(local.effective_latency(), local.access_latency);
+        assert_eq!(MemBackend::from_flag("cxl"), Some(MemBackend::CxlPool));
+        assert_eq!(MemBackend::CxlPool.to_string(), "cxl-pool");
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod perms;
 pub mod store;
 
 pub use addr::{Asid, PageSize, PhysAddr, Ppn, VirtAddr, Vpn, BLOCK_SIZE, PAGE_SIZE};
-pub use dram::{Dram, DramConfig};
+pub use dram::{Dram, DramConfig, MemBackend};
 pub use frames::FrameAllocator;
 pub use page_table::{MapError, PageTable, TranslateError, Translation};
 pub use perms::PagePerms;

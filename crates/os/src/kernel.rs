@@ -122,6 +122,13 @@ pub struct Kernel {
     /// Reference counts for frames mapped into more than one address
     /// space (shared/shadow mappings); absent means exclusively owned.
     frame_refs: HashMap<u64, u32>,
+    /// Frames owned by dying address spaces, quarantined between
+    /// `kill`/`terminate` and [`Kernel::finish_teardown`]. The paper's
+    /// completion contract (§3.3, Fig 3e) zeroes the Protection Table and
+    /// flushes BCC/IOTLB residue *before* frames are reused; holding the
+    /// frames here keeps the allocator from handing them out while
+    /// translations for them may still be cached.
+    quarantined: BTreeMap<u16, Vec<Ppn>>,
 }
 
 impl Kernel {
@@ -138,6 +145,7 @@ impl Kernel {
             minor_faults: Counter::new(),
             downgrades: Counter::new(),
             frame_refs: HashMap::new(),
+            quarantined: BTreeMap::new(),
             config,
         }
     }
@@ -237,9 +245,16 @@ impl Kernel {
             let _ = tr;
         }
         proc.set_state(state);
-        for (_, tr) in &mappings {
-            self.release_frame(tr.ppn);
-        }
+        // Do NOT release the frames yet: ops may still be in flight
+        // against cached translations, and a freed frame could be
+        // reallocated (and its new owner's data read or clobbered)
+        // before the shootdown below lands. Quarantine them until the
+        // system has flushed every translation-holding structure and
+        // zeroed the Protection Table, then calls `finish_teardown`.
+        self.quarantined
+            .entry(asid.as_u16())
+            .or_default()
+            .extend(mappings.iter().map(|(_, tr)| tr.ppn));
         self.pending_shootdowns.push(ShootdownRequest {
             asid,
             scope: ShootdownScope::FullAddressSpace,
@@ -248,6 +263,34 @@ impl Kernel {
             new_perms: PagePerms::NONE,
         });
         Ok(())
+    }
+
+    /// Completes a teardown begun by [`Kernel::kill`]/[`Kernel::terminate`]:
+    /// releases the quarantined frames back to the allocator. Callers must
+    /// first deliver the queued full-address-space shootdown and flush the
+    /// accelerator side (BCC/IOTLB, Protection Table zero) — this is the
+    /// "frames reused only after residue is gone" half of the contract.
+    /// Returns the number of frame references released. Idempotent.
+    pub fn finish_teardown(&mut self, asid: Asid) -> u64 {
+        let frames = self.quarantined.remove(&asid.as_u16()).unwrap_or_default();
+        let n = frames.len() as u64;
+        for ppn in frames {
+            self.release_frame(ppn);
+        }
+        n
+    }
+
+    /// Whether `ppn` is quarantined by an unfinished teardown (used by the
+    /// `--audit` oracle: a post-kill access that hits such a frame through
+    /// a cached translation is a stale-teardown violation).
+    #[must_use]
+    pub fn frame_quarantined(&self, ppn: Ppn) -> bool {
+        self.quarantined.values().any(|v| v.contains(&ppn))
+    }
+
+    /// ASIDs whose teardown has begun but not been finished.
+    pub fn unfinished_teardowns(&self) -> impl Iterator<Item = Asid> + '_ {
+        self.quarantined.keys().map(|&a| Asid::new(a))
     }
 
     // ---- memory mapping ----------------------------------------------------
@@ -916,21 +959,30 @@ mod tests {
     }
 
     #[test]
-    fn terminate_frees_everything() {
+    fn terminate_quarantines_then_finish_teardown_frees() {
         let mut k = kernel();
         let pid = k.create_process();
         k.map_region(pid, VirtAddr::new(0), 8, PagePerms::READ_WRITE)
             .unwrap();
         assert_eq!(k.frames_allocated(), 8);
+        let ppn = k.translate(pid, Vpn::new(0)).unwrap().ppn;
         k.terminate(pid).unwrap();
-        assert_eq!(k.frames_allocated(), 0);
         assert_eq!(k.process(pid).unwrap().state(), ProcessState::Exited);
+        // Frames stay quarantined until the flush ordering completes —
+        // the allocator must not reuse them under cached translations.
+        assert_eq!(k.frames_allocated(), 8);
+        assert!(k.frame_quarantined(ppn));
+        assert_eq!(k.unfinished_teardowns().collect::<Vec<_>>(), vec![pid]);
         let reqs = k.take_shootdowns();
         assert!(reqs
             .iter()
             .any(|r| matches!(r.scope, ShootdownScope::FullAddressSpace)));
-        // Idempotent.
+        assert_eq!(k.finish_teardown(pid), 8);
+        assert_eq!(k.frames_allocated(), 0);
+        assert!(!k.frame_quarantined(ppn));
+        // Both phases are idempotent.
         k.terminate(pid).unwrap();
+        assert_eq!(k.finish_teardown(pid), 0);
     }
 
     #[test]
@@ -987,15 +1039,19 @@ mod tests {
             k.read_virt(shadow, VirtAddr::new(0x9000_0000), 7).unwrap(),
             b"shared!"
         );
-        // Owner exits: the frames survive for the shadow...
+        // Owner exits: the frames survive for the shadow even after the
+        // owner's teardown fully completes (refcounts)...
         k.terminate(owner).unwrap();
+        k.finish_teardown(owner);
         assert_eq!(
             k.read_virt(shadow, VirtAddr::new(0x9000_0000), 7).unwrap(),
             b"shared!"
         );
-        // ...and are freed when the shadow exits too.
+        // ...and are freed when the shadow's teardown completes too.
         let before = k.frames_allocated();
         k.terminate(shadow).unwrap();
+        assert_eq!(k.frames_allocated(), before, "still quarantined");
+        k.finish_teardown(shadow);
         assert_eq!(k.frames_allocated(), before - 2);
     }
 

@@ -32,6 +32,7 @@
 
 mod kernel;
 mod process;
+pub mod sched;
 mod shootdown;
 mod violation;
 mod vmm;

@@ -61,6 +61,15 @@ pub enum AuditKind {
     /// (scheduled into the past, or across components below the
     /// conservative lookahead floor).
     ShardOrder,
+    /// The deferred-commit counter for the quiesce protocol was
+    /// decremented below zero — a commit arrived that was never
+    /// injected, which would release the border stall early.
+    CommitUnderflow,
+    /// A teardown completed out of order: a frame owned by a dying
+    /// address space was reused, or a translation for it survived,
+    /// before its Protection Table was zeroed and its BCC/IOTLB residue
+    /// flushed (the paper's §3.3 completion contract).
+    StaleTeardown,
 }
 
 impl fmt::Display for AuditKind {
@@ -74,6 +83,8 @@ impl fmt::Display for AuditKind {
             AuditKind::WritebackOverflow => "writeback-overflow",
             AuditKind::StallRegression => "stall-regression",
             AuditKind::ShardOrder => "shard-order",
+            AuditKind::CommitUnderflow => "commit-underflow",
+            AuditKind::StaleTeardown => "stale-teardown",
         };
         f.write_str(s)
     }
@@ -373,6 +384,32 @@ impl Auditor {
         }
     }
 
+    /// Records a deferred-commit counter underflow: `commit_injected_downgrade`
+    /// ran with `pending_commits` already at zero, so a `saturating_sub`
+    /// here would have silently unclamped the border stall early.
+    pub fn commit_underflow(&mut self, at: u64, vpn: u64) {
+        self.record(
+            AuditKind::CommitUnderflow,
+            at,
+            format!("commit for vpn {vpn} arrived with pending_commits already zero"),
+        );
+    }
+
+    /// Asserts the teardown completion contract for a dying address
+    /// space: callers pass `stale` descriptions of any residue observed
+    /// after the kill point (a reused quarantined frame, a surviving
+    /// IOTLB/BCC translation). One call per post-kill access checked.
+    pub fn teardown_check(&mut self, at: u64, asid: u64, stale: Option<String>) {
+        self.report.assertions += 1;
+        if let Some(what) = stale {
+            self.record(
+                AuditKind::StaleTeardown,
+                at,
+                format!("post-kill access for asid {asid} hit stale state: {what}"),
+            );
+        }
+    }
+
     /// Asserts the downgrade `stall_until` horizon never regresses.
     pub fn stall_horizon(&mut self, at: u64, stall_until: u64) {
         self.report.assertions += 1;
@@ -495,6 +532,19 @@ mod tests {
         let r = a.report();
         assert_eq!(r.of_kind(AuditKind::BccSubsetViolation).count(), 1);
         assert!(r.findings[0].detail.contains("page 12"));
+    }
+
+    #[test]
+    fn commit_underflow_and_teardown_residue_reported() {
+        let mut a = Auditor::new(false, 8);
+        a.commit_underflow(40, 7);
+        a.teardown_check(41, 3, None);
+        a.teardown_check(42, 3, Some("IOTLB still maps vpn 9".to_string()));
+        let r = a.report();
+        assert_eq!(r.of_kind(AuditKind::CommitUnderflow).count(), 1);
+        assert_eq!(r.of_kind(AuditKind::StaleTeardown).count(), 1);
+        assert_eq!(r.assertions, 2);
+        assert!(r.findings[1].detail.contains("asid 3"));
     }
 
     #[test]

@@ -36,6 +36,8 @@ pub enum BuildError {
     Os(OsError),
     /// The configured ATS geometry cannot be built.
     Ats(bc_iommu::AtsConfigError),
+    /// A configuration value is out of range or inconsistent.
+    Config(String),
 }
 
 impl fmt::Display for BuildError {
@@ -44,6 +46,7 @@ impl fmt::Display for BuildError {
             BuildError::UnknownWorkload(w) => write!(f, "unknown workload '{w}'"),
             BuildError::Os(e) => write!(f, "kernel setup failed: {e}"),
             BuildError::Ats(e) => write!(f, "ATS setup failed: {e}"),
+            BuildError::Config(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }
@@ -1115,6 +1118,21 @@ impl Backend {
         }
         // Deliver the kill's full-address-space shootdown (and any others).
         self.drain_shootdowns();
+        // Complete the teardown only now: the shootdown drain above
+        // flushed the IOTLB for the dying ASID and ran the
+        // full-address-space downgrade (cache flush through the border +
+        // Protection Table zero), so the quarantined frames can be
+        // released without any structure still holding a translation to
+        // them (§3.3's completion contract).
+        if matches!(policy, ViolationPolicy::KillProcess) {
+            if let Some(asid) = v.asid {
+                self.ats.flush();
+                self.kernel.finish_teardown(asid);
+                if let Some(a) = &mut self.auditor {
+                    a.teardown_check(self.now.as_u64(), u64::from(asid.as_u16()), None);
+                }
+            }
+        }
     }
 
     fn on_fatal_os_error(&mut self, at: Cycle, e: OsError) -> Cycle {
@@ -1255,7 +1273,26 @@ impl Backend {
     /// commit, restore. Runs inline on the centralized machine and at the
     /// end of the quiesce window on the decomposed one.
     fn commit_injected_downgrade(&mut self, vpn: Vpn) {
-        self.pending_commits = self.pending_commits.saturating_sub(1);
+        // Only the decomposed machine defers commits (and increments the
+        // counter); the serial path calls straight in. A double-decrement
+        // here used to be masked by `saturating_sub`, which would release
+        // the border stall early instead of failing — underflow is now a
+        // hard protocol error.
+        if self.n_frontends > 0 {
+            match self.pending_commits.checked_sub(1) {
+                Some(n) => self.pending_commits = n,
+                None => {
+                    let (now, v) = (self.now.as_u64(), vpn.as_u64());
+                    if let Some(a) = &mut self.auditor {
+                        a.commit_underflow(now, v);
+                    }
+                    debug_assert!(
+                        false,
+                        "pending_commits underflow committing downgrade of {vpn}"
+                    );
+                }
+            }
+        }
 
         // Downgrade (e.g. context switch away / swap preparation)...
         if self
@@ -1293,10 +1330,24 @@ impl Backend {
 
     // ---- invariant auditing (bc_sim::audit) -------------------------------------
 
-    /// Compares one border-check decision with the shadow oracle.
+    /// Compares one border-check decision with the shadow oracle, and —
+    /// while any teardown is unfinished — asserts the completion
+    /// contract: an access must never be *allowed* to a frame still
+    /// quarantined by a dying address space (it would be reaching the
+    /// dead process's memory through a stale translation).
     fn audit_check(&mut self, at: Cycle, pa: PhysAddr, write: bool, allowed: bool) {
         if let Some(a) = &mut self.auditor {
             a.check_decision(at.as_u64(), pa.ppn().as_u64(), write, allowed);
+            if let Some(dying) = self.kernel.unfinished_teardowns().next() {
+                let stale = (allowed && self.kernel.frame_quarantined(pa.ppn())).then(|| {
+                    format!(
+                        "border allowed {} of quarantined frame {}",
+                        if write { "write" } else { "read" },
+                        pa.ppn().as_u64()
+                    )
+                });
+                a.teardown_check(at.as_u64(), u64::from(dying.as_u16()), stale);
+            }
         }
     }
 
@@ -2150,6 +2201,32 @@ mod tests {
             .run();
         assert!(!r.aborted);
         assert_eq!(r.abort_reason, None);
+    }
+
+    /// Regression for the quiesce protocol's commit accounting: a commit
+    /// that was never injected used to be masked by `saturating_sub` and
+    /// silently released the border stall early. On the decomposed
+    /// machine it is now a hard protocol error.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "pending_commits underflow")]
+    fn spurious_commit_underflow_is_fatal_on_decomposed_machine() {
+        let mut sys = System::build(&tiny(SafetyModel::BorderControlBcc)).unwrap();
+        assert!(sys.back.n_frontends > 0, "BC configs decompose");
+        assert_eq!(sys.back.pending_commits, 0);
+        let vpn = VirtAddr::new(BASE_VA).vpn();
+        sys.back.commit_injected_downgrade(vpn);
+    }
+
+    /// The serial machine never increments `pending_commits` (commits run
+    /// inline), so the underflow guard must not fire there.
+    #[test]
+    fn serial_machine_commits_inline_without_underflow() {
+        let mut sys = System::build(&tiny(SafetyModel::FullIommu)).unwrap();
+        assert_eq!(sys.back.n_frontends, 0, "full-IOMMU stays centralized");
+        let vpn = VirtAddr::new(BASE_VA).vpn();
+        sys.back.commit_injected_downgrade(vpn);
+        assert_eq!(sys.back.pending_commits, 0);
     }
 
     #[test]
