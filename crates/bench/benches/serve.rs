@@ -1,0 +1,131 @@
+//! Gateway cold-vs-warm service benchmark.
+//!
+//! Measures the whole sweep-as-a-service path end to end over real
+//! loopback HTTP: start a `bc_serve` gateway on a fresh cache, submit a
+//! sweep (cold — every cell simulates), resubmit it (warm — every cell
+//! must be a content-addressed cache hit), and record both client-side
+//! wall clocks plus the speedup to `BENCH_serve.json`. The committed
+//! full-mode file is the PR's acceptance record: a warm tiny-fig4 sweep
+//! served ≥10× faster than the cold one, all hits.
+//!
+//! Modes (same conventions as the sweep bench):
+//!
+//! * default — full tiny fig4 (70 cells), three trials on fresh caches,
+//!   best cold/warm pair recorded, written to the repo root (or
+//!   `$BENCH_OUT`).
+//! * quick (`BENCH_QUICK=1`, or `--test` as passed by `cargo test`) —
+//!   tiny fig5 (7 cells), one trial; written only if `$BENCH_OUT` is set.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use bc_serve::{client, Gateway, Request, Server};
+
+struct Trial {
+    cells: usize,
+    cold_s: f64,
+    warm_s: f64,
+    warm_hits: u64,
+}
+
+fn extract_u64(body: &str, key: &str) -> u64 {
+    body.split(&format!("\"{key}\": "))
+        .nth(1)
+        .and_then(|s| s.split(|c: char| !c.is_ascii_digit()).next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no {key} in {body}"))
+}
+
+fn run_trial(matrix: &str, trial: usize) -> Trial {
+    let cache_dir =
+        std::env::temp_dir().join(format!("bc-serve-bench-{}-{trial}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let gateway = Gateway::new(&cache_dir, 1).expect("open bench cache");
+    let handler = Arc::new(move |req: &Request| gateway.handle(req));
+    let server = Server::start("127.0.0.1:0", handler).expect("bind ephemeral port");
+    let addr = server.addr();
+    let spec = format!("{{\"matrix\": \"{matrix}\", \"size\": \"tiny\"}}");
+
+    let pass = |label: &str| {
+        let started = Instant::now();
+        let (status, body) = client::post(addr, "/v1/jobs", &spec).expect("submit");
+        assert_eq!(status, 200, "{label} submit: {body}");
+        let id = extract_u64(&body, "id");
+        let final_status = client::wait_for_job(addr, id).expect("job finishes");
+        assert!(
+            final_status.contains("\"state\": \"done\""),
+            "{label}: {final_status}"
+        );
+        (
+            started.elapsed().as_secs_f64(),
+            extract_u64(&final_status, "cells") as usize,
+            extract_u64(&final_status, "hits"),
+        )
+    };
+
+    let (cold_s, cells, cold_hits) = pass("cold");
+    assert_eq!(cold_hits, 0, "cold pass found a warm cache");
+    let (warm_s, _, warm_hits) = pass("warm");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    Trial {
+        cells,
+        cold_s,
+        warm_s,
+        warm_hits,
+    }
+}
+
+fn main() {
+    let quick =
+        std::env::var_os("BENCH_QUICK").is_some() || std::env::args().any(|a| a == "--test");
+    // Quick mode shrinks the sweep, not the protocol: the same submit/
+    // poll/fetch path runs either way.
+    let (matrix, trials) = if quick { ("fig5", 1) } else { ("fig4", 3) };
+
+    let mut best: Option<Trial> = None;
+    for trial in 0..trials {
+        let t = run_trial(matrix, trial);
+        assert_eq!(
+            t.warm_hits, t.cells as u64,
+            "warm pass was not served entirely from the cache"
+        );
+        let better = best
+            .as_ref()
+            .is_none_or(|b| t.cold_s < b.cold_s || t.warm_s < b.warm_s);
+        if better {
+            best = Some(t);
+        }
+    }
+    let t = best.expect("at least one trial ran");
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"matrix\": \"{matrix}\",\n  \"size\": \"tiny\",\n  \
+         \"quick\": {quick},\n  \"trials\": {trials},\n  \"cells\": {cells},\n  \
+         \"cold_wall_s\": {cold:.4},\n  \"warm_wall_s\": {warm:.4},\n  \
+         \"speedup\": {speedup:.4},\n  \"warm_hits\": {hits}\n}}\n",
+        cells = t.cells,
+        cold = t.cold_s,
+        warm = t.warm_s,
+        speedup = t.cold_s / t.warm_s.max(1e-9),
+        hits = t.warm_hits,
+    );
+    print!("{json}");
+
+    let out = std::env::var_os("BENCH_OUT").map(PathBuf::from);
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("writing BENCH_OUT");
+            println!("wrote {}", path.display());
+        }
+        None if quick => {
+            // Quick numbers must not clobber the committed trajectory.
+            println!("quick mode, no BENCH_OUT set; BENCH_serve.json not written");
+        }
+        None => {
+            let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+            std::fs::write(path, &json).expect("writing BENCH_serve.json");
+            println!("wrote {path}");
+        }
+    }
+}

@@ -14,10 +14,14 @@
 //!   downgrades, BCC subblocking, and Protection Table latency
 //!   sensitivity.
 //!
-//! Shared helpers for those suites are exported here.
+//! Shared helpers for those suites are exported here, and [`validate`]
+//! holds the numeric rules every emitted `BENCH_*.json` must satisfy
+//! (run by `tests/bench_json.rs` locally and in CI).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod validate;
 
 use bc_system::{GpuClass, SafetyModel, System, SystemConfig};
 use bc_workloads::WorkloadSize;

@@ -77,7 +77,12 @@ pub struct SchedCounterexample {
 
 impl fmt::Display for SchedCounterexample {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "violation: {} ({} steps)", self.problem, self.trace.len())?;
+        writeln!(
+            f,
+            "violation: {} ({} steps)",
+            self.problem,
+            self.trace.len()
+        )?;
         for (i, e) in self.trace.iter().enumerate() {
             writeln!(f, "  {:>3}. {e:?}", i + 1)?;
         }

@@ -25,7 +25,9 @@ fn small_worlds_are_clean_and_live() {
         assert!(
             r.is_clean(),
             "{tenants}x{accels}: {}",
-            r.violations.first().map_or(String::new(), |c| c.to_string())
+            r.violations
+                .first()
+                .map_or(String::new(), |c| c.to_string())
         );
         assert!(!r.truncated);
         assert_eq!(
@@ -98,11 +100,8 @@ fn seeded_bug_caught_even_via_kill_path() {
     cfg.bind_before_scrub = true;
     cfg.stop_at_first = false;
     let r = explore_sched(&cfg);
-    assert!(r
-        .violations
-        .iter()
-        .any(|c| c.problem.contains("residue")
-            && c.trace
-                .iter()
-                .any(|e| matches!(e, SchedEvent::Violation { .. }))));
+    assert!(r.violations.iter().any(|c| c.problem.contains("residue")
+        && c.trace
+            .iter()
+            .any(|e| matches!(e, SchedEvent::Violation { .. }))));
 }

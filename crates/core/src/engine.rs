@@ -36,6 +36,28 @@ pub enum FlushPolicy {
     Selective,
 }
 
+impl FlushPolicy {
+    /// Stable label used by the canonical config schema
+    /// (`bc_experiments::schema`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FlushPolicy::FullFlush => "full-flush",
+            FlushPolicy::Selective => "selective",
+        }
+    }
+
+    /// Inverse of [`FlushPolicy::label`].
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "full-flush" => Some(FlushPolicy::FullFlush),
+            "selective" => Some(FlushPolicy::Selective),
+            _ => None,
+        }
+    }
+}
+
 /// Border Control configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BorderControlConfig {

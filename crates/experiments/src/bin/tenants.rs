@@ -53,7 +53,15 @@ fn main() {
     let results = run_tenants_cells(&cells, jobs_from_args());
 
     let heads: Vec<String> = [
-        "done", "killed", "p50", "p95", "p99", "kill p50", "kill p99", "preempts", "pt blocks",
+        "done",
+        "killed",
+        "p50",
+        "p95",
+        "p99",
+        "kill p50",
+        "kill p99",
+        "preempts",
+        "pt blocks",
         "storms",
     ]
     .iter()

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod matrices;
+pub mod schema;
 pub mod sweep;
 pub mod tenants_grid;
 

@@ -77,14 +77,31 @@ impl MemBackend {
             _ => None,
         }
     }
+
+    /// Stable label (the `Display` spelling) used by the canonical config
+    /// schema (`bc_experiments::schema`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            MemBackend::LocalDram => "local-dram",
+            MemBackend::CxlPool => "cxl-pool",
+        }
+    }
+
+    /// Inverse of [`MemBackend::label`].
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "local-dram" => Some(MemBackend::LocalDram),
+            "cxl-pool" => Some(MemBackend::CxlPool),
+            _ => None,
+        }
+    }
 }
 
 impl core::fmt::Display for MemBackend {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.write_str(match self {
-            MemBackend::LocalDram => "local-dram",
-            MemBackend::CxlPool => "cxl-pool",
-        })
+        f.write_str(self.label())
     }
 }
 

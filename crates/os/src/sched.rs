@@ -260,7 +260,10 @@ pub fn step(s: &SchedState, ev: SchedEvent) -> Option<(SchedState, Vec<SchedActi
 /// scrubbed the PT/BCC/IOTLB — exactly the reuse-before-flush bug the
 /// residue invariant exists to catch.
 #[must_use]
-pub fn step_bind_before_scrub(s: &SchedState, ev: SchedEvent) -> Option<(SchedState, Vec<SchedAction>)> {
+pub fn step_bind_before_scrub(
+    s: &SchedState,
+    ev: SchedEvent,
+) -> Option<(SchedState, Vec<SchedAction>)> {
     step_impl(s, ev, true)
 }
 
@@ -341,7 +344,10 @@ fn step_impl(
                         DrainReason::Kill => TenantPhase::Killed,
                         _ => TenantPhase::Done,
                     };
-                    actions.push(SchedAction::Bind { accel, tenant: next });
+                    actions.push(SchedAction::Bind {
+                        accel,
+                        tenant: next,
+                    });
                 }
             }
         }
@@ -420,8 +426,9 @@ pub fn invariant_violations(s: &SchedState) -> Vec<String> {
         }
     }
     for (t, phase) in s.tenants.iter().enumerate() {
-        if let TenantPhase::Running(a) | TenantPhase::Draining(a, _) | TenantPhase::TearingDown(a, _) =
-            phase
+        if let TenantPhase::Running(a)
+        | TenantPhase::Draining(a, _)
+        | TenantPhase::TearingDown(a, _) = phase
         {
             if s.accels.get(*a).and_then(|sl| sl.bound) != Some(t) {
                 v.push(format!(
@@ -605,13 +612,15 @@ mod tests {
         // Always pick the first enabled event: FIFO completion order.
         let s = run_to_terminal(SchedState::new(3, 2), |evs| {
             *evs.iter()
-                .find(|e| !matches!(e, SchedEvent::QuantumExpired { .. } | SchedEvent::Violation { .. }))
+                .find(|e| {
+                    !matches!(
+                        e,
+                        SchedEvent::QuantumExpired { .. } | SchedEvent::Violation { .. }
+                    )
+                })
                 .expect("progress event")
         });
-        assert!(s
-            .tenants
-            .iter()
-            .all(|t| matches!(t, TenantPhase::Done)));
+        assert!(s.tenants.iter().all(|t| matches!(t, TenantPhase::Done)));
     }
 
     #[test]
@@ -689,7 +698,8 @@ mod tests {
         let s = SchedState::new(2, 1);
         let (s1, _) = step(&s, SchedEvent::Dispatch { accel: 0 }).unwrap();
         let (s2, _) = step(&s1, SchedEvent::JobDone { accel: 0 }).unwrap();
-        let (s3, acts) = step_bind_before_scrub(&s2, SchedEvent::DrainComplete { accel: 0 }).unwrap();
+        let (s3, acts) =
+            step_bind_before_scrub(&s2, SchedEvent::DrainComplete { accel: 0 }).unwrap();
         assert!(acts
             .iter()
             .any(|a| matches!(a, SchedAction::Bind { tenant: 1, .. })));

@@ -72,6 +72,30 @@ pub enum ViolationPolicy {
     LogOnly,
 }
 
+impl ViolationPolicy {
+    /// Stable label used by the canonical config schema
+    /// (`bc_experiments::schema`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ViolationPolicy::KillProcess => "kill-process",
+            ViolationPolicy::DisableAccelerator => "disable-accelerator",
+            ViolationPolicy::LogOnly => "log-only",
+        }
+    }
+
+    /// Inverse of [`ViolationPolicy::label`].
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "kill-process" => Some(ViolationPolicy::KillProcess),
+            "disable-accelerator" => Some(ViolationPolicy::DisableAccelerator),
+            "log-only" => Some(ViolationPolicy::LogOnly),
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

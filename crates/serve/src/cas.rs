@@ -1,0 +1,152 @@
+//! Content-addressed store for completed sweep cells.
+//!
+//! Every finished cell's report is filed under
+//! `sha256(config_key_material(config, CODE_REV))` — a digest of the
+//! *canonical* config encoding ([`bc_experiments::schema`]) with the
+//! simulator revision folded in. Because report bytes are a pure function
+//! of that key material (the determinism and shard-identity suites prove
+//! `--jobs`/`--shards` never change a byte, and `shards` is normalized out
+//! of the key), a key hit can serve the stored bytes as if the simulation
+//! had run.
+//!
+//! Objects are one file per key:
+//!
+//! ```text
+//! bc-cas 1 <sha256 hex of payload>
+//! <payload bytes>
+//! ```
+//!
+//! The header digest is recomputed on every load; a mismatch (bit rot,
+//! truncation, a partial write that survived a crash) is treated as a
+//! **miss** — counted separately, never served, and overwritten by the
+//! re-run's `put`. Writes go through a temp file + rename so a concurrent
+//! reader sees either the old object or the new one, never a torn write.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bc_experiments::schema;
+use bc_system::SystemConfig;
+
+use crate::sha256;
+
+/// Magic + format version on every object's header line.
+const HEADER_TAG: &str = "bc-cas 1";
+
+/// Hit/miss/corruption counters, as told by [`Cas::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CasStats {
+    /// Loads that served stored bytes.
+    pub hits: u64,
+    /// Loads that found no object.
+    pub misses: u64,
+    /// Loads that found an object whose payload failed its digest
+    /// re-check (served as misses).
+    pub corrupt: u64,
+    /// Objects written.
+    pub puts: u64,
+}
+
+/// A directory of content-addressed result objects.
+pub struct Cas {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+    puts: AtomicU64,
+}
+
+impl Cas {
+    /// Opens (creating if needed) the store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Cas> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Cas {
+            dir,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The cache key of `config` under the current [`schema::CODE_REV`]:
+    /// lowercase-hex SHA-256 of the canonical key material.
+    #[must_use]
+    pub fn key_for(config: &SystemConfig) -> String {
+        Self::key_for_rev(config, schema::CODE_REV)
+    }
+
+    /// [`Cas::key_for`] under an explicit code revision (tests pin that a
+    /// revision bump re-keys every object).
+    #[must_use]
+    pub fn key_for_rev(config: &SystemConfig, code_rev: &str) -> String {
+        sha256::hex_digest(schema::config_key_material(config, code_rev).as_bytes())
+    }
+
+    fn object_path(&self, key: &str) -> PathBuf {
+        self.dir.join(key)
+    }
+
+    /// Loads the payload stored under `key`, re-checking its digest.
+    /// Absent objects and digest mismatches both return `None`; only the
+    /// counters tell them apart.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<String> {
+        let text = match fs::read_to_string(self.object_path(key)) {
+            Ok(text) => text,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        let Some((header, payload)) = text.split_once('\n') else {
+            self.corrupt.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        let Some(stored_digest) = header.strip_prefix(HEADER_TAG).map(str::trim) else {
+            self.corrupt.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        if sha256::hex_digest(payload.as_bytes()) != stored_digest {
+            self.corrupt.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(payload.to_string())
+    }
+
+    /// Stores `payload` under `key` (temp file + rename; last writer
+    /// wins, which is safe because all writers of one key hold identical
+    /// bytes).
+    pub fn put(&self, key: &str, payload: &str) -> io::Result<()> {
+        let object = format!(
+            "{HEADER_TAG} {}\n{payload}",
+            sha256::hex_digest(payload.as_bytes())
+        );
+        let tmp = self.dir.join(format!(".{key}.tmp.{}", std::process::id()));
+        fs::write(&tmp, object)?;
+        fs::rename(&tmp, self.object_path(key))?;
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> CasStats {
+        CasStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+        }
+    }
+}

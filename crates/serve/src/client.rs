@@ -1,0 +1,82 @@
+//! A blocking loopback HTTP client for the gateway's dialect.
+//!
+//! Counterpart to [`crate::http`]: one request per connection,
+//! `Connection: close`, body read to EOF. Used by the end-to-end tests,
+//! the `--smoke` self-check and any local tooling that wants to talk to a
+//! running `bc-serve` without shelling out to curl.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// How long one exchange may take end to end. Generous: a cold tiny
+/// sweep cell simulates in milliseconds, but CI machines stall.
+const TIMEOUT: Duration = Duration::from_secs(60);
+
+/// One exchange: status code and body.
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<(u16, String), String> {
+    let mut stream =
+        TcpStream::connect_timeout(&addr, TIMEOUT).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(TIMEOUT))
+        .and_then(|()| stream.set_write_timeout(Some(TIMEOUT)))
+        .map_err(|e| format!("socket timeout: {e}"))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body.as_bytes()))
+        .map_err(|e| format!("write {method} {path}: {e}"))?;
+
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read {method} {path}: {e}"))?;
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| format!("malformed status line in: {raw:.60}"))?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// `GET path` against a gateway at `addr`.
+pub fn get(addr: SocketAddr, path: &str) -> Result<(u16, String), String> {
+    request(addr, "GET", path, "")
+}
+
+/// `POST path` with a JSON body.
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> Result<(u16, String), String> {
+    request(addr, "POST", path, body)
+}
+
+/// Polls `GET /v1/jobs/{id}` until the job leaves queued/running,
+/// returning the final status body.
+pub fn wait_for_job(addr: SocketAddr, id: u64) -> Result<String, String> {
+    let deadline = std::time::Instant::now() + TIMEOUT;
+    loop {
+        let (status, body) = get(addr, &format!("/v1/jobs/{id}"))?;
+        if status != 200 {
+            return Err(format!("job {id} status {status}: {body}"));
+        }
+        if !body.contains("\"state\": \"queued\"") && !body.contains("\"state\": \"running\"") {
+            return Ok(body);
+        }
+        if std::time::Instant::now() > deadline {
+            return Err(format!("job {id} still running after {TIMEOUT:?}"));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}

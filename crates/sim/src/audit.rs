@@ -72,9 +72,26 @@ pub enum AuditKind {
     StaleTeardown,
 }
 
-impl fmt::Display for AuditKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+impl AuditKind {
+    /// Every invariant class, in declaration order (label round-trip
+    /// tables and the report decoder iterate this).
+    pub const ALL: [AuditKind; 10] = [
+        AuditKind::OracleMismatch,
+        AuditKind::UnauthorizedWrite,
+        AuditKind::BccSubsetViolation,
+        AuditKind::EventInPast,
+        AuditKind::NonMonotonicCompletion,
+        AuditKind::WritebackOverflow,
+        AuditKind::StallRegression,
+        AuditKind::ShardOrder,
+        AuditKind::CommitUnderflow,
+        AuditKind::StaleTeardown,
+    ];
+
+    /// Stable label (the `Display` spelling).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
             AuditKind::OracleMismatch => "oracle-mismatch",
             AuditKind::UnauthorizedWrite => "unauthorized-write",
             AuditKind::BccSubsetViolation => "bcc-subset-violation",
@@ -85,8 +102,20 @@ impl fmt::Display for AuditKind {
             AuditKind::ShardOrder => "shard-order",
             AuditKind::CommitUnderflow => "commit-underflow",
             AuditKind::StaleTeardown => "stale-teardown",
-        };
-        f.write_str(s)
+        }
+    }
+
+    /// Inverse of [`AuditKind::label`], used by the canonical report
+    /// schema (`bc_experiments::schema`) to decode serialized reports.
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Self> {
+        AuditKind::ALL.into_iter().find(|k| k.label() == label)
+    }
+}
+
+impl fmt::Display for AuditKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
     }
 }
 

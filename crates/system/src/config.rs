@@ -42,6 +42,17 @@ impl GpuClass {
             GpuClass::ModeratelyThreaded => "Moderately threaded",
         }
     }
+
+    /// Inverse of [`GpuClass::label`], used by the canonical config
+    /// schema (`bc_experiments::schema`).
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "Highly threaded" => Some(GpuClass::HighlyThreaded),
+            "Moderately threaded" => Some(GpuClass::ModeratelyThreaded),
+            _ => None,
+        }
+    }
 }
 
 /// Full-system configuration. [`SystemConfig::table3_defaults`] reproduces

@@ -32,6 +32,19 @@ impl AbortReason {
             AbortReason::FatalOsError => "fatal OS fault",
         }
     }
+
+    /// Inverse of [`AbortReason::label`], used by the canonical report
+    /// schema (`bc_experiments::schema`) to decode serialized reports.
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Self> {
+        [
+            AbortReason::ViolationKill,
+            AbortReason::CycleLimit,
+            AbortReason::FatalOsError,
+        ]
+        .into_iter()
+        .find(|r| r.label() == label)
+    }
 }
 
 impl fmt::Display for AbortReason {

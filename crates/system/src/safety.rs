@@ -47,6 +47,13 @@ impl SafetyModel {
         }
     }
 
+    /// Inverse of [`SafetyModel::label`], used by the canonical config
+    /// schema (`bc_experiments::schema`).
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Self> {
+        SafetyModel::ALL.into_iter().find(|s| s.label() == label)
+    }
+
     /// Table 2: is the configuration safe against improper accelerator
     /// accesses?
     #[must_use]

@@ -351,7 +351,11 @@ impl HostBackend {
     /// Border Control (allocating + zeroing a fresh PT) and start issue.
     fn do_bind(&mut self, now: Cycle, accel: usize, tenant: usize) {
         let asid = self.recs[tenant].asid;
-        if self.slots[accel].bc.attach_process(&mut self.kernel, asid).is_err() {
+        if self.slots[accel]
+            .bc
+            .attach_process(&mut self.kernel, asid)
+            .is_err()
+        {
             self.aborted = true;
             return;
         }
@@ -436,7 +440,10 @@ impl HostBackend {
         let asid = self.recs[tenant].asid;
         let resp = {
             let slot = &mut self.slots[accel];
-            match slot.ats.translate(now, &mut self.kernel, &mut self.dram, asid, vpn) {
+            match slot
+                .ats
+                .translate(now, &mut self.kernel, &mut self.dram, asid, vpn)
+            {
                 Ok(r) => r,
                 // A dead or unmapped address space: the OS refuses the
                 // translation; no physical address is ever produced.
@@ -522,8 +529,10 @@ impl HostBackend {
             return;
         }
         let asid = self.recs[tenant].asid;
-        let vpn = Vpn::new(VirtAddr::new(TENANT_BASE_VA).vpn().as_u64()
-            + self.storm_rng.below(self.cfg.pages_per_tenant));
+        let vpn = Vpn::new(
+            VirtAddr::new(TENANT_BASE_VA).vpn().as_u64()
+                + self.storm_rng.below(self.cfg.pages_per_tenant),
+        );
         let Ok(down) = self.kernel.protect_page(asid, vpn, PagePerms::READ_ONLY) else {
             return;
         };
@@ -572,14 +581,19 @@ impl HostBackend {
         let asid = self.recs[tenant].asid;
         self.drain_shootdowns();
         let mut t = now;
-        let base = self.slots[accel].bc.table().map(bc_core::ProtectionTable::base);
+        let base = self.slots[accel]
+            .bc
+            .table()
+            .map(bc_core::ProtectionTable::base);
         let blocks = self.slots[accel].bc.detach_process(&mut self.kernel, asid);
         self.pt_zero_blocks += blocks;
         if let Some(base) = base {
             // The zeroing writes stream back-to-back; channel occupancy
             // bounds them, exactly like the engine's ZeroAll path.
             for i in 0..blocks {
-                let done = self.dram.write_block(now, base.byte(0).offset(i * BLOCK_SIZE));
+                let done = self
+                    .dram
+                    .write_block(now, base.byte(0).offset(i * BLOCK_SIZE));
                 t = t.max(done);
             }
         }
@@ -1230,7 +1244,12 @@ mod tests {
         cfg.storm_period = 300;
         let r = MultiTenantSystem::build(&cfg).expect("build").run();
         assert!(r.storms > 0);
-        assert_eq!(r.killed, 0, "storm killed an honest tenant: {}", r.to_json());
+        assert_eq!(
+            r.killed,
+            0,
+            "storm killed an honest tenant: {}",
+            r.to_json()
+        );
         assert_eq!(r.completed, 8);
         assert!(r.audit_clean());
     }
@@ -1241,9 +1260,17 @@ mod tests {
         cfg.malicious_permille = 300;
         cfg.probe_permille = 400;
         let r = MultiTenantSystem::build(&cfg).expect("build").run();
-        assert!(r.killed > 0, "no malicious tenant got caught: {}", r.to_json());
+        assert!(
+            r.killed > 0,
+            "no malicious tenant got caught: {}",
+            r.to_json()
+        );
         assert_eq!(r.completed + r.killed, 10, "a tenant vanished");
-        assert_eq!(r.probes.1, r.violations - 0, "all violations come from probes");
+        assert_eq!(
+            r.probes.1,
+            r.violations - 0,
+            "all violations come from probes"
+        );
         assert!(r.kill_p50 > 0, "kill latency must be visible");
         assert!(r.audit_clean(), "{}", r.to_json());
     }

@@ -67,7 +67,10 @@ fn kill_mid_downgrade_storm_is_clean_when_sharded() {
     c.shards = 3;
     let sharded = System::build(&c).expect("build").run();
     assert_eq!(serial.abort_reason, sharded.abort_reason);
-    assert_eq!(serial.cycles, sharded.cycles, "kill cycle drifted across shards");
+    assert_eq!(
+        serial.cycles, sharded.cycles,
+        "kill cycle drifted across shards"
+    );
     assert!(sharded.audit.as_ref().expect("audited").is_clean());
 }
 
@@ -100,7 +103,10 @@ fn multi_tenant_kill_under_load_reports_zero_findings() {
         r.to_json()
     );
     assert!(r.storms > 0, "the storm must actually have run");
-    assert_eq!(r.probes.1, r.violations, "every violation is a blocked probe");
+    assert_eq!(
+        r.probes.1, r.violations,
+        "every violation is a blocked probe"
+    );
     assert!(r.kill_p99 >= r.kill_p50);
     assert!(r.kill_p50 > 0, "kill latency must be measurable");
     let audit = r.audit.as_ref().expect("audited run");

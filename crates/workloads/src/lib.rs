@@ -261,6 +261,28 @@ impl WorkloadSize {
             WorkloadSize::Reference => 16,
         }
     }
+
+    /// Stable lower-case label, used by `--size` and the canonical
+    /// config schema (`bc_experiments::schema`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadSize::Tiny => "tiny",
+            WorkloadSize::Small => "small",
+            WorkloadSize::Reference => "reference",
+        }
+    }
+
+    /// Inverse of [`WorkloadSize::label`].
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "tiny" => Some(WorkloadSize::Tiny),
+            "small" => Some(WorkloadSize::Small),
+            "reference" => Some(WorkloadSize::Reference),
+            _ => None,
+        }
+    }
 }
 
 /// The seven-benchmark suite of the paper's Figure 4, in figure order.
