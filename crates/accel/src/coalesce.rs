@@ -76,6 +76,7 @@ impl CoalesceStats {
 
     /// Average block requests per instruction (1.0 = perfect, 32.0 =
     /// fully divergent).
+    // bc-lint: allow(float) — summary ratio of two integer counters.
     #[must_use]
     pub fn blocks_per_instruction(&self) -> f64 {
         if self.instructions.get() == 0 {
@@ -86,6 +87,7 @@ impl CoalesceStats {
     }
 
     /// Fraction of lane requests eliminated by coalescing.
+    // bc-lint: allow(float) — summary ratio of two integer counters.
     #[must_use]
     pub fn efficiency(&self) -> f64 {
         if self.lanes.get() == 0 {
@@ -97,6 +99,7 @@ impl CoalesceStats {
 }
 
 #[cfg(test)]
+// bc-lint: allow(float) — assertions on summary ratios only.
 mod tests {
     use super::*;
 

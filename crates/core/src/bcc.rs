@@ -89,6 +89,9 @@ impl BccConfig {
 /// Inlining the maximum keeps every entry one flat `Copy` record — no
 /// heap indirection on the lookup path; smaller `pages_per_entry`
 /// configurations simply use a prefix of the array.
+// bc-lint: allow-file(narrowing-cast) — BCC geometry: indices are masked
+// (set_mask) or bounded by PAGES_PER_BLOCK before conversion, and the
+// bool→u8 casts pack permission bits.
 const ENTRY_BITS_BYTES: usize = (PAGES_PER_BLOCK as usize * 2) / 8;
 
 #[derive(Debug, Clone, Copy)]

@@ -581,6 +581,7 @@ impl BorderControl {
 
     /// Requests checked per cycle over an `elapsed` window (Figure 5).
     #[must_use]
+    // bc-lint: allow(float) — summary throughput ratio for reports.
     pub fn checks_per_cycle(&self, elapsed: u64) -> f64 {
         if elapsed == 0 {
             0.0
@@ -606,6 +607,7 @@ impl BorderControl {
     }
 }
 
+// bc-lint: allow(float) — assertions on summary ratios only.
 #[cfg(test)]
 #[allow(clippy::indexing_slicing)] // tests may index asserted-nonempty results
 mod tests {

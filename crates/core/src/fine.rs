@@ -87,6 +87,7 @@ impl FineProtectionTable {
     /// Storage overhead as a fraction of covered memory (≈0.195 %,
     /// 32× the page-granular table's 0.006 %).
     #[must_use]
+    // bc-lint: allow(float) — storage-comparison summary for reports.
     pub fn storage_overhead_fraction(bounds_blocks: u64) -> f64 {
         if bounds_blocks == 0 {
             return 0.0;
@@ -119,6 +120,7 @@ impl FineProtectionTable {
         let slot = self.entry_addr(addr);
         let mut byte = store.read_byte(slot);
         let shift = (addr.block_index() % 4) * 2;
+        // bc-lint: allow(narrowing-cast) — bool→u8 permission-bit pack.
         let bits = (perms.readable() as u8) | ((perms.writable() as u8) << 1);
         byte = (byte & !(0b11 << shift)) | (bits << shift);
         store.write_byte(slot, byte);
@@ -140,8 +142,14 @@ impl FineProtectionTable {
         bytes: u64,
         perms: PagePerms,
     ) {
+        // An empty range grants nothing. The old `bytes.saturating_sub(1)`
+        // clamp made `bytes == 0` behave like `bytes == 1`, silently
+        // granting permissions on a block no byte of which was requested.
+        let Some(span) = bytes.checked_sub(1) else {
+            return;
+        };
         let first = start.block_index();
-        let last = (start.as_u64() + bytes.saturating_sub(1)) >> 7;
+        let last = (start.as_u64() + span) >> 7;
         for b in first..=last {
             self.merge(store, PhysAddr::new(b << 7), perms);
         }
@@ -164,6 +172,7 @@ impl FineProtectionTable {
 }
 
 #[cfg(test)]
+// bc-lint: allow(float) — assertions on summary ratios only.
 mod tests {
     use super::*;
 
@@ -227,6 +236,20 @@ mod tests {
         assert!(fine.check(&store, PhysAddr::new(0x0), false));
         assert!(fine.check(&store, PhysAddr::new(0x80), false));
         assert!(!fine.check(&store, PhysAddr::new(0x100), false));
+    }
+
+    #[test]
+    fn merge_range_of_zero_bytes_grants_nothing() {
+        let (mut store, fine) = setup();
+        // A zero-length grant must not touch the block at `start`. The
+        // old saturating clamp granted one full block here.
+        fine.merge_range(&mut store, PhysAddr::new(0x200), 0, PagePerms::READ_WRITE);
+        assert_eq!(fine.lookup(&store, PhysAddr::new(0x200)), PagePerms::NONE);
+        assert!(!fine.check(&store, PhysAddr::new(0x200), false));
+        // A one-byte grant covers exactly its block and no neighbour.
+        fine.merge_range(&mut store, PhysAddr::new(0x200), 1, PagePerms::READ_ONLY);
+        assert!(fine.check(&store, PhysAddr::new(0x200), false));
+        assert!(!fine.check(&store, PhysAddr::new(0x280), false));
     }
 
     #[test]

@@ -180,6 +180,10 @@ pub fn recall_plan(cpu_writes: bool, gpu_dirty: bool) -> RecallPlan {
 // The abstract protocol machine
 // ===================================================================
 
+// bc-lint: allow-file(narrowing-cast) — every cast in this file indexes
+// the model checker's tiny state: page ids are u8 with MAX_PAGES = 3, so
+// u8→usize widens losslessly and the usize→u8 direction is bounded by
+// MAX_PAGES / the BCC way count.
 /// Maximum pages the abstract machine models. The checker is built for
 /// *tiny* configurations — the protocol's interleavings, not capacity.
 pub const MAX_PAGES: usize = 3;
@@ -697,6 +701,9 @@ pub fn step(cfg: &ProtoConfig, s: &ProtoState, action: Action) -> StepResult {
                 to: target.perms(),
             });
             next.os[pi] = target.perms();
+            // bc-lint: allow(saturating-counter) — exploration budget
+            // clamp: the enabled-action guard already stops at zero, and
+            // a saturated budget only prunes, never corrupts, the model.
             next.downgrades_left = s.downgrades_left.saturating_sub(1);
             StepResult::Next(next)
         }
@@ -1034,9 +1041,9 @@ mod tests {
 
     #[test]
     fn encode_is_injective_on_a_sample_walk() {
-        use std::collections::HashMap;
+        use bc_sim::fxmap::FxHashMap;
         let cfg = bc_cfg();
-        let mut seen: HashMap<u64, ProtoState> = HashMap::new();
+        let mut seen: FxHashMap<u64, ProtoState> = FxHashMap::default();
         let mut frontier = vec![ProtoState::init(&cfg)];
         let mut steps = 0;
         while let Some(s) = frontier.pop() {

@@ -95,6 +95,7 @@ impl ProtectionTable {
     /// Storage overhead as a fraction of the physical memory covered.
     /// The paper's headline number: ~0.006 % (1/16384).
     #[must_use]
+    // bc-lint: allow(float) — storage-comparison summary for reports.
     pub fn storage_overhead_fraction(bounds_pages: u64) -> f64 {
         if bounds_pages == 0 {
             return 0.0;
@@ -137,6 +138,7 @@ impl ProtectionTable {
         let addr = self.entry_addr(ppn);
         let mut byte = store.read_byte(addr);
         let shift = (ppn.as_u64() % 4) * 2;
+        // bc-lint: allow(narrowing-cast) — bool→u8 permission-bit pack.
         let bits = (perms.readable() as u8) | ((perms.writable() as u8) << 1);
         byte = (byte & !(0b11 << shift)) | (bits << shift);
         store.write_byte(addr, byte);
@@ -179,6 +181,7 @@ impl ProtectionTable {
     #[must_use]
     pub fn read_block(&self, store: &PhysMemStore, ppn: Ppn) -> [PagePerms; 512] {
         let block_base_ppn = Ppn::new(ppn.as_u64() - (ppn.as_u64() % PAGES_PER_BLOCK));
+        // bc-lint: allow(narrowing-cast) — const BLOCK_SIZE fits usize.
         let mut bytes = [0u8; bc_mem::BLOCK_SIZE as usize];
         store.read_into(self.block_addr(ppn), &mut bytes);
         let mut out = [PagePerms::NONE; 512];
@@ -197,6 +200,7 @@ impl ProtectionTable {
 }
 
 #[cfg(test)]
+// bc-lint: allow(float) — assertions on summary ratios only.
 mod tests {
     use super::*;
 

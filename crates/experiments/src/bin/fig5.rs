@@ -4,6 +4,7 @@
 //!
 //! Usage: `fig5 [--size tiny|small|reference] [--jobs N]`
 
+// bc-lint: allow-file(float) — mean requests-per-cycle label for the figure; summary output only.
 use bc_experiments::{matrices, print_matrix, size_from_args, SweepOptions, WORKLOADS};
 
 fn main() {

@@ -9,6 +9,7 @@
 //!
 //! Usage: `fig6 [--size tiny|small|reference] [--jobs N] [--csv]`
 
+// bc-lint: allow-file(float) — miss-ratio grid aggregation for the figure; summary output only.
 use bc_core::{Bcc, BccConfig};
 use bc_experiments::{
     csv_from_args, matrices, print_matrix, run_cells_with, size_from_args, SweepOptions,

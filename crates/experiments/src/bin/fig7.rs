@@ -10,6 +10,7 @@
 //!
 //! Usage: `fig7 [--size tiny|small|reference] [--jobs N] [--csv]`
 
+// bc-lint: allow-file(float) — overhead-ratio labels for the figure; summary output only.
 use bc_experiments::matrices::{self, FIG4_GPUS, FIG7_DENSITY_SCALE, FIG7_RATES, FIG7_SAFETIES};
 use bc_experiments::{
     csv_from_args, geomean_overhead, pct, print_matrix, size_from_args, SweepOptions, WORKLOADS,

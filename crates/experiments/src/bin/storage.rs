@@ -1,5 +1,6 @@
 //! §5.2.3: area and memory storage overheads.
 
+// bc-lint: allow-file(float) — percentage formatting of storage fractions; summary output only.
 use bc_core::{BccConfig, FineProtectionTable, ProtectionTable};
 use bc_experiments::print_matrix;
 use bc_mem::PAGE_SIZE;

@@ -1,6 +1,7 @@
 //! Table 3: simulation configuration details, printed from the live
 //! defaults so the table can never drift from the code.
 
+// bc-lint: allow-file(float) — bandwidth headline in the table; summary output only.
 use bc_system::{GpuClass, SystemConfig};
 
 fn main() {

@@ -1,4 +1,7 @@
 //! Shared plumbing for the experiment binaries.
+// bc-lint: allow-file(float) — figure/table harness: overhead ratios,
+// percentage labels and geomeans computed from finished RunReports;
+// nothing here feeds a running simulation.
 //!
 //! Each binary regenerates one table or figure of the paper:
 //!

@@ -119,6 +119,8 @@ pub fn attacks(size: WorkloadSize) -> SweepMatrix {
 /// the kernel runs, unsafe baseline vs Border Control-BCC.
 #[must_use]
 pub fn cpu_coherence(size: WorkloadSize) -> SweepMatrix {
+    // bc-lint: allow(float) — config fractions; the builder converts
+    // them to fixed-point / exact chance() draws.
     let host = HostActivityConfig {
         period: 8,
         shared_fraction: 0.4,

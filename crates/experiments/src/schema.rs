@@ -1,5 +1,8 @@
 //! Canonical, versioned serialization for [`SystemConfig`] and
 //! [`RunReport`].
+// bc-lint: allow-file(float) — the codec must spell and re-read the
+// config's existing f64 fields; shortest-round-trip formatting only, no
+// arithmetic on the values.
 //!
 //! The sweep service (`bc-serve`) memoizes completed cells in a
 //! content-addressed store keyed by a hash of the cell's configuration, so

@@ -1,4 +1,7 @@
 //! A minimal, strict JSON parser for the canonical schema.
+// bc-lint: allow-file(float) — JSON number tokens are validated and
+// surfaced via f64 on demand; integers re-parse from the source token,
+// never through a float.
 //!
 //! The vendored `serde` stand-in has no real JSON support (see
 //! `vendor/README.md`), so the schema codec parses its own. Two

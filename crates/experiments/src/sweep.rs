@@ -35,6 +35,8 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+// bc-lint: allow(wall-clock) — wall time feeds only the operator-facing summary
+// (throughput, progress lines); no simulated state or RunReport byte depends on it
 use std::time::{Duration, Instant};
 
 use bc_sim::stats::{Histogram, StatsTable};
@@ -268,7 +270,7 @@ impl SweepMatrix {
     #[must_use]
     pub fn run(&self, opts: &SweepOptions) -> SweepResults {
         let cells = self.cells();
-        let started = Instant::now();
+        let started = Instant::now(); // bc-lint: allow(wall-clock) — sweep throughput metric only
         let outcomes = run_cells_with(&cells, opts, |cell| {
             System::build(&cell.config)
                 .map(|mut system| system.run())
@@ -299,6 +301,7 @@ pub fn cell_seed(matrix_seed: u64, coords: &[u64]) -> u64 {
         .chain(coords.iter().flat_map(|c| c.to_le_bytes()))
     {
         hash ^= u64::from(byte);
+        // bc-lint: allow(saturating-counter) — FNV-1a multiply wraps by design.
         hash = hash.wrapping_mul(FNV_PRIME);
     }
     hash
@@ -329,7 +332,7 @@ where
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(cell) = cells.get(i) else { break };
-                let started = Instant::now();
+                let started = Instant::now(); // bc-lint: allow(wall-clock) — per-cell wall metric only
                 let result = match catch_unwind(AssertUnwindSafe(|| runner(cell))) {
                     Ok(r) => r,
                     Err(payload) => Err(format!("cell panicked: {}", panic_message(&*payload))),
@@ -442,6 +445,8 @@ impl SweepResults {
     /// Sweep-level statistics: cell count, failures, abort-reason triage,
     /// throughput, and the per-cell wall-time distribution, rendered via
     /// [`bc_sim::stats`]. Audited sweeps add aggregate auditor counts.
+    // bc-lint: allow(float) — throughput / parallel-efficiency summary
+    // over wall-clock metrics, printed after the sweep.
     #[must_use]
     pub fn summary(&self) -> StatsTable {
         let mut wall = Histogram::new();

@@ -1,0 +1,171 @@
+//! `bc-lint` — workspace determinism & robustness lint (DESIGN.md §14).
+//!
+//! ```text
+//! bc-lint [--root DIR] [--json] [--list-rules] [--self-test]
+//!         [--inject RULE] [--expect-violation]
+//! ```
+//!
+//! Default mode lints every first-party `.rs` file under `--root`
+//! (default `.`): `crates/`, `src/`, `tests/`, `examples/`, excluding
+//! `vendor/`, `target/` and fixture corpora. Output is sorted by
+//! `(path, line, rule)` and byte-identical across repeated runs and
+//! directory-walk orders.
+//!
+//! * `--json` emits the machine-readable report instead of text.
+//! * `--self-test` runs the embedded fixture corpus: each rule's
+//!   violating fixture must yield exactly its expected findings and
+//!   each waived fixture exactly its waived entries.
+//! * `--inject RULE` appends that rule's violating fixture as a
+//!   virtual file, mirroring `bc-check --inject`: with
+//!   `--expect-violation` the exit status is 0 **iff** the seeded
+//!   violation is detected and nothing else is unwaived — proving the
+//!   gate still catches what it claims to.
+//!
+//! Exit status: 0 clean (or expectation met), 1 findings (or
+//! expectation missed), 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bc_lint::rules::RuleId;
+use bc_lint::{lint_workspace, selftest};
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+    list_rules: bool,
+    self_test: bool,
+    inject: Option<RuleId>,
+    expect_violation: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bc-lint [--root DIR] [--json] [--list-rules] [--self-test] \
+         [--inject RULE] [--expect-violation]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: false,
+        list_rules: false,
+        self_test: false,
+        inject: None,
+        expect_violation: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--root" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                args.root = PathBuf::from(v);
+            }
+            "--json" => args.json = true,
+            "--list-rules" => args.list_rules = true,
+            "--self-test" => args.self_test = true,
+            "--inject" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                match RuleId::from_name(&v) {
+                    Some(r) if selftest::violation_fixture(r).is_some() => {
+                        args.inject = Some(r);
+                    }
+                    _ => {
+                        eprintln!("unknown or non-injectable rule {v:?}");
+                        usage();
+                    }
+                }
+            }
+            "--expect-violation" => args.expect_violation = true,
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    if args.list_rules {
+        for rule in RuleId::ALL {
+            println!("{:<20} {}", rule.name(), rule.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if args.self_test {
+        let failures = selftest::run();
+        if failures.is_empty() {
+            println!(
+                "bc-lint --self-test: ok — {} fixtures, every rule catches its seeded violation",
+                selftest::CASES.len()
+            );
+            return ExitCode::SUCCESS;
+        }
+        for f in &failures {
+            eprintln!("bc-lint --self-test: {}: {}", f.fixture, f.message);
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let mut extra = Vec::new();
+    if let Some(rule) = args.inject {
+        let case = selftest::violation_fixture(rule)
+            .expect("parse_args admits only rules with a violating fixture");
+        extra.push((
+            format!("<inject>/{}", case.name),
+            case.source.to_string(),
+            selftest::FIXTURE_TIER,
+        ));
+    }
+
+    let report = match lint_workspace(&args.root, &extra) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bc-lint: IO error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_text());
+    }
+
+    if let Some(rule) = args.inject {
+        let injected: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|f| f.path.starts_with("<inject>/"))
+            .collect();
+        let caught = injected.iter().any(|f| f.rule == rule);
+        let others = report.findings.len() > injected.len();
+        if args.expect_violation {
+            return if caught && !others {
+                eprintln!(
+                    "bc-lint: seeded `{}` violation detected as expected",
+                    rule.name()
+                );
+                ExitCode::SUCCESS
+            } else if !caught {
+                eprintln!(
+                    "bc-lint: seeded `{}` violation was NOT detected — the gate is broken",
+                    rule.name()
+                );
+                ExitCode::FAILURE
+            } else {
+                eprintln!("bc-lint: workspace has unwaived findings besides the injected one");
+                ExitCode::FAILURE
+            };
+        }
+    }
+
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,950 @@
+//! A hand-rolled Rust lexer good enough to lint by.
+//!
+//! The rule catalog ([`crate::rules`]) only needs a faithful *token
+//! stream*: identifiers, literals, punctuation, and — crucially — the
+//! exact extents of everything that is **not** code (comments, string
+//! bodies), so that `"HashMap"` inside a raw string or `Instant::now`
+//! inside a nested block comment can never produce a finding. The
+//! lexer therefore handles the full set of Rust lexical edge cases that
+//! matter for that guarantee:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! * string, raw-string (`r#"…"#` at any hash depth), byte-string,
+//!   raw-byte-string and C-string literals, with escapes;
+//! * char literals vs lifetimes (`'f'` vs `'f64`), including escaped
+//!   chars (`'\''`) and underscore lifetimes;
+//! * raw identifiers (`r#ident`), which are tracked as *raw* so rules
+//!   can skip them (`let r#f64 = …` names a variable, not a type);
+//! * numeric literals with radix prefixes, `_` separators, exponents
+//!   and type suffixes — `0x1f64` is an integer (hex digits), `1f64`
+//!   is a float (suffix), `x.0` is a field access, `0..10` is a range.
+//!
+//! Comments are returned on the side (with positions) because the
+//! waiver layer ([`crate::waiver`]) and the `allow-needs-reason` rule
+//! both consume them.
+
+/// One lexed token. Positions are 1-based; `col` counts characters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Token text. For string-like literals this is the raw source
+    /// slice including quotes; rules never look inside it.
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword. `raw` marks `r#ident` forms.
+    Ident { raw: bool },
+    /// `'a`, `'static`, `'_` — never confused with char literals.
+    Lifetime,
+    /// `'x'`, `b'x'`, including escaped forms.
+    Char,
+    /// Any string-like literal: `"…"`, `r#"…"#`, `b"…"`, `br"…"`, `c"…"`.
+    Str,
+    /// Numeric literal; `float` is true for `1.0`, `1e3`, `2f64`, `1.`.
+    Num { float: bool },
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+}
+
+/// A comment, line or block, with its starting position and full text
+/// (including the `//` / `/*` introducer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// A lexical error. On first-party sources this indicates a lexer bug
+/// (rustc accepted the file), so the driver surfaces it as a finding
+/// rather than panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub message: String,
+    pub line: u32,
+}
+
+/// Full lex result: code tokens in order, comments in order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<Comment>,
+    pub errors: Vec<LexError>,
+}
+
+struct Cursor<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    src: &'a str,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            chars: src.chars().collect(),
+            pos: 0,
+            src,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn cur(&self) -> Option<char> {
+        self.peek(0)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.cur()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn eof(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Tokenizes `src`. Never panics: malformed input is reported through
+/// [`Lexed::errors`] and lexing resumes on a best-effort basis.
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor::new(src);
+    let mut out = Lexed::default();
+    let _ = cur.src; // spans are reconstructed from chars; src kept for future use
+
+    while !cur.eof() {
+        let line = cur.line;
+        let col = cur.col;
+        let c = match cur.cur() {
+            Some(c) => c,
+            None => break,
+        };
+
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            let text = take_line_comment(&mut cur);
+            out.comments.push(Comment { text, line, col });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            match take_block_comment(&mut cur) {
+                Ok(text) => out.comments.push(Comment { text, line, col }),
+                Err(e) => {
+                    out.errors.push(e);
+                    break;
+                }
+            }
+            continue;
+        }
+
+        // Raw identifiers / raw strings: r"…", r#"…"#, r#ident.
+        if c == 'r' {
+            if let Some(tok) = try_raw(&mut cur, line, col, &mut out.errors) {
+                out.tokens.push(tok);
+                continue;
+            }
+        }
+
+        // Byte strings / byte chars: b"…", b'…', br"…", br#"…"#.
+        if c == 'b' {
+            if let Some(tok) = try_byte_prefixed(&mut cur, line, col, &mut out.errors) {
+                out.tokens.push(tok);
+                continue;
+            }
+        }
+
+        // C strings: c"…", cr#"…"#.
+        if c == 'c' {
+            if let Some(tok) = try_c_prefixed(&mut cur, line, col, &mut out.errors) {
+                out.tokens.push(tok);
+                continue;
+            }
+        }
+
+        if is_ident_start(c) {
+            let text = take_ident(&mut cur);
+            out.tokens.push(Tok {
+                kind: TokKind::Ident { raw: false },
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        if c == '\'' {
+            let tok = take_quote(&mut cur, line, col, &mut out.errors);
+            out.tokens.push(tok);
+            continue;
+        }
+
+        if c == '"' {
+            match take_string(&mut cur) {
+                Ok(text) => out.tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                    col,
+                }),
+                Err(e) => {
+                    out.errors.push(e);
+                    break;
+                }
+            }
+            continue;
+        }
+
+        if c.is_ascii_digit() {
+            let tok = take_number(&mut cur, line, col);
+            out.tokens.push(tok);
+            continue;
+        }
+
+        // Anything else: single-char punctuation.
+        cur.bump();
+        out.tokens.push(Tok {
+            kind: TokKind::Punct(c),
+            text: c.to_string(),
+            line,
+            col,
+        });
+    }
+
+    out
+}
+
+fn take_line_comment(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    while let Some(c) = cur.cur() {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    text
+}
+
+fn take_block_comment(cur: &mut Cursor) -> Result<String, LexError> {
+    let start_line = cur.line;
+    let mut text = String::new();
+    // Consume "/*".
+    for _ in 0..2 {
+        if let Some(c) = cur.bump() {
+            text.push(c);
+        }
+    }
+    let mut depth = 1usize;
+    while depth > 0 {
+        match cur.cur() {
+            None => {
+                return Err(LexError {
+                    message: "unterminated block comment".into(),
+                    line: start_line,
+                })
+            }
+            Some('/') if cur.peek(1) == Some('*') => {
+                depth += 1;
+                text.push('/');
+                text.push('*');
+                cur.bump();
+                cur.bump();
+            }
+            Some('*') if cur.peek(1) == Some('/') => {
+                depth -= 1;
+                text.push('*');
+                text.push('/');
+                cur.bump();
+                cur.bump();
+            }
+            Some(c) => {
+                text.push(c);
+                cur.bump();
+            }
+        }
+    }
+    Ok(text)
+}
+
+fn take_ident(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    while let Some(c) = cur.cur() {
+        if !is_ident_continue(c) {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    text
+}
+
+/// Handles everything starting with `r`: raw strings (`r"…"`,
+/// `r#"…"#`), raw identifiers (`r#ident`), or a plain identifier that
+/// merely begins with `r`. Returns `None` only if the caller should
+/// not have dispatched here (cannot happen when `cur` is on `r`).
+fn try_raw(cur: &mut Cursor, line: u32, col: u32, errors: &mut Vec<LexError>) -> Option<Tok> {
+    debug_assert_eq!(cur.cur(), Some('r'));
+    match cur.peek(1) {
+        Some('"') => {
+            cur.bump(); // r
+            match take_raw_string(cur, 0) {
+                Ok(text) => Some(Tok {
+                    kind: TokKind::Str,
+                    text: format!("r{text}"),
+                    line,
+                    col,
+                }),
+                Err(e) => {
+                    errors.push(e);
+                    None
+                }
+            }
+        }
+        Some('#') => {
+            // Count hashes; then either a raw string (next is `"`) or a
+            // raw identifier (next is ident-start).
+            let mut hashes = 0usize;
+            while cur.peek(1 + hashes) == Some('#') {
+                hashes += 1;
+            }
+            match cur.peek(1 + hashes) {
+                Some('"') => {
+                    cur.bump(); // r
+                    match take_raw_string(cur, hashes) {
+                        Ok(text) => Some(Tok {
+                            kind: TokKind::Str,
+                            text: format!("r{text}"),
+                            line,
+                            col,
+                        }),
+                        Err(e) => {
+                            errors.push(e);
+                            None
+                        }
+                    }
+                }
+                Some(c) if hashes == 1 && is_ident_start(c) => {
+                    cur.bump(); // r
+                    cur.bump(); // #
+                    let text = take_ident(cur);
+                    Some(Tok {
+                        kind: TokKind::Ident { raw: true },
+                        text,
+                        line,
+                        col,
+                    })
+                }
+                _ => {
+                    // `r#` followed by something else: emit `r` as an
+                    // identifier and let the main loop handle the rest.
+                    cur.bump();
+                    Some(Tok {
+                        kind: TokKind::Ident { raw: false },
+                        text: "r".into(),
+                        line,
+                        col,
+                    })
+                }
+            }
+        }
+        _ => {
+            let text = take_ident(cur);
+            Some(Tok {
+                kind: TokKind::Ident { raw: false },
+                text,
+                line,
+                col,
+            })
+        }
+    }
+}
+
+/// Consumes a raw string whose `#` count is `hashes`, with the cursor
+/// on the first `#` (or on `"` when `hashes == 0`). Returns the source
+/// text from the hashes/quote onward.
+fn take_raw_string(cur: &mut Cursor, hashes: usize) -> Result<String, LexError> {
+    let start_line = cur.line;
+    let mut text = String::new();
+    for _ in 0..hashes {
+        if let Some(c) = cur.bump() {
+            text.push(c); // '#'
+        }
+    }
+    if let Some(c) = cur.bump() {
+        text.push(c); // opening '"'
+    }
+    loop {
+        match cur.cur() {
+            None => {
+                return Err(LexError {
+                    message: "unterminated raw string".into(),
+                    line: start_line,
+                })
+            }
+            Some('"') => {
+                let mut matched = true;
+                for k in 0..hashes {
+                    if cur.peek(1 + k) != Some('#') {
+                        matched = false;
+                        break;
+                    }
+                }
+                text.push('"');
+                cur.bump();
+                if matched {
+                    for _ in 0..hashes {
+                        text.push('#');
+                        cur.bump();
+                    }
+                    return Ok(text);
+                }
+            }
+            Some(c) => {
+                text.push(c);
+                cur.bump();
+            }
+        }
+    }
+}
+
+/// Handles `b`-prefixed literals; falls back to a plain identifier.
+fn try_byte_prefixed(
+    cur: &mut Cursor,
+    line: u32,
+    col: u32,
+    errors: &mut Vec<LexError>,
+) -> Option<Tok> {
+    debug_assert_eq!(cur.cur(), Some('b'));
+    match cur.peek(1) {
+        Some('"') => {
+            cur.bump(); // b
+            match take_string(cur) {
+                Ok(text) => Some(Tok {
+                    kind: TokKind::Str,
+                    text: format!("b{text}"),
+                    line,
+                    col,
+                }),
+                Err(e) => {
+                    errors.push(e);
+                    None
+                }
+            }
+        }
+        Some('\'') => {
+            cur.bump(); // b
+            let tok = take_quote(cur, line, col, errors);
+            Some(Tok {
+                kind: TokKind::Char,
+                text: format!("b{}", tok.text),
+                line,
+                col,
+            })
+        }
+        Some('r') if matches!(cur.peek(2), Some('"' | '#')) => {
+            cur.bump(); // b
+            cur.bump(); // r
+            let mut hashes = 0usize;
+            while cur.peek(hashes) == Some('#') {
+                hashes += 1;
+            }
+            match take_raw_string(cur, hashes) {
+                Ok(text) => Some(Tok {
+                    kind: TokKind::Str,
+                    text: format!("br{text}"),
+                    line,
+                    col,
+                }),
+                Err(e) => {
+                    errors.push(e);
+                    None
+                }
+            }
+        }
+        _ => {
+            let text = take_ident(cur);
+            Some(Tok {
+                kind: TokKind::Ident { raw: false },
+                text,
+                line,
+                col,
+            })
+        }
+    }
+}
+
+/// Handles `c`-prefixed literals (C strings); falls back to an identifier.
+fn try_c_prefixed(
+    cur: &mut Cursor,
+    line: u32,
+    col: u32,
+    errors: &mut Vec<LexError>,
+) -> Option<Tok> {
+    debug_assert_eq!(cur.cur(), Some('c'));
+    match cur.peek(1) {
+        Some('"') => {
+            cur.bump(); // c
+            match take_string(cur) {
+                Ok(text) => Some(Tok {
+                    kind: TokKind::Str,
+                    text: format!("c{text}"),
+                    line,
+                    col,
+                }),
+                Err(e) => {
+                    errors.push(e);
+                    None
+                }
+            }
+        }
+        Some('r') if matches!(cur.peek(2), Some('"' | '#')) => {
+            cur.bump(); // c
+            cur.bump(); // r
+            let mut hashes = 0usize;
+            while cur.peek(hashes) == Some('#') {
+                hashes += 1;
+            }
+            match take_raw_string(cur, hashes) {
+                Ok(text) => Some(Tok {
+                    kind: TokKind::Str,
+                    text: format!("cr{text}"),
+                    line,
+                    col,
+                }),
+                Err(e) => {
+                    errors.push(e);
+                    None
+                }
+            }
+        }
+        _ => {
+            let text = take_ident(cur);
+            Some(Tok {
+                kind: TokKind::Ident { raw: false },
+                text,
+                line,
+                col,
+            })
+        }
+    }
+}
+
+/// Consumes a `"…"` string with escape handling; cursor on the opening
+/// quote.
+fn take_string(cur: &mut Cursor) -> Result<String, LexError> {
+    let start_line = cur.line;
+    let mut text = String::new();
+    if let Some(c) = cur.bump() {
+        text.push(c); // opening quote
+    }
+    loop {
+        match cur.cur() {
+            None => {
+                return Err(LexError {
+                    message: "unterminated string".into(),
+                    line: start_line,
+                })
+            }
+            Some('\\') => {
+                text.push('\\');
+                cur.bump();
+                if let Some(e) = cur.bump() {
+                    text.push(e);
+                }
+            }
+            Some('"') => {
+                text.push('"');
+                cur.bump();
+                return Ok(text);
+            }
+            Some(c) => {
+                text.push(c);
+                cur.bump();
+            }
+        }
+    }
+}
+
+/// Disambiguates `'…` into a char literal or a lifetime; cursor on the
+/// `'`.
+fn take_quote(cur: &mut Cursor, line: u32, col: u32, errors: &mut Vec<LexError>) -> Tok {
+    let mut text = String::from('\'');
+    cur.bump(); // '
+    match cur.cur() {
+        Some('\\') => {
+            // Escaped char literal: consume escape, then to closing quote.
+            text.push('\\');
+            cur.bump();
+            if let Some(e) = cur.bump() {
+                text.push(e);
+            }
+            // \u{…} may span several chars.
+            while let Some(c) = cur.cur() {
+                text.push(c);
+                cur.bump();
+                if c == '\'' {
+                    break;
+                }
+            }
+            Tok {
+                kind: TokKind::Char,
+                text,
+                line,
+                col,
+            }
+        }
+        Some(c) if is_ident_start(c) || c.is_ascii_digit() => {
+            // Could be 'x' (char) or 'xyz (lifetime): peek past one char.
+            if cur.peek(1) == Some('\'') {
+                text.push(c);
+                cur.bump();
+                text.push('\'');
+                cur.bump();
+                Tok {
+                    kind: TokKind::Char,
+                    text,
+                    line,
+                    col,
+                }
+            } else {
+                let ident = take_ident(cur);
+                text.push_str(&ident);
+                Tok {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line,
+                    col,
+                }
+            }
+        }
+        Some(c) => {
+            // Non-identifier char literal like '+' or ' '.
+            text.push(c);
+            cur.bump();
+            if cur.cur() == Some('\'') {
+                text.push('\'');
+                cur.bump();
+            } else {
+                errors.push(LexError {
+                    message: "unterminated char literal".into(),
+                    line,
+                });
+            }
+            Tok {
+                kind: TokKind::Char,
+                text,
+                line,
+                col,
+            }
+        }
+        None => {
+            errors.push(LexError {
+                message: "dangling quote at end of input".into(),
+                line,
+            });
+            Tok {
+                kind: TokKind::Char,
+                text,
+                line,
+                col,
+            }
+        }
+    }
+}
+
+/// Consumes a numeric literal; cursor on the first digit.
+fn take_number(cur: &mut Cursor, line: u32, col: u32) -> Tok {
+    let mut text = String::new();
+    let mut float = false;
+
+    let radix_prefix = if cur.cur() == Some('0') {
+        match cur.peek(1) {
+            Some('x' | 'X') => Some(16),
+            Some('o' | 'O') => Some(8),
+            Some('b' | 'B') => Some(2),
+            _ => None,
+        }
+    } else {
+        None
+    };
+
+    if let Some(radix) = radix_prefix {
+        // "0x" / "0o" / "0b" plus digits in radix; `_` separators and
+        // any trailing ident chars (a malformed-or-suffix tail) are
+        // consumed so the token ends cleanly. Hex digits absorb `f64`
+        // in `0x1f64` — it is not a float suffix there.
+        for _ in 0..2 {
+            if let Some(c) = cur.bump() {
+                text.push(c);
+            }
+        }
+        while let Some(c) = cur.cur() {
+            if c == '_' || c.is_digit(radix) || is_ident_continue(c) {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        return Tok {
+            kind: TokKind::Num { float: false },
+            text,
+            line,
+            col,
+        };
+    }
+
+    // Decimal integer part.
+    while let Some(c) = cur.cur() {
+        if c.is_ascii_digit() || c == '_' {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+
+    // Fractional part: `.` belongs to the number only when not starting
+    // a range (`0..10`) or a method/field access (`1.max(2)`, `x.0` never
+    // reaches here because `x` lexes as an identifier first).
+    if cur.cur() == Some('.') && cur.peek(1) != Some('.') {
+        let after = cur.peek(1);
+        let is_frac = match after {
+            Some(c) => c.is_ascii_digit() || !(is_ident_start(c)),
+            None => true,
+        };
+        if is_frac {
+            float = true;
+            text.push('.');
+            cur.bump();
+            while let Some(c) = cur.cur() {
+                if c.is_ascii_digit() || c == '_' {
+                    text.push(c);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    // Exponent: `e`/`E` followed by digits or a signed digit run.
+    if matches!(cur.cur(), Some('e' | 'E')) {
+        let (sign_len, first_digit) = match cur.peek(1) {
+            Some('+' | '-') => (1usize, cur.peek(2)),
+            other => (0usize, other),
+        };
+        if first_digit.is_some_and(|c| c.is_ascii_digit()) {
+            float = true;
+            text.push('e');
+            cur.bump();
+            for _ in 0..sign_len {
+                if let Some(c) = cur.bump() {
+                    text.push(c);
+                }
+            }
+            while let Some(c) = cur.cur() {
+                if c.is_ascii_digit() || c == '_' {
+                    text.push(c);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    // Type suffix: `u64`, `f64`, `usize`, …
+    let mut suffix = String::new();
+    while let Some(c) = cur.cur() {
+        if is_ident_continue(c) {
+            suffix.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    if suffix == "f32" || suffix == "f64" {
+        float = true;
+    }
+    text.push_str(&suffix);
+
+    Tok {
+        kind: TokKind::Num { float },
+        text,
+        line,
+        col,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| matches!(t.kind, TokKind::Ident { .. }))
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn raw_string_hides_contents() {
+        let l = lex(r###"let s = r#"use std::collections::HashMap;"#;"###);
+        assert!(l.errors.is_empty());
+        assert!(
+            !idents(r###"let s = r#"use std::collections::HashMap;"#;"###)
+                .contains(&"HashMap".to_string())
+        );
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let l = lex("/* outer /* Instant::now() */ still comment */ fn x() {}");
+        assert!(l.errors.is_empty());
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(idents("/* a /* b */ c */ fn x() {}"), vec!["fn", "x"]);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let l = lex("fn f<'f64>(x: &'f64 u8) -> char { 'f' }");
+        assert!(l.errors.is_empty());
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["'f64", "'f64"]);
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Char).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn escaped_char_literal() {
+        let l = lex(r"let q = '\''; let n = '\n'; let u = '\u{1F600}';");
+        assert!(l.errors.is_empty());
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Char).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn raw_ident_is_marked_raw() {
+        let l = lex("let r#f64 = 1; let plain = r#type;");
+        let raws: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == (TokKind::Ident { raw: true }))
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(raws, vec!["f64", "type"]);
+    }
+
+    #[test]
+    fn hex_with_float_lookalike_suffix_is_int() {
+        let l = lex("let a = 0x1f64; let b = 1f64; let c = 1.0; let d = 1e3; let e = 1_000u64;");
+        let nums: Vec<_> = l
+            .tokens
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Num { float } => Some((t.text.clone(), float)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            nums,
+            vec![
+                ("0x1f64".to_string(), false),
+                ("1f64".to_string(), true),
+                ("1.0".to_string(), true),
+                ("1e3".to_string(), true),
+                ("1_000u64".to_string(), false),
+            ]
+        );
+    }
+
+    #[test]
+    fn field_access_and_ranges_are_not_floats() {
+        let l = lex("let y = x.0; for i in 0..10 { let m = 1.max(2); }");
+        assert!(l
+            .tokens
+            .iter()
+            .all(|t| !matches!(t.kind, TokKind::Num { float: true })));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let l = lex(
+            r###"let a = b"HashMap"; let b = br#"Instant"#; let c = c"SystemTime"; let d = b'\'';"###,
+        );
+        assert!(l.errors.is_empty());
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Str).count(),
+            3
+        );
+        assert!(!idents(r###"let a = b"HashMap";"###).contains(&"HashMap".to_string()));
+    }
+
+    #[test]
+    fn string_with_comment_lookalikes() {
+        let l = lex(r#"let s = "// not a comment /* nor this"; let t = 1;"#);
+        assert!(l.errors.is_empty());
+        assert!(l.comments.is_empty());
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_an_error() {
+        let l = lex("fn x() {} /* oops");
+        assert_eq!(l.errors.len(), 1);
+    }
+
+    #[test]
+    fn line_continuation_in_string() {
+        let l = lex("let s = \"abc\\\n   def\"; let x = 1;");
+        assert!(l.errors.is_empty());
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1
+        );
+    }
+}

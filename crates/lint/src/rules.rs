@@ -1,0 +1,424 @@
+//! The bc-lint rule catalog.
+//!
+//! Rules are applied over the token stream per file, gated by the
+//! file's tier (see [`crate::Tier`] and the table in DESIGN.md §14):
+//!
+//! | rule                 | tier          | hazard                                    |
+//! |----------------------|---------------|-------------------------------------------|
+//! | `std-hash`           | deterministic | HashMap/HashSet iteration order            |
+//! | `wall-clock`         | deterministic | `Instant`/`SystemTime` in sim code         |
+//! | `os-random`          | deterministic | entropy outside the run seed               |
+//! | `float`              | deterministic | FP outside summary-only paths              |
+//! | `allow-needs-reason` | all           | unexplained lint suppression               |
+//! | `narrowing-cast`     | protocol      | silent truncation in core/mem/os           |
+//! | `saturating-counter` | all           | saturation masking double-decrement bugs   |
+//! | `bad-directive`      | all (meta)    | malformed waiver                           |
+//! | `unused-waiver`      | all (meta)    | waiver that suppresses nothing             |
+//! | `parse`              | all (meta)    | file the lexer could not tokenize          |
+//!
+//! Findings are deduplicated per `(rule, line)`: one hazard per line
+//! per rule, anchored at the first offending token.
+
+use crate::lexer::{Comment, Lexed, Tok, TokKind};
+
+/// Stable rule identifiers. Order is the report order within a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    StdHash,
+    WallClock,
+    OsRandom,
+    Float,
+    AllowNeedsReason,
+    NarrowingCast,
+    SaturatingCounter,
+    BadDirective,
+    UnusedWaiver,
+    Parse,
+}
+
+impl RuleId {
+    /// Every rule, in report order.
+    pub const ALL: [RuleId; 10] = [
+        RuleId::StdHash,
+        RuleId::WallClock,
+        RuleId::OsRandom,
+        RuleId::Float,
+        RuleId::AllowNeedsReason,
+        RuleId::NarrowingCast,
+        RuleId::SaturatingCounter,
+        RuleId::BadDirective,
+        RuleId::UnusedWaiver,
+        RuleId::Parse,
+    ];
+
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::StdHash => "std-hash",
+            RuleId::WallClock => "wall-clock",
+            RuleId::OsRandom => "os-random",
+            RuleId::Float => "float",
+            RuleId::AllowNeedsReason => "allow-needs-reason",
+            RuleId::NarrowingCast => "narrowing-cast",
+            RuleId::SaturatingCounter => "saturating-counter",
+            RuleId::BadDirective => "bad-directive",
+            RuleId::UnusedWaiver => "unused-waiver",
+            RuleId::Parse => "parse",
+        }
+    }
+
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<RuleId> {
+        RuleId::ALL.into_iter().find(|r| r.name() == name)
+    }
+
+    /// Meta rules (directive hygiene, lexer failure) cannot be waived —
+    /// a waiver that waives waiver-hygiene would be self-defeating.
+    #[must_use]
+    pub fn waivable(self) -> bool {
+        !matches!(
+            self,
+            RuleId::BadDirective | RuleId::UnusedWaiver | RuleId::Parse
+        )
+    }
+
+    /// One-line description for `--list-rules` and DESIGN.md parity.
+    #[must_use]
+    pub fn describe(self) -> &'static str {
+        match self {
+            RuleId::StdHash => {
+                "std HashMap/HashSet in deterministic sim code (iteration-order hazard); \
+                 use bc_sim::fxmap::FxHashMap (probe-by-key) or BTreeMap"
+            }
+            RuleId::WallClock => {
+                "wall-clock time (Instant/SystemTime) in deterministic sim code; \
+                 simulated Cycle time is the only clock"
+            }
+            RuleId::OsRandom => {
+                "OS entropy (thread_rng/OsRng/getrandom/RandomState) in deterministic \
+                 sim code; all randomness derives from the run seed"
+            }
+            RuleId::Float => {
+                "f32/f64 in deterministic sim code; use fixed-point integer arithmetic, \
+                 or waive an annotated summary-only path"
+            }
+            RuleId::AllowNeedsReason => {
+                "#[allow(...)] without a reason: add a comment on the same line or the \
+                 line above saying why the lint is suppressed"
+            }
+            RuleId::NarrowingCast => {
+                "narrowing `as` cast in a protocol crate (core/mem/os); use try_from / \
+                 checked conversion, or waive with the masking invariant"
+            }
+            RuleId::SaturatingCounter => {
+                "saturating_sub/wrapping_* can silently mask counter underflow (the \
+                 pending_commits bug); use checked_* + an audit finding, or waive \
+                 wrap-by-design math"
+            }
+            RuleId::BadDirective => "bc-lint waiver directive that does not parse",
+            RuleId::UnusedWaiver => "bc-lint waiver that suppresses no finding",
+            RuleId::Parse => "file the lexer failed to tokenize (lexer bug: report it)",
+        }
+    }
+}
+
+/// Which rule groups apply to a file, derived from its workspace path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Tier {
+    /// `crates/{sim,core,mem,cache,os,iommu,accel,system,workloads,experiments}/src/**`
+    pub deterministic: bool,
+    /// `crates/{core,mem,os}/src/**`
+    pub protocol: bool,
+}
+
+/// One raw finding, before waiver resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawFinding {
+    pub rule: RuleId,
+    pub line: u32,
+    pub col: u32,
+    /// The offending token text (goes into the message).
+    pub what: String,
+}
+
+const NARROW_TARGETS: [&str; 8] = ["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
+const RANDOM_IDENTS: [&str; 5] = [
+    "thread_rng",
+    "OsRng",
+    "from_entropy",
+    "getrandom",
+    "RandomState",
+];
+
+/// Runs every tier-applicable token rule over one lexed file.
+/// Findings come back deduplicated per `(rule, line)` and sorted by
+/// `(line, rule, col)`.
+#[must_use]
+pub fn scan(lexed: &Lexed, tier: Tier) -> Vec<RawFinding> {
+    let mut found: Vec<RawFinding> = Vec::new();
+    let toks = &lexed.tokens;
+
+    for e in &lexed.errors {
+        found.push(RawFinding {
+            rule: RuleId::Parse,
+            line: e.line,
+            col: 1,
+            what: e.message.clone(),
+        });
+    }
+
+    for (i, t) in toks.iter().enumerate() {
+        match t.kind {
+            TokKind::Ident { raw: false } => {
+                let text = t.text.as_str();
+                if tier.deterministic && (text == "HashMap" || text == "HashSet") {
+                    push(&mut found, RuleId::StdHash, t);
+                }
+                if tier.deterministic && (text == "Instant" || text == "SystemTime") {
+                    push(&mut found, RuleId::WallClock, t);
+                }
+                if tier.deterministic && RANDOM_IDENTS.contains(&text) {
+                    push(&mut found, RuleId::OsRandom, t);
+                }
+                if tier.deterministic && (text == "f32" || text == "f64") {
+                    push(&mut found, RuleId::Float, t);
+                }
+                if text == "saturating_sub" || text.starts_with("wrapping_") {
+                    push(&mut found, RuleId::SaturatingCounter, t);
+                }
+                if tier.protocol && text == "as" {
+                    if let Some(next) = toks.get(i + 1) {
+                        if next.kind == (TokKind::Ident { raw: false })
+                            && NARROW_TARGETS.contains(&next.text.as_str())
+                        {
+                            push(&mut found, RuleId::NarrowingCast, next);
+                        }
+                    }
+                }
+            }
+            TokKind::Num { float: true } if tier.deterministic => {
+                push(&mut found, RuleId::Float, t);
+            }
+            _ => {}
+        }
+    }
+
+    scan_allow_attrs(toks, &lexed.comments, &mut found);
+
+    // Dedup per (rule, line), keeping the leftmost token's column.
+    found.sort_by_key(|f| (f.line, f.rule, f.col));
+    found.dedup_by_key(|f| (f.line, f.rule));
+    found
+}
+
+fn push(found: &mut Vec<RawFinding>, rule: RuleId, t: &Tok) {
+    found.push(RawFinding {
+        rule,
+        line: t.line,
+        col: t.col,
+        what: t.text.clone(),
+    });
+}
+
+/// `allow-needs-reason`: every `#[allow(…)]` / `#![allow(…)]` must
+/// carry a reason — a comment on the attribute's first or last line, a
+/// plain (non-doc) comment on the line directly above, or a literal
+/// `reason` token inside the attribute.
+fn scan_allow_attrs(toks: &[Tok], comments: &[Comment], found: &mut Vec<RawFinding>) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind != TokKind::Punct('#') {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if toks.get(j).map(|t| t.kind) == Some(TokKind::Punct('!')) {
+            j += 1;
+        }
+        if toks.get(j).map(|t| t.kind) != Some(TokKind::Punct('[')) {
+            i += 1;
+            continue;
+        }
+        let is_allow = toks
+            .get(j + 1)
+            .is_some_and(|t| t.kind == (TokKind::Ident { raw: false }) && t.text == "allow");
+        if !is_allow {
+            i += 1;
+            continue;
+        }
+        // Find the matching `]` (attribute extent) and look for a
+        // `reason` token inside.
+        let mut depth = 0i64;
+        let mut end = j;
+        let mut has_reason_token = false;
+        for (k, t) in toks.iter().enumerate().skip(j) {
+            match t.kind {
+                TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = k;
+                        break;
+                    }
+                }
+                TokKind::Ident { raw: false } if t.text == "reason" => {
+                    has_reason_token = true;
+                }
+                _ => {}
+            }
+        }
+        let start_line = toks[i].line;
+        let end_line = toks.get(end).map_or(start_line, |t| t.line);
+        let reasoned = has_reason_token
+            || comments
+                .iter()
+                .filter(|c| !crate::waiver::is_directive_comment(&c.text))
+                .any(|c| {
+                    c.line == start_line
+                        || c.line == end_line
+                        || (c.line + 1 == start_line && !is_doc_comment(&c.text))
+                });
+        if !reasoned {
+            found.push(RawFinding {
+                rule: RuleId::AllowNeedsReason,
+                line: start_line,
+                col: toks[i].col,
+                what: "#[allow(...)]".to_string(),
+            });
+        }
+        i = end.max(i) + 1;
+    }
+}
+
+fn is_doc_comment(text: &str) -> bool {
+    let t = text.trim_start();
+    (t.starts_with("///") && !t.starts_with("////")) || t.starts_with("//!") || t.starts_with("/**")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const DET: Tier = Tier {
+        deterministic: true,
+        protocol: false,
+    };
+    const PROTO: Tier = Tier {
+        deterministic: true,
+        protocol: true,
+    };
+    const PLAIN: Tier = Tier {
+        deterministic: false,
+        protocol: false,
+    };
+
+    fn rules_of(src: &str, tier: Tier) -> Vec<RuleId> {
+        scan(&lex(src), tier).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn std_hash_fires_only_in_deterministic_tier() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(rules_of(src, DET), vec![RuleId::StdHash]);
+        assert!(rules_of(src, PLAIN).is_empty());
+    }
+
+    #[test]
+    fn fx_hash_map_does_not_fire() {
+        assert!(rules_of(
+            "use bc_sim::fxmap::FxHashMap;\nlet m = FxHashMap::default();\n",
+            DET
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn wall_clock_and_random() {
+        assert_eq!(
+            rules_of("let t = Instant::now();\n", DET),
+            vec![RuleId::WallClock]
+        );
+        assert_eq!(
+            rules_of("let r = thread_rng();\n", DET),
+            vec![RuleId::OsRandom]
+        );
+    }
+
+    #[test]
+    fn float_idents_and_literals() {
+        assert_eq!(rules_of("fn r() -> f64 { 0 }\n", DET), vec![RuleId::Float]);
+        assert_eq!(rules_of("let x = 1.5;\n", DET), vec![RuleId::Float]);
+        // One finding per (rule, line) even with several float tokens.
+        assert_eq!(
+            rules_of("let x: f64 = 1.0 + 2.0;\n", DET),
+            vec![RuleId::Float]
+        );
+        assert!(rules_of("let a = 0x1f64;\n", DET).is_empty());
+        assert!(rules_of("let r#f64 = 3;\n", DET).is_empty());
+    }
+
+    #[test]
+    fn narrowing_casts_only_in_protocol_tier() {
+        let src = "let x = (y & 0xff) as u8;\n";
+        assert_eq!(rules_of(src, PROTO), vec![RuleId::NarrowingCast]);
+        assert!(rules_of(src, DET).is_empty());
+        assert!(rules_of("let x = y as u64;\n", PROTO).is_empty());
+    }
+
+    #[test]
+    fn saturating_rule_applies_to_every_tier() {
+        assert_eq!(
+            rules_of("n = n.saturating_sub(1);\n", PLAIN),
+            vec![RuleId::SaturatingCounter]
+        );
+        assert_eq!(
+            rules_of("h = h.wrapping_mul(P);\n", PLAIN),
+            vec![RuleId::SaturatingCounter]
+        );
+        assert!(rules_of("n = n.checked_sub(1).unwrap_or(0);\n", PLAIN).is_empty());
+    }
+
+    #[test]
+    fn bare_allow_fires_and_reasoned_allow_does_not() {
+        assert_eq!(
+            rules_of("#[allow(dead_code)]\nfn f() {}\n", PLAIN),
+            vec![RuleId::AllowNeedsReason]
+        );
+        assert!(rules_of(
+            "#[allow(dead_code)] // kept for fixture parity\nfn f() {}\n",
+            PLAIN
+        )
+        .is_empty());
+        assert!(rules_of(
+            "// scratch buffers are written before read\n#[allow(dead_code)]\nfn f() {}\n",
+            PLAIN
+        )
+        .is_empty());
+        assert!(rules_of("#![allow(dead_code)] // test helper crate\n", PLAIN).is_empty());
+        assert!(rules_of(
+            "#[allow(dead_code, reason = \"spelled out\")]\nfn f() {}\n",
+            PLAIN
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn doc_comment_above_is_not_a_reason() {
+        assert_eq!(
+            rules_of("/// Docs for f.\n#[allow(dead_code)]\nfn f() {}\n", PLAIN),
+            vec![RuleId::AllowNeedsReason]
+        );
+    }
+
+    #[test]
+    fn comments_and_strings_never_fire() {
+        let src = "\
+// HashMap Instant::now() 1.0 saturating_sub as u8
+/* nested /* f64 */ thread_rng */
+let s = \"HashMap f64 saturating_sub\";
+let r = r#\"Instant SystemTime\"#;
+";
+        assert!(rules_of(src, PROTO).is_empty());
+    }
+}

@@ -1,0 +1,246 @@
+//! Fixture-driven self-tests and the seeded-violation (`--inject`)
+//! mode, mirroring `bc-check --inject`: a lint that cannot demonstrate
+//! it still catches each rule's minimal violation is not a gate.
+//!
+//! Every rule has two fixtures under `crates/lint/tests/fixtures/`
+//! (embedded here so the installed binary is self-contained):
+//!
+//! * `violate_<rule>.rs` — must yield **exactly** the expected
+//!   `(rule, line)` findings, nothing more, nothing waived;
+//! * `waived_<rule>.rs` — the same hazard under an inline waiver: must
+//!   yield zero findings and the expected waived entries.
+//!
+//! Fixtures are linted at the strictest tier (deterministic +
+//! protocol) regardless of where they sit on disk, and are excluded
+//! from the normal workspace walk.
+
+use crate::rules::{RuleId, Tier};
+use crate::{lint_source, Finding, Waived};
+
+/// The tier fixtures are linted at: every rule armed.
+pub const FIXTURE_TIER: Tier = Tier {
+    deterministic: true,
+    protocol: true,
+};
+
+/// One self-test case: fixture name, source, expected unwaived
+/// `(rule, line)` pairs, expected waived `(rule, line)` pairs.
+pub struct Case {
+    pub name: &'static str,
+    pub source: &'static str,
+    pub expect_findings: &'static [(RuleId, u32)],
+    pub expect_waived: &'static [(RuleId, u32)],
+}
+
+/// The full fixture table. Violating fixtures first, then waived
+/// counterparts, then the meta and adversarial corpora.
+pub const CASES: &[Case] = &[
+    Case {
+        name: "violate_std_hash.rs",
+        source: include_str!("../tests/fixtures/violate_std_hash.rs"),
+        expect_findings: &[
+            (RuleId::StdHash, 1),
+            (RuleId::StdHash, 3),
+            (RuleId::StdHash, 4),
+        ],
+        expect_waived: &[],
+    },
+    Case {
+        name: "violate_wall_clock.rs",
+        source: include_str!("../tests/fixtures/violate_wall_clock.rs"),
+        expect_findings: &[(RuleId::WallClock, 1), (RuleId::WallClock, 4)],
+        expect_waived: &[],
+    },
+    Case {
+        name: "violate_os_random.rs",
+        source: include_str!("../tests/fixtures/violate_os_random.rs"),
+        expect_findings: &[(RuleId::OsRandom, 2)],
+        expect_waived: &[],
+    },
+    Case {
+        name: "violate_float.rs",
+        source: include_str!("../tests/fixtures/violate_float.rs"),
+        expect_findings: &[(RuleId::Float, 1), (RuleId::Float, 2), (RuleId::Float, 5)],
+        expect_waived: &[],
+    },
+    Case {
+        name: "violate_allow_needs_reason.rs",
+        source: include_str!("../tests/fixtures/violate_allow_needs_reason.rs"),
+        expect_findings: &[(RuleId::AllowNeedsReason, 1)],
+        expect_waived: &[],
+    },
+    Case {
+        name: "violate_narrowing_cast.rs",
+        source: include_str!("../tests/fixtures/violate_narrowing_cast.rs"),
+        expect_findings: &[(RuleId::NarrowingCast, 2), (RuleId::NarrowingCast, 6)],
+        expect_waived: &[],
+    },
+    Case {
+        name: "violate_saturating_counter.rs",
+        source: include_str!("../tests/fixtures/violate_saturating_counter.rs"),
+        expect_findings: &[
+            (RuleId::SaturatingCounter, 2),
+            (RuleId::SaturatingCounter, 6),
+        ],
+        expect_waived: &[],
+    },
+    Case {
+        name: "violate_bad_directive.rs",
+        source: include_str!("../tests/fixtures/violate_bad_directive.rs"),
+        expect_findings: &[(RuleId::BadDirective, 1)],
+        expect_waived: &[],
+    },
+    Case {
+        name: "violate_unused_waiver.rs",
+        source: include_str!("../tests/fixtures/violate_unused_waiver.rs"),
+        expect_findings: &[(RuleId::UnusedWaiver, 1)],
+        expect_waived: &[],
+    },
+    Case {
+        name: "waived_std_hash.rs",
+        source: include_str!("../tests/fixtures/waived_std_hash.rs"),
+        expect_findings: &[],
+        expect_waived: &[(RuleId::StdHash, 2), (RuleId::StdHash, 4)],
+    },
+    Case {
+        name: "waived_wall_clock.rs",
+        source: include_str!("../tests/fixtures/waived_wall_clock.rs"),
+        expect_findings: &[],
+        expect_waived: &[(RuleId::WallClock, 3)],
+    },
+    Case {
+        name: "waived_os_random.rs",
+        source: include_str!("../tests/fixtures/waived_os_random.rs"),
+        expect_findings: &[],
+        expect_waived: &[(RuleId::OsRandom, 2)],
+    },
+    Case {
+        name: "waived_float.rs",
+        source: include_str!("../tests/fixtures/waived_float.rs"),
+        expect_findings: &[],
+        expect_waived: &[(RuleId::Float, 2), (RuleId::Float, 3)],
+    },
+    Case {
+        name: "waived_allow_needs_reason.rs",
+        source: include_str!("../tests/fixtures/waived_allow_needs_reason.rs"),
+        expect_findings: &[],
+        expect_waived: &[(RuleId::AllowNeedsReason, 2)],
+    },
+    Case {
+        name: "waived_narrowing_cast.rs",
+        source: include_str!("../tests/fixtures/waived_narrowing_cast.rs"),
+        expect_findings: &[],
+        expect_waived: &[(RuleId::NarrowingCast, 2)],
+    },
+    Case {
+        name: "waived_saturating_counter.rs",
+        source: include_str!("../tests/fixtures/waived_saturating_counter.rs"),
+        expect_findings: &[],
+        expect_waived: &[(RuleId::SaturatingCounter, 3)],
+    },
+    Case {
+        name: "adversarial_clean.rs",
+        source: include_str!("../tests/fixtures/adversarial_clean.rs"),
+        expect_findings: &[],
+        expect_waived: &[],
+    },
+];
+
+/// Returns the violating fixture for a rule, if one exists (every
+/// waivable rule has one; used by `--inject`).
+#[must_use]
+pub fn violation_fixture(rule: RuleId) -> Option<&'static Case> {
+    let name = format!("violate_{}.rs", rule.name().replace('-', "_"));
+    CASES.iter().find(|c| c.name == name)
+}
+
+/// One self-test failure, described for the report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelfTestFailure {
+    pub fixture: &'static str,
+    pub message: String,
+}
+
+fn pairs_f(findings: &[Finding]) -> Vec<(RuleId, u32)> {
+    findings.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+fn pairs_w(waived: &[Waived]) -> Vec<(RuleId, u32)> {
+    waived.iter().map(|w| (w.rule, w.line)).collect()
+}
+
+/// Runs every fixture case; empty result means the lint still catches
+/// everything it claims to catch.
+#[must_use]
+pub fn run() -> Vec<SelfTestFailure> {
+    let mut failures = Vec::new();
+    for case in CASES {
+        let (findings, waived) = lint_source(case.name, case.source, FIXTURE_TIER);
+        let got_f = pairs_f(&findings);
+        let got_w = pairs_w(&waived);
+        if got_f != case.expect_findings {
+            failures.push(SelfTestFailure {
+                fixture: case.name,
+                message: format!(
+                    "findings mismatch: expected {:?}, got {:?}",
+                    case.expect_findings
+                        .iter()
+                        .map(|(r, l)| (r.name(), *l))
+                        .collect::<Vec<_>>(),
+                    got_f
+                        .iter()
+                        .map(|(r, l)| (r.name(), *l))
+                        .collect::<Vec<_>>()
+                ),
+            });
+        }
+        if got_w != case.expect_waived {
+            failures.push(SelfTestFailure {
+                fixture: case.name,
+                message: format!(
+                    "waived mismatch: expected {:?}, got {:?}",
+                    case.expect_waived
+                        .iter()
+                        .map(|(r, l)| (r.name(), *l))
+                        .collect::<Vec<_>>(),
+                    got_w
+                        .iter()
+                        .map(|(r, l)| (r.name(), *l))
+                        .collect::<Vec<_>>()
+                ),
+            });
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_corpus_passes() {
+        let failures = run();
+        assert!(failures.is_empty(), "{failures:#?}");
+    }
+
+    #[test]
+    fn every_waivable_rule_has_both_fixtures() {
+        for rule in RuleId::ALL {
+            if !rule.waivable() {
+                continue;
+            }
+            assert!(
+                violation_fixture(rule).is_some(),
+                "missing violating fixture for {}",
+                rule.name()
+            );
+            let waived = format!("waived_{}.rs", rule.name().replace('-', "_"));
+            assert!(
+                CASES.iter().any(|c| c.name == waived),
+                "missing waived fixture for {}",
+                rule.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Inline waiver directives.
+//!
+//! Grammar (DESIGN.md §14): a line comment anywhere in a first-party
+//! file, with a **mandatory reason**:
+//!
+//! ```text
+//! // bc-lint: allow(rule[, rule…]) — <reason>
+//! // bc-lint: allow-file(rule[, rule…]) — <reason>
+//! ```
+//!
+//! The `—` separator may also be `-` or `:`. Scoping:
+//!
+//! * **Trailing** (`code(); // bc-lint: allow(float) — summary print`):
+//!   waives the named rules on that line only.
+//! * **Own-line** `allow`: waives the named rules over the *next item*
+//!   — from the next code token through the end of its brace-balanced
+//!   block, or through the first `;` at the item's own nesting depth
+//!   (so a directive above a `fn` covers the whole body, and one above
+//!   a `let` covers just that statement).
+//! * `allow-file`: waives the named rules for the whole file.
+//!
+//! Every waiver is counted and reported; a waiver that suppresses
+//! nothing is itself a finding (`unused-waiver`), as is a directive
+//! that fails to parse, names an unknown rule, or omits the reason
+//! (`bad-directive`). Neither of those two meta-rules can be waived.
+
+use crate::lexer::{Comment, Tok, TokKind};
+use crate::rules::RuleId;
+
+/// Scope of one parsed directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Scope {
+    /// The directive's own line only (trailing form).
+    Line(u32),
+    /// An inclusive line range covering the next item.
+    Item(u32, u32),
+    /// The whole file.
+    File,
+}
+
+/// One successfully parsed waiver.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    pub rules: Vec<RuleId>,
+    pub scope: Scope,
+    pub reason: String,
+    /// Position of the directive comment (for reporting).
+    pub line: u32,
+    pub col: u32,
+    /// Set when the waiver suppressed at least one finding.
+    pub used: bool,
+}
+
+/// A directive that could not be parsed into a [`Waiver`].
+#[derive(Debug, Clone)]
+pub struct BadDirective {
+    pub message: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Result of scanning a file's comments for directives.
+#[derive(Debug, Default)]
+pub struct Directives {
+    pub waivers: Vec<Waiver>,
+    pub bad: Vec<BadDirective>,
+}
+
+impl Waiver {
+    /// Whether this waiver covers `rule` at `line`.
+    #[must_use]
+    pub fn covers(&self, rule: RuleId, line: u32) -> bool {
+        if !self.rules.contains(&rule) {
+            return false;
+        }
+        match self.scope {
+            Scope::Line(l) => l == line,
+            Scope::Item(a, b) => (a..=b).contains(&line),
+            Scope::File => true,
+        }
+    }
+}
+
+/// Extracts every `bc-lint:` directive from `comments`, resolving
+/// own-line `allow` scopes against the token stream.
+#[must_use]
+pub fn parse_directives(comments: &[Comment], tokens: &[Tok]) -> Directives {
+    let mut out = Directives::default();
+    for c in comments {
+        let body = strip_comment_markers(&c.text);
+        let Some(rest) = body.strip_prefix("bc-lint:") else {
+            continue;
+        };
+        match parse_one(rest.trim_start()) {
+            Ok((file_scope, rules, reason)) => {
+                let scope = if file_scope {
+                    Scope::File
+                } else if is_trailing(c, tokens) {
+                    Scope::Line(c.line)
+                } else {
+                    match item_extent_after(c.line, tokens) {
+                        Some((a, b)) => Scope::Item(a, b),
+                        None => Scope::Item(c.line + 1, c.line + 1),
+                    }
+                };
+                out.waivers.push(Waiver {
+                    rules,
+                    scope,
+                    reason,
+                    line: c.line,
+                    col: c.col,
+                    used: false,
+                });
+            }
+            Err(message) => out.bad.push(BadDirective {
+                message,
+                line: c.line,
+                col: c.col,
+            }),
+        }
+    }
+    out
+}
+
+/// True when a comment is a `bc-lint:` directive. Directive comments
+/// never double as the reason for an `#[allow]` — the waiver and the
+/// reason are different obligations.
+#[must_use]
+pub fn is_directive_comment(text: &str) -> bool {
+    strip_comment_markers(text).starts_with("bc-lint:")
+}
+
+/// Strips the comment introducer and doc markers: `// x`, `/// x`,
+/// `//! x`, `/* x */` all yield `x`.
+fn strip_comment_markers(text: &str) -> String {
+    let mut s = text.trim();
+    while let Some(r) = s.strip_prefix('/') {
+        s = r;
+    }
+    s = s.strip_prefix('*').unwrap_or(s);
+    s = s.strip_prefix('!').unwrap_or(s);
+    let s = s.strip_suffix("*/").unwrap_or(s);
+    s.trim().to_string()
+}
+
+/// Parses `allow(rule, …) — reason` / `allow-file(rule, …) — reason`.
+/// Returns `(is_file_scope, rules, reason)`.
+fn parse_one(s: &str) -> Result<(bool, Vec<RuleId>, String), String> {
+    let (file_scope, after_kw) = if let Some(r) = s.strip_prefix("allow-file") {
+        (true, r)
+    } else if let Some(r) = s.strip_prefix("allow") {
+        (false, r)
+    } else {
+        return Err(format!(
+            "unknown directive {s:?}; expected allow(…) or allow-file(…)"
+        ));
+    };
+    let after_kw = after_kw.trim_start();
+    let Some(inner_start) = after_kw.strip_prefix('(') else {
+        return Err("missing '(' after allow".to_string());
+    };
+    let Some(close) = inner_start.find(')') else {
+        return Err("missing ')' in allow directive".to_string());
+    };
+    let (list, tail) = inner_start.split_at(close);
+    let tail = &tail[1..]; // drop ')'
+
+    let mut rules = Vec::new();
+    for name in list.split(',') {
+        let name = name.trim();
+        if name.is_empty() {
+            return Err("empty rule name in allow directive".to_string());
+        }
+        match RuleId::from_name(name) {
+            Some(r) if r.waivable() => rules.push(r),
+            Some(r) => return Err(format!("rule {} cannot be waived", r.name())),
+            None => return Err(format!("unknown rule {name:?}")),
+        }
+    }
+    if rules.is_empty() {
+        return Err("allow directive names no rules".to_string());
+    }
+
+    let reason = tail
+        .trim_start()
+        .trim_start_matches(['—', '-', ':'])
+        .trim()
+        .to_string();
+    if reason.is_empty() {
+        return Err("allow directive is missing its reason".to_string());
+    }
+    Ok((file_scope, rules, reason))
+}
+
+/// A directive is trailing when a code token precedes it on its line.
+fn is_trailing(c: &Comment, tokens: &[Tok]) -> bool {
+    tokens.iter().any(|t| t.line == c.line && t.col < c.col)
+}
+
+/// Computes the inclusive line range of the next item after `line`:
+/// from the first following token to the close of its first top-level
+/// brace block, or the first `;` at nesting depth zero.
+fn item_extent_after(line: u32, tokens: &[Tok]) -> Option<(u32, u32)> {
+    let start_ix = tokens.iter().position(|t| t.line > line)?;
+    let start_line = tokens.get(start_ix).map(|t| t.line).unwrap_or(line + 1);
+    let mut depth: i64 = 0;
+    let mut saw_brace = false;
+    let mut end_line = start_line;
+    for t in tokens.iter().skip(start_ix) {
+        end_line = t.line;
+        match t.kind {
+            TokKind::Punct('{' | '(' | '[') => {
+                if matches!(t.kind, TokKind::Punct('{')) {
+                    saw_brace = true;
+                }
+                depth += 1;
+            }
+            TokKind::Punct('}' | ')' | ']') => {
+                depth -= 1;
+                if depth <= 0 && saw_brace && matches!(t.kind, TokKind::Punct('}')) {
+                    return Some((start_line, t.line));
+                }
+                if depth < 0 {
+                    // Closing brace of an enclosing scope: the item ended.
+                    return Some((start_line, t.line));
+                }
+            }
+            TokKind::Punct(';') if depth == 0 => {
+                return Some((start_line, t.line));
+            }
+            _ => {}
+        }
+    }
+    Some((start_line, end_line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn directives(src: &str) -> Directives {
+        let l = lex(src);
+        parse_directives(&l.comments, &l.tokens)
+    }
+
+    #[test]
+    fn trailing_scope_is_single_line() {
+        let d = directives("let x = 1.0; // bc-lint: allow(float) — summary only\n");
+        assert_eq!(d.waivers.len(), 1);
+        assert_eq!(d.waivers[0].scope, Scope::Line(1));
+        assert!(d.waivers[0].covers(RuleId::Float, 1));
+        assert!(!d.waivers[0].covers(RuleId::Float, 2));
+    }
+
+    #[test]
+    fn own_line_scope_covers_next_item_block() {
+        let src = "\
+// bc-lint: allow(float) — ratio for the human-readable table
+fn miss_ratio(a: u64, b: u64) -> f64 {
+    a as f64 / b as f64
+}
+fn after() -> f64 { 0.0 }
+";
+        let d = directives(src);
+        assert_eq!(d.waivers.len(), 1);
+        assert_eq!(d.waivers[0].scope, Scope::Item(2, 4));
+        assert!(d.waivers[0].covers(RuleId::Float, 3));
+        assert!(!d.waivers[0].covers(RuleId::Float, 5));
+    }
+
+    #[test]
+    fn own_line_scope_covers_single_statement() {
+        let src = "\
+fn f() {
+    // bc-lint: allow(saturating-counter) — boundary clamp, not a counter
+    let north = r.saturating_sub(1);
+    let south = r.saturating_sub(2);
+}
+";
+        let d = directives(src);
+        assert_eq!(d.waivers[0].scope, Scope::Item(3, 3));
+        assert!(d.waivers[0].covers(RuleId::SaturatingCounter, 3));
+        assert!(!d.waivers[0].covers(RuleId::SaturatingCounter, 4));
+    }
+
+    #[test]
+    fn file_scope() {
+        let d =
+            directives("// bc-lint: allow-file(float) — stats module is summary-only\nfn a() {}\n");
+        assert_eq!(d.waivers[0].scope, Scope::File);
+        assert!(d.waivers[0].covers(RuleId::Float, 999));
+    }
+
+    #[test]
+    fn multiple_rules_in_one_directive() {
+        let d = directives(
+            "// bc-lint: allow(float, wall-clock) — bench summary\nfn a() { let x: f64 = 0.0; }\n",
+        );
+        assert_eq!(d.waivers[0].rules.len(), 2);
+    }
+
+    #[test]
+    fn missing_reason_is_bad() {
+        let d = directives("// bc-lint: allow(float)\nfn a() {}\n");
+        assert!(d.waivers.is_empty());
+        assert_eq!(d.bad.len(), 1);
+    }
+
+    #[test]
+    fn unknown_rule_is_bad() {
+        let d = directives("// bc-lint: allow(no-such-rule) — because\n");
+        assert_eq!(d.bad.len(), 1);
+    }
+
+    #[test]
+    fn meta_rules_cannot_be_waived() {
+        let d = directives("// bc-lint: allow(unused-waiver) — nope\n");
+        assert_eq!(d.bad.len(), 1);
+    }
+
+    #[test]
+    fn non_directive_comments_are_ignored() {
+        let d = directives("// plain comment mentioning bc-lint rules\nfn a() {}\n");
+        assert!(d.waivers.is_empty());
+        assert!(d.bad.is_empty());
+    }
+}

@@ -1,0 +1,63 @@
+// Adversarial lexer corpus: every construct below *looks* like a
+// violation to a naive substring scanner, yet none is a real token the
+// rule catalog should fire on. bc-lint must report ZERO findings for
+// this file even at the strictest tier (deterministic + protocol).
+
+// 1. Banned names inside string literals of every flavor.
+fn strings() -> usize {
+    let plain = "use std::collections::HashMap; Instant::now(); thread_rng()";
+    let raw = r#"SystemTime f64 saturating_sub "quoted" wrapping_mul"#;
+    let deep = r##"HashSet r#"nested-looking"# as u8"##;
+    let bytes = b"HashMap f32 1.0e3";
+    let raw_bytes = br#"OsRng RandomState"#;
+    plain.len() + raw.len() + deep.len() + bytes.len() + raw_bytes.len()
+}
+
+// 2. Banned names inside comments, including nested block comments.
+/* HashMap /* Instant::now() inside a nested block */ f64 as u32 */
+// saturating_sub wrapping_mul thread_rng #[allow(everything)]
+/// Doc comment naming f32, HashSet, SystemTime::now and `as usize`.
+fn comments() {}
+
+// 3. Char literals vs lifetimes: 'f' is a char, 'f64 is a lifetime
+//    (and must not trip the float rule), '_ and 'static are lifetimes,
+//    '\'' and '\u{1F600}' are escaped chars.
+struct Ref<'f64, T>(&'f64 T);
+fn chars(x: Ref<'_, u64>) -> (char, char, char) {
+    let q = '\'';
+    let emoji = '\u{1F600}';
+    let f = 'f';
+    let _: &'static u64 = &0;
+    drop(x);
+    (q, emoji, f)
+}
+
+// 4. Raw identifiers: variables may be *named* like banned tokens.
+fn raw_idents() -> u64 {
+    let r#f64 = 41u64;
+    let r#as = 1u64;
+    r#f64 + r#as
+}
+
+// 5. Numeric look-alikes: 0x1f64 is a hex integer (f64 is hex digits),
+//    x.0 is a field access, 0..10 is a range, 1.max(2) is a method
+//    call on an integer.
+fn numbers(x: (u64, u64)) -> u64 {
+    let hex = 0x1f64;
+    let field = x.0;
+    let mut acc = 0u64;
+    for i in 0..10u64 {
+        acc += i.max(1);
+    }
+    hex + field + acc
+}
+
+// 6. Strings that open comment-like or string-like regions.
+fn tricky_strings() -> usize {
+    let a = "// not a comment";
+    let b = "/* not a block";
+    let c = "she said \"hi\" \\";
+    let d = "line\
+         continuation";
+    a.len() + b.len() + c.len() + d.len()
+}

@@ -1,0 +1,2 @@
+#[allow(dead_code)]
+fn unused() {}

@@ -1,0 +1,2 @@
+// bc-lint: allow(float)
+fn nothing() {}

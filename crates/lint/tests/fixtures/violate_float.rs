@@ -1,0 +1,5 @@
+fn ratio(hits: u64, total: u64) -> f64 {
+    hits as f64 / total as f64
+}
+
+const SCALE: f64 = 1.5;

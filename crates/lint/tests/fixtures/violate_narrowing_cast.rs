@@ -1,0 +1,7 @@
+fn pack(x: u64) -> u32 {
+    x as u32
+}
+
+fn index(b: u64) -> usize {
+    b as usize
+}

@@ -1,0 +1,4 @@
+fn seed() -> u64 {
+    let mut rng = thread_rng();
+    rng.next()
+}

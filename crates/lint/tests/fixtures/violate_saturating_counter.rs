@@ -1,0 +1,7 @@
+fn release(pending: u64) -> u64 {
+    pending.saturating_sub(1)
+}
+
+fn mix(h: u64, x: u64) -> u64 {
+    h.wrapping_mul(31).wrapping_add(x)
+}

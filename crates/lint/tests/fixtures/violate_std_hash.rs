@@ -1,0 +1,5 @@
+use std::collections::HashMap;
+
+fn build() -> HashMap<u64, u64> {
+    HashMap::new()
+}

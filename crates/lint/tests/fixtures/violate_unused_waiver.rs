@@ -1,0 +1,4 @@
+// bc-lint: allow(float) — fixture: nothing here actually floats
+fn integral() -> u64 {
+    42
+}

@@ -1,0 +1,6 @@
+use std::time::Instant;
+
+fn timer() -> u128 {
+    let t = Instant::now();
+    t.elapsed().as_nanos()
+}

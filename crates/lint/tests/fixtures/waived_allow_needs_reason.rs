@@ -1,0 +1,3 @@
+// bc-lint: allow(allow-needs-reason) — fixture: the justification lives in the module docs
+#[allow(dead_code)]
+fn unused() {}

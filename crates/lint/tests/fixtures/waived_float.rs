@@ -1,0 +1,4 @@
+// bc-lint: allow(float) — summary-only: feeds the human-readable table, never simulated state
+fn ratio(hits: u64, total: u64) -> f64 {
+    hits as f64 / total as f64
+}

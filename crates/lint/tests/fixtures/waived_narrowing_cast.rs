@@ -1,0 +1,3 @@
+fn pack(x: u64) -> u8 {
+    (x & 0xFF) as u8 // bc-lint: allow(narrowing-cast) — masked to 8 bits by the & on this line
+}

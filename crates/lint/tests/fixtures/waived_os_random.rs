@@ -1,0 +1,4 @@
+fn seed() -> u64 {
+    let s = from_entropy(); // bc-lint: allow(os-random) — fixture: entropy feeds only the printed example seed
+    s
+}

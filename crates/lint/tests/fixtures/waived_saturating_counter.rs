@@ -1,0 +1,4 @@
+// bc-lint: allow(saturating-counter) — FNV-style hash: wraparound is the algorithm
+fn mix(h: u64, x: u64) -> u64 {
+    h.wrapping_mul(31).wrapping_add(x)
+}

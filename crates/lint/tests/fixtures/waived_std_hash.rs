@@ -1,0 +1,4 @@
+// bc-lint: allow-file(std-hash) — fixture: stands in for the FxHashMap alias definition site
+use std::collections::HashMap;
+
+type Fx<K, V> = HashMap<K, V>;

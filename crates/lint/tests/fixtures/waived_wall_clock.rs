@@ -1,0 +1,5 @@
+fn progress() {
+    // bc-lint: allow(wall-clock) — operator-facing progress line, never a report byte
+    let t = std::time::Instant::now();
+    drop(t);
+}

@@ -1,0 +1,92 @@
+//! Integration: bc-lint against the real workspace.
+//!
+//! These are the acceptance properties the CI job leans on: the tree
+//! lints clean, the output is byte-stable across repeated runs and
+//! input orders, and every waivable rule's seeded violation is caught.
+
+use std::path::{Path, PathBuf};
+
+use bc_lint::rules::{RuleId, Tier};
+use bc_lint::selftest;
+use bc_lint::{lint_workspace, LintReport};
+
+/// The workspace root, two levels above this crate's manifest.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn lint_repo(extra: &[(String, String, Tier)]) -> LintReport {
+    lint_workspace(&repo_root(), extra).expect("workspace read")
+}
+
+#[test]
+fn workspace_is_clean() {
+    let report = lint_repo(&[]);
+    assert!(
+        report.clean(),
+        "bc-lint must pass on the tree it ships in:\n{}",
+        report.to_text()
+    );
+    assert!(report.files_scanned > 100, "walk missed most of the tree");
+    assert!(!report.waived.is_empty(), "the sweep recorded its waivers");
+}
+
+#[test]
+fn output_is_byte_identical_across_runs() {
+    let a = lint_repo(&[]);
+    let b = lint_repo(&[]);
+    assert_eq!(a.to_text(), b.to_text());
+    assert_eq!(a.to_json(), b.to_json());
+}
+
+#[test]
+fn output_is_independent_of_input_order() {
+    // Two injected files handed over in both orders: the report sorts
+    // by path, so the rendering cannot depend on discovery order.
+    let x = (
+        "zz/b.rs".to_string(),
+        "fn f() { let t = std::time::Instant::now(); }\n".to_string(),
+        selftest::FIXTURE_TIER,
+    );
+    let y = (
+        "zz/a.rs".to_string(),
+        "use std::collections::HashMap;\n".to_string(),
+        selftest::FIXTURE_TIER,
+    );
+    let fwd = lint_repo(&[x.clone(), y.clone()]);
+    let rev = lint_repo(&[y, x]);
+    assert_eq!(fwd.to_text(), rev.to_text());
+    assert_eq!(fwd.to_json(), rev.to_json());
+    assert_eq!(fwd.findings.len(), 2);
+}
+
+#[test]
+fn every_injected_violation_is_caught_against_the_real_tree() {
+    // The CLI's --inject path: a seeded violation must surface even
+    // when the rest of the workspace is clean.
+    for rule in RuleId::ALL {
+        let Some(case) = selftest::violation_fixture(rule) else {
+            continue;
+        };
+        let rel = format!("<inject>/{}.rs", rule.name());
+        let report = lint_repo(&[(rel.clone(), case.source.to_string(), selftest::FIXTURE_TIER)]);
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.path == rel && f.rule == rule),
+            "injected {} fixture was not caught",
+            rule.name()
+        );
+    }
+}
+
+#[test]
+fn fixture_corpus_self_test_passes() {
+    let failures = selftest::run();
+    assert!(failures.is_empty(), "{failures:?}");
+}

@@ -208,7 +208,7 @@ impl Vpn {
     #[inline]
     #[must_use]
     pub const fn radix_index(self, level: usize) -> usize {
-        ((self.0 >> (9 * level)) & 0x1FF) as usize
+        ((self.0 >> (9 * level)) & 0x1FF) as usize // bc-lint: allow(narrowing-cast) — masked to 9 bits first
     }
 }
 

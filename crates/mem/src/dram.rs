@@ -137,6 +137,8 @@ impl Default for DramConfig {
 impl DramConfig {
     /// Peak bandwidth in blocks per cycle implied by this configuration.
     #[must_use]
+    // bc-lint: allow(float) — bandwidth headline for reports; the
+    // timing model itself schedules in integer cycles.
     pub fn peak_blocks_per_cycle(&self) -> f64 {
         self.channels as f64 / (self.service_per_block * self.backend.service_factor()) as f64
     }
@@ -227,6 +229,7 @@ impl Dram {
 
     /// Aggregate channel utilization over an `elapsed`-cycle window.
     #[must_use]
+    // bc-lint: allow(float) — summary ratio of two integer counters.
     pub fn utilization(&self, elapsed: u64) -> f64 {
         self.channels.utilization(elapsed)
     }
@@ -253,6 +256,7 @@ impl Dram {
 }
 
 #[cfg(test)]
+// bc-lint: allow(float) — assertions on summary ratios only.
 mod tests {
     use super::*;
 

@@ -28,6 +28,9 @@ use bc_sim::fxmap::FxHashMap;
 
 use crate::addr::{PhysAddr, Ppn, PAGE_SIZE};
 
+// bc-lint: allow-file(narrowing-cast) — store indexing: page offsets
+// (< PAGE_SIZE) and slot numbers bounded by the allocated frame count
+// convert to usize for Vec indexing; lossless on every supported host.
 const PAGE: usize = PAGE_SIZE as usize;
 
 /// Slot-table sentinel: page not materialized.

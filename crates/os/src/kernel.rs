@@ -1,6 +1,8 @@
 //! The trusted kernel: address-space management and violation policy.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+
+use bc_sim::fxmap::FxHashMap;
 use std::error::Error;
 use std::fmt;
 
@@ -121,7 +123,7 @@ pub struct Kernel {
     downgrades: Counter,
     /// Reference counts for frames mapped into more than one address
     /// space (shared/shadow mappings); absent means exclusively owned.
-    frame_refs: HashMap<u64, u32>,
+    frame_refs: FxHashMap<u64, u32>,
     /// Frames owned by dying address spaces, quarantined between
     /// `kill`/`terminate` and [`Kernel::finish_teardown`]. The paper's
     /// completion contract (§3.3, Fig 3e) zeroes the Protection Table and
@@ -144,7 +146,7 @@ impl Kernel {
             violations: Vec::new(),
             minor_faults: Counter::new(),
             downgrades: Counter::new(),
-            frame_refs: HashMap::new(),
+            frame_refs: FxHashMap::default(),
             quarantined: BTreeMap::new(),
             config,
         }
@@ -370,6 +372,8 @@ impl Kernel {
         perms: PagePerms,
     ) -> Result<(), OsError> {
         // Source frames must already exist (fault them if lazily mapped).
+        // bc-lint: allow(narrowing-cast) — capacity hint, bounded by
+        // the physical frame count.
         let mut frames = Vec::with_capacity(pages as usize);
         for i in 0..pages {
             let ft = self.touch(src, src_base.vpn().add(i))?;
@@ -654,6 +658,7 @@ impl Kernel {
                 ));
             }
             let offset = cur.page_offset();
+            // bc-lint: allow(narrowing-cast) — at most PAGE_SIZE (4096).
             let space = (PAGE_SIZE - offset) as usize;
             let take = space.min(remaining.len());
             self.store
@@ -681,6 +686,7 @@ impl Kernel {
                 return Err(OsError::AccessDenied(asid, cur.vpn(), PagePerms::READ_ONLY));
             }
             let offset = cur.page_offset();
+            // bc-lint: allow(narrowing-cast) — at most PAGE_SIZE (4096).
             let space = (PAGE_SIZE - offset) as usize;
             let take = space.min(len - filled);
             self.store.read_into(

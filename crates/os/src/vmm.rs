@@ -15,7 +15,9 @@
 //! indexing by host-physical page number, its table carved out of host
 //! frames no guest mapping can ever name — runs completely unchanged.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+
+use bc_sim::fxmap::FxHashMap;
 
 use bc_mem::addr::{Asid, Ppn, Vpn};
 use bc_mem::page_table::Translation;
@@ -39,7 +41,7 @@ impl GuestId {
 struct Guest {
     kernel: Kernel,
     /// Second-level (nested) mapping: guest PPN → host PPN.
-    g2h: HashMap<u64, Ppn>,
+    g2h: FxHashMap<u64, Ppn>,
 }
 
 /// The trusted hypervisor: host-physical memory owner and second-level
@@ -109,7 +111,7 @@ impl Vmm {
                     phys_bytes: guest_phys_bytes,
                     violation_policy: ViolationPolicy::KillProcess,
                 }),
-                g2h: HashMap::new(),
+                g2h: FxHashMap::default(),
             },
         );
         Ok(id)

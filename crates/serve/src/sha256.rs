@@ -8,6 +8,8 @@
 //! is irrelevant at this call rate (one digest per sweep cell, over a few
 //! kilobytes of canonical JSON); correctness and stability are the point.
 
+// bc-lint: allow-file(saturating-counter) — mod-2^32 wrapping addition
+// and the bit-length multiply are the FIPS 180-4 algorithm itself.
 /// First 32 bits of the fractional parts of the cube roots of the first
 /// 64 primes — the round constants of FIPS 180-4 §4.2.2.
 const K: [u32; 64] = [

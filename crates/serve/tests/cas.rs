@@ -136,6 +136,8 @@ fn every_config_field_moves_the_key_except_shards() {
         }),
         ("workload", |c| c.workload = "bfs".to_string()),
         ("size", |c| c.size = WorkloadSize::Small),
+        // bc-lint: allow(saturating-counter) — key-mutation probe; any
+        // changed seed value works, wrap included.
         ("seed", |c| c.seed = c.seed.wrapping_add(1)),
         ("phys_bytes", |c| c.phys_bytes += 4096),
         ("dram.access_latency", |c| c.dram.access_latency += 1),

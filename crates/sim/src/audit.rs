@@ -32,7 +32,7 @@
 //! default under tests — the first finding panics with its detail so the
 //! failure points at the exact event.
 
-use std::collections::HashMap;
+use crate::fxmap::FxHashMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -65,6 +65,12 @@ pub enum AuditKind {
     /// decremented below zero — a commit arrived that was never
     /// injected, which would release the border stall early.
     CommitUnderflow,
+    /// A simulation state counter was decremented below zero — e.g. an
+    /// op completion arrived for a job with no ops outstanding. The
+    /// `saturating_sub` this class replaced would have masked the
+    /// double-decrement silently (the `pending_commits` lesson,
+    /// generalized).
+    CounterUnderflow,
     /// A teardown completed out of order: a frame owned by a dying
     /// address space was reused, or a translation for it survived,
     /// before its Protection Table was zeroed and its BCC/IOTLB residue
@@ -75,7 +81,7 @@ pub enum AuditKind {
 impl AuditKind {
     /// Every invariant class, in declaration order (label round-trip
     /// tables and the report decoder iterate this).
-    pub const ALL: [AuditKind; 10] = [
+    pub const ALL: [AuditKind; 11] = [
         AuditKind::OracleMismatch,
         AuditKind::UnauthorizedWrite,
         AuditKind::BccSubsetViolation,
@@ -85,6 +91,7 @@ impl AuditKind {
         AuditKind::StallRegression,
         AuditKind::ShardOrder,
         AuditKind::CommitUnderflow,
+        AuditKind::CounterUnderflow,
         AuditKind::StaleTeardown,
     ];
 
@@ -101,6 +108,7 @@ impl AuditKind {
             AuditKind::StallRegression => "stall-regression",
             AuditKind::ShardOrder => "shard-order",
             AuditKind::CommitUnderflow => "commit-underflow",
+            AuditKind::CounterUnderflow => "counter-underflow",
             AuditKind::StaleTeardown => "stale-teardown",
         }
     }
@@ -183,7 +191,7 @@ pub struct Auditor {
     /// accelerator (union over attached address spaces, like the
     /// Protection Table's §3.3 semantics). `None` bounds = no process
     /// attached: nothing is permitted.
-    granted: HashMap<u64, (bool, bool)>,
+    granted: FxHashMap<u64, (bool, bool)>,
     oracle_bounds: Option<u64>,
     wb_capacity: usize,
     last_stall: u64,
@@ -198,7 +206,7 @@ impl Auditor {
         Auditor {
             fatal,
             report: AuditReport::default(),
-            granted: HashMap::new(),
+            granted: FxHashMap::default(),
             oracle_bounds: None,
             wb_capacity,
             last_stall: 0,
@@ -424,6 +432,17 @@ impl Auditor {
         );
     }
 
+    /// Records a generic state-counter underflow: `counter` names the
+    /// field, `at` is the cycle. Every `checked_sub` conversion out of
+    /// the old `saturating_sub` idiom routes its failure here.
+    pub fn counter_underflow(&mut self, at: u64, counter: &str, detail: &str) {
+        self.record(
+            AuditKind::CounterUnderflow,
+            at,
+            format!("{counter} decremented below zero: {detail}"),
+        );
+    }
+
     /// Asserts the teardown completion contract for a dying address
     /// space: callers pass `stale` descriptions of any residue observed
     /// after the kill point (a reused quarantined frame, a surviving
@@ -505,6 +524,23 @@ mod tests {
         // Out of bounds is always a deny, granted or not.
         a.grant(100, true, true);
         assert!(!a.oracle_decision(100, false));
+    }
+
+    #[test]
+    fn counter_underflow_is_a_finding() {
+        let mut a = Auditor::new(false, 8);
+        a.counter_underflow(42, "ops_left", "double op completion on accel 3");
+        let r = a.take_report();
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.of_kind(AuditKind::CounterUnderflow).count(), 1);
+        assert!(!r.is_clean());
+        let f = &r.findings[0];
+        assert!(f.detail.contains("ops_left"), "{}", f.detail);
+        // Label round-trips through the report schema.
+        assert_eq!(
+            AuditKind::from_label(AuditKind::CounterUnderflow.label()),
+            Some(AuditKind::CounterUnderflow)
+        );
     }
 
     #[test]

@@ -63,6 +63,8 @@ impl Cycle {
     /// the future (saturating, like `Instant::saturating_duration_since`).
     #[inline]
     #[must_use]
+    // bc-lint: allow(saturating-counter) — saturation is this API's
+    // documented contract, mirroring Instant::saturating_duration_since.
     pub fn saturating_since(self, earlier: Cycle) -> u64 {
         self.0.saturating_sub(earlier.0)
     }

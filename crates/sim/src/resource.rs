@@ -188,6 +188,8 @@ impl Port {
     }
 
     fn prune(&mut self) {
+        // bc-lint: allow(saturating-counter) — retention-window clamp near
+        // t=0, not a decrementing counter; zero cutoff keeps everything.
         let cutoff = self.max_arrival.saturating_sub(RETAIN_CYCLES);
         let k = self.live().partition_point(|&(_, e)| e < cutoff);
         self.head += k;
@@ -227,6 +229,8 @@ impl Port {
 
     /// Utilization over an observation window of `elapsed` cycles, in
     /// `[0, 1]` (clamped).
+    // bc-lint: allow(float) — summary ratio of two integer counters,
+    // computed for reports only.
     #[must_use]
     pub fn utilization(&self, elapsed: u64) -> f64 {
         if elapsed == 0 {
@@ -306,6 +310,8 @@ impl Channels {
     }
 
     /// Aggregate utilization over `elapsed` cycles, in `[0, 1]`.
+    // bc-lint: allow(float) — summary ratio of two integer counters,
+    // computed for reports only.
     #[must_use]
     pub fn utilization(&self, elapsed: u64) -> f64 {
         if elapsed == 0 {
@@ -333,6 +339,7 @@ impl Channels {
 }
 
 #[cfg(test)]
+// bc-lint: allow(float) — assertions on summary utilization ratios.
 mod tests {
     use super::*;
 

@@ -6,6 +6,9 @@
 //! [`rand::RngCore`] so the full `rand` distribution toolkit works on top
 //! of it.
 
+// bc-lint: allow-file(saturating-counter) — the wrapping multiplies/adds
+// ARE the xoshiro256** and SplitMix64 algorithms; nothing here is a
+// state counter.
 use rand::RngCore;
 
 /// Deterministic xoshiro256\*\* generator.
@@ -70,11 +73,15 @@ impl SimRng {
     }
 
     /// A uniformly distributed `f64` in `[0, 1)`.
+    // bc-lint: allow(float) — bit-exact map of the top 53 bits; one IEEE
+    // multiply by a power of two, identical on every host for a seed.
     pub fn unit_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    // bc-lint: allow(float) — single exact comparison against unit_f64;
+    // reproducible for a given seed and p.
     pub fn chance(&mut self, p: f64) -> bool {
         self.unit_f64() < p
     }
@@ -129,6 +136,8 @@ impl SplitMix64 {
 }
 
 #[cfg(test)]
+// bc-lint: allow(float) — distribution checks on the generator's output;
+// never feeds simulation state.
 mod tests {
     use super::*;
 

@@ -766,6 +766,8 @@ mod tests {
             fn handle(&mut self, comp: CompId, now: Cycle, ev: u8, out: &mut Outbox<'_, u8>) {
                 if ev == 0 {
                     // Past self-send and a sub-lookahead cross send.
+                    // bc-lint: allow(saturating-counter) — deliberately
+                    // constructs an in-the-past send to test the clamp.
                     out.send(comp, Cycle::new(now.as_u64().saturating_sub(3)), 1);
                     out.send(1 - comp, Cycle::new(now.as_u64() + 1), 1);
                 }

@@ -5,6 +5,9 @@
 //! through its own `stats()` accessor. The experiment harness assembles
 //! them into [`StatsTable`]s for printing paper-style rows.
 
+// bc-lint: allow-file(float) — summary-only module: ratios, quantiles and
+// geometric means derived from integer counters after the run; no float
+// ever feeds back into simulation state.
 use std::fmt;
 
 use serde::{Deserialize, Serialize};

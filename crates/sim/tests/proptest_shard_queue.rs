@@ -46,6 +46,7 @@ fn model_sends(
     (0..fanout)
         .map(|i| {
             // Per-send deterministic mix of the payload bits.
+            // bc-lint: allow(saturating-counter) — hash mix of payload bits.
             let x = payload
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 .rotate_left(11 * (i as u32 + 1));
@@ -56,6 +57,8 @@ fn model_sends(
                 // Legal only as a self-send; a cross-send violation.
                 1 => now + 1,
                 // One cycle inside the cross floor (when lookahead > 1).
+                // bc-lint: allow(saturating-counter) — adversarial timestamp
+                // generator probing the scheduling floor, not a counter.
                 2 => now + lookahead.saturating_sub(1).max(1),
                 // Exactly on the lookahead boundary.
                 3 => now + lookahead,

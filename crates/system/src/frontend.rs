@@ -228,6 +228,7 @@ impl Frontend {
             // Same tweak constant as the serial GPU's shared probe rng, so
             // a single-CU machine draws the identical probe sequence; the
             // golden-ratio spread keeps multi-CU streams independent.
+            // bc-lint: allow(saturating-counter) — golden-ratio seed mix.
             probe_rng: SimRng::seed_from(
                 p.seed ^ 0x4D41_4C49_4349 ^ (id as u64).wrapping_mul(0x9E37_79B9_97F4_A7C5),
             ),

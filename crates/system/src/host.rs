@@ -25,6 +25,9 @@ use bc_sim::SimRng;
 /// actor exists for the coherence studies).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct HostActivityConfig {
+    // bc-lint: allow-file(float) — workload-mix config fractions; each is
+    // consumed through SimRng::chance's single exact comparison or converted
+    // to fixed-point once at build time, so runs stay seed-reproducible.
     /// GPU cycles between CPU memory operations (a 3 GHz core issuing a
     /// memory op every ~40 CPU cycles ≈ every 10 GPU cycles).
     pub period: u64,

@@ -1,5 +1,8 @@
 //! Run reports: everything the experiment harness needs from one run.
 
+// bc-lint: allow-file(float) — post-run report type: utilization, miss
+// ratios and overhead factors are derived from integer counters for
+// display/JSON after the engine has stopped; nothing reads them back.
 use std::fmt;
 
 use serde::{Deserialize, Serialize};

@@ -78,6 +78,8 @@ impl From<bc_iommu::AtsConfigError> for BuildError {
 /// to under/over-count a page on large footprints; scale the fraction to
 /// 1/2^32 units once, then stay in integers (round to nearest, and
 /// `ro + rw == pages` by construction).
+// bc-lint: allow(float) — config fraction is converted to 1/2^32
+// fixed-point exactly once, at build time, before any event runs.
 fn split_footprint(pages: u64, writable_fraction: f64) -> (u64, u64) {
     let wf_fp = (writable_fraction.clamp(0.0, 1.0) * (1u64 << 32) as f64).round() as u64;
     let rw = (((pages as u128 * wf_fp as u128) + (1 << 31)) >> 32).min(pages as u128) as u64;
@@ -1721,6 +1723,8 @@ impl System {
 }
 
 #[cfg(test)]
+// bc-lint: allow(float) — test assertions compare summary ratios from
+// finished reports; no float reaches simulation state.
 mod tests {
     use super::*;
     use crate::config::GpuClass;

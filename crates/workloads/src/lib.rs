@@ -227,6 +227,8 @@ pub trait Workload {
 
     /// Fraction of the footprint that must be writable (the rest is mapped
     /// read-only, exercising R-only Protection Table entries).
+    // bc-lint: allow(float) — config-time fraction, converted to
+    // fixed-point by the system builder before any event runs.
     fn writable_fraction(&self) -> f64 {
         1.0
     }
@@ -306,6 +308,7 @@ pub fn by_name(name: &str, size: WorkloadSize) -> Option<Box<dyn Workload>> {
 }
 
 #[cfg(test)]
+// bc-lint: allow(float) — assertions on page-spread / think-time ratios.
 mod tests {
     use super::*;
     use std::collections::BTreeSet;
