@@ -100,8 +100,7 @@ fn flush_round(c: &mut Criterion) {
 criterion_group!(benches, flush_round);
 
 fn emit_flush_json() {
-    let quick =
-        std::env::var_os("BENCH_QUICK").is_some() || std::env::args().any(|a| a == "--test");
+    let quick = bc_bench::quick_mode();
     let passes = if quick { 1 } else { 3 };
     let pages = 256u64;
     let rounds = if quick { 20_000 } else { 400_000 };
@@ -125,22 +124,7 @@ fn emit_flush_json() {
         scan = evicted as f64 / flushes as f64,
     );
 
-    let out = std::env::var_os("BENCH_OUT").map(std::path::PathBuf::from);
-    match out {
-        Some(path) => {
-            std::fs::write(&path, &json).expect("writing BENCH_OUT");
-            println!("\nwrote {}", path.display());
-        }
-        None if quick => {
-            println!("\nquick mode, no BENCH_OUT set; BENCH_flush.json not written:");
-            print!("{json}");
-        }
-        None => {
-            let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_flush.json");
-            std::fs::write(path, &json).expect("writing BENCH_flush.json");
-            println!("\nwrote {path}");
-        }
-    }
+    bc_bench::emit_trajectory("BENCH_flush.json", quick, &json);
 }
 
 fn main() {

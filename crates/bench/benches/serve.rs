@@ -16,7 +16,6 @@
 //! * quick (`BENCH_QUICK=1`, or `--test` as passed by `cargo test`) —
 //!   tiny fig5 (7 cells), one trial; written only if `$BENCH_OUT` is set.
 
-use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -77,8 +76,7 @@ fn run_trial(matrix: &str, trial: usize) -> Trial {
 }
 
 fn main() {
-    let quick =
-        std::env::var_os("BENCH_QUICK").is_some() || std::env::args().any(|a| a == "--test");
+    let quick = bc_bench::quick_mode();
     // Quick mode shrinks the sweep, not the protocol: the same submit/
     // poll/fetch path runs either way.
     let (matrix, trials) = if quick { ("fig5", 1) } else { ("fig4", 3) };
@@ -111,21 +109,5 @@ fn main() {
         hits = t.warm_hits,
     );
     print!("{json}");
-
-    let out = std::env::var_os("BENCH_OUT").map(PathBuf::from);
-    match out {
-        Some(path) => {
-            std::fs::write(&path, &json).expect("writing BENCH_OUT");
-            println!("wrote {}", path.display());
-        }
-        None if quick => {
-            // Quick numbers must not clobber the committed trajectory.
-            println!("quick mode, no BENCH_OUT set; BENCH_serve.json not written");
-        }
-        None => {
-            let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
-            std::fs::write(path, &json).expect("writing BENCH_serve.json");
-            println!("wrote {path}");
-        }
-    }
+    bc_bench::emit_trajectory("BENCH_serve.json", quick, &json);
 }

@@ -79,8 +79,7 @@ fn shard_scaling(c: &mut Criterion) {
 criterion_group!(benches, shard_scaling);
 
 fn emit_shard_json() {
-    let quick =
-        std::env::var_os("BENCH_QUICK").is_some() || std::env::args().any(|a| a == "--test");
+    let quick = bc_bench::quick_mode();
     let passes = 1;
 
     let size = if quick {
@@ -146,22 +145,7 @@ fn emit_shard_json() {
         s4 = walls[0] / walls[2],
     );
 
-    let out = std::env::var_os("BENCH_OUT").map(std::path::PathBuf::from);
-    match out {
-        Some(path) => {
-            std::fs::write(&path, &json).expect("writing BENCH_OUT");
-            println!("\nwrote {}", path.display());
-        }
-        None if quick => {
-            println!("\nquick mode, no BENCH_OUT set; BENCH_shard.json not written:");
-            print!("{json}");
-        }
-        None => {
-            let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shard.json");
-            std::fs::write(path, &json).expect("writing BENCH_shard.json");
-            println!("\nwrote {path}");
-        }
-    }
+    bc_bench::emit_trajectory("BENCH_shard.json", quick, &json);
 }
 
 fn main() {

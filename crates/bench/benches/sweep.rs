@@ -84,8 +84,7 @@ fn run_pass(cells: &[SweepCell]) -> (Duration, Vec<f64>, u64) {
 }
 
 fn emit_sweep_json() {
-    let quick =
-        std::env::var_os("BENCH_QUICK").is_some() || std::env::args().any(|a| a == "--test");
+    let quick = bc_bench::quick_mode();
     let passes = if quick { 1 } else { 3 };
 
     let mut cells = fig4(WorkloadSize::Tiny, &FIG4_GPUS).cells();
@@ -119,23 +118,7 @@ fn emit_sweep_json() {
         p99 = quantile_sorted(&cell_ms, 0.99),
     );
 
-    let out = std::env::var_os("BENCH_OUT").map(std::path::PathBuf::from);
-    match out {
-        Some(path) => {
-            std::fs::write(&path, &json).expect("writing BENCH_OUT");
-            println!("\nwrote {}", path.display());
-        }
-        None if quick => {
-            // Quick numbers must not clobber the committed trajectory.
-            println!("\nquick mode, no BENCH_OUT set; BENCH_sweep.json not written:");
-            print!("{json}");
-        }
-        None => {
-            let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
-            std::fs::write(path, &json).expect("writing BENCH_sweep.json");
-            println!("\nwrote {path}");
-        }
-    }
+    bc_bench::emit_trajectory("BENCH_sweep.json", quick, &json);
 }
 
 fn main() {

@@ -72,8 +72,7 @@ fn run_matrix(base: &TenantsConfig, shards: usize) -> (Duration, Vec<(String, Te
 }
 
 fn emit_tenants_json() {
-    let quick =
-        std::env::var_os("BENCH_QUICK").is_some() || std::env::args().any(|a| a == "--test");
+    let quick = bc_bench::quick_mode();
     let base = tenants_cell(if quick { 100 } else { 1000 });
 
     // Byte-identity first: every shard count must produce the same
@@ -131,22 +130,7 @@ fn emit_tenants_json() {
         s4 = walls[0] / walls[2],
     );
 
-    let out = std::env::var_os("BENCH_OUT").map(std::path::PathBuf::from);
-    match out {
-        Some(path) => {
-            std::fs::write(&path, &json).expect("writing BENCH_OUT");
-            println!("\nwrote {}", path.display());
-        }
-        None if quick => {
-            println!("\nquick mode, no BENCH_OUT set; BENCH_tenants.json not written:");
-            print!("{json}");
-        }
-        None => {
-            let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tenants.json");
-            std::fs::write(path, &json).expect("writing BENCH_tenants.json");
-            println!("\nwrote {path}");
-        }
-    }
+    bc_bench::emit_trajectory("BENCH_tenants.json", quick, &json);
 }
 
 fn main() {

@@ -23,8 +23,73 @@
 
 pub mod validate;
 
+use std::path::{Path, PathBuf};
+
 use bc_system::{GpuClass, SafetyModel, System, SystemConfig};
 use bc_workloads::WorkloadSize;
+
+/// Whether this invocation is a quick smoke pass: `BENCH_QUICK=1` in the
+/// environment, or the `--test` flag `cargo test` passes to harnessless
+/// benches. Quick passes exercise the full emit pipeline but their
+/// numbers are not comparable to full-mode trajectories.
+#[must_use]
+pub fn quick_mode() -> bool {
+    std::env::var_os("BENCH_QUICK").is_some() || std::env::args().any(|a| a == "--test")
+}
+
+/// Where one emitted `BENCH_*.json` trajectory goes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmitSink {
+    /// `$BENCH_OUT` was set: write there, in either mode (CI smoke sets
+    /// it to a scratch path and validates the result).
+    Explicit(PathBuf),
+    /// Quick mode without `$BENCH_OUT`: print only. Quick numbers must
+    /// never overwrite a committed full-mode trajectory by accident.
+    StdoutOnly,
+    /// Full mode without `$BENCH_OUT`: the committed repo-root file.
+    Committed(PathBuf),
+}
+
+/// The clobber-guard routing rule every bench shares, pure in its inputs
+/// so the guard itself is unit-tested (`BENCH_OUT` always wins; quick
+/// mode without it prints instead of writing; full mode without it
+/// updates the committed trajectory).
+#[must_use]
+pub fn emit_sink(file_name: &str, quick: bool, bench_out: Option<PathBuf>) -> EmitSink {
+    match bench_out {
+        Some(path) => EmitSink::Explicit(path),
+        None if quick => EmitSink::StdoutOnly,
+        None => EmitSink::Committed(
+            Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(file_name),
+        ),
+    }
+}
+
+/// Emits one bench trajectory through the clobber guard: `file_name` is
+/// the committed name (`"BENCH_sweep.json"`), `quick` comes from
+/// [`quick_mode`], `json` is the rendered document.
+pub fn emit_trajectory(file_name: &str, quick: bool, json: &str) {
+    match emit_sink(
+        file_name,
+        quick,
+        std::env::var_os("BENCH_OUT").map(PathBuf::from),
+    ) {
+        EmitSink::Explicit(path) => {
+            std::fs::write(&path, json).expect("writing BENCH_OUT");
+            println!("\nwrote {}", path.display());
+        }
+        EmitSink::StdoutOnly => {
+            println!("\nquick mode, no BENCH_OUT set; {file_name} not written:");
+            print!("{json}");
+        }
+        EmitSink::Committed(path) => {
+            std::fs::write(&path, json).expect("writing committed trajectory");
+            println!("\nwrote {}", path.display());
+        }
+    }
+}
 
 /// A fast-running full-system configuration for benches.
 #[must_use]
@@ -68,6 +133,26 @@ mod tests {
     fn bench_config_is_fast_and_valid() {
         let cycles = run_cycles(&bench_config(SafetyModel::BorderControlBcc, "nn"));
         assert!(cycles > 0);
+    }
+
+    /// The clobber guard: a quick pass without `$BENCH_OUT` must never
+    /// route to a committed trajectory file, in any combination.
+    #[test]
+    fn quick_mode_never_routes_to_the_committed_trajectory() {
+        assert_eq!(emit_sink("BENCH_x.json", true, None), EmitSink::StdoutOnly);
+        for quick in [true, false] {
+            assert_eq!(
+                emit_sink("BENCH_x.json", quick, Some(PathBuf::from("/tmp/out.json"))),
+                EmitSink::Explicit(PathBuf::from("/tmp/out.json")),
+                "BENCH_OUT must win in quick={quick}"
+            );
+        }
+        match emit_sink("BENCH_x.json", false, None) {
+            EmitSink::Committed(path) => {
+                assert!(path.ends_with("BENCH_x.json"), "{}", path.display());
+            }
+            other => panic!("full mode without BENCH_OUT must commit, got {other:?}"),
+        }
     }
 
     #[test]

@@ -222,6 +222,48 @@ fn validate_serve(d: &Doc) -> Result<String, String> {
     ))
 }
 
+fn validate_trace(d: &Doc) -> Result<String, String> {
+    let cells = d.integer("cells")?;
+    if cells == 0 {
+        return Err(format!("{}: zero cells", d.label));
+    }
+    let cores = d.integer("host_cores")?;
+    d.integer("warm_cut")?;
+    let inline = d.positive("inline_wall_s")?;
+    d.positive("cold_wall_s")?;
+    let warm = d.positive("warm_wall_s")?;
+    let speedup = d.positive("speedup_warm")?;
+    if (speedup - inline / warm).abs() > 0.1 * speedup {
+        return Err(format!(
+            "{}: speedup_warm {speedup} inconsistent with inline/warm {:.2}",
+            d.label,
+            inline / warm
+        ));
+    }
+    // The warm pass must be served entirely from the checkpoint store.
+    if d.integer("warm_hits")? != cells {
+        return Err(format!(
+            "{}: warm pass was not all checkpoint hits",
+            d.label
+        ));
+    }
+    // The committed trajectory pins the PR's acceptance bar: a
+    // reference-size fig4 sweep runs at least 3x faster with compiled
+    // traces + warm-start than inline. Quick-mode smoke files only
+    // require the pipeline to win at all — CI runners are noisy and
+    // quick cells are tiny.
+    let floor = if d.boolean("quick")? { 1.0 } else { 3.0 };
+    if speedup < floor {
+        return Err(format!(
+            "{}: speedup {speedup:.1}x below the {floor}x floor",
+            d.label
+        ));
+    }
+    Ok(format!(
+        "{cells} cells, inline {inline:.2}s, warm {warm:.3}s, {speedup:.1}x, cores={cores}"
+    ))
+}
+
 /// Validates one bench document by its `"bench"` field, returning the
 /// one-line summary CI prints.
 pub fn validate_text(label: &str, text: &str) -> Result<String, String> {
@@ -232,6 +274,7 @@ pub fn validate_text(label: &str, text: &str) -> Result<String, String> {
         "shard" => validate_shard(&d)?,
         "tenants" => validate_tenants(&d)?,
         "serve" => validate_serve(&d)?,
+        "trace" => validate_trace(&d)?,
         other => return Err(format!("{label}: unknown bench kind '{other}'")),
     };
     Ok(format!("{label}: {summary}"))
@@ -293,6 +336,51 @@ mod tests {
             .replace("\"speedup\": 2.0", "\"speedup\": 0.5")
             .replace("\"warm_wall_s\": 0.05", "\"warm_wall_s\": 0.2");
         assert!(validate_text("losing", &losing).is_err());
+    }
+
+    #[test]
+    fn trace_rules_catch_the_regressions_they_claim_to() {
+        let good = r#"{
+          "bench": "trace", "matrix": "fig4", "size": "reference", "quick": false,
+          "jobs": 1, "host_cores": 1, "cells": 70, "warm_cut": 4000000,
+          "inline_wall_s": 36.0, "cold_wall_s": 48.0, "warm_wall_s": 6.0,
+          "speedup_warm": 6.0, "warm_hits": 70
+        }"#;
+        assert!(
+            validate_text("good", good).is_ok(),
+            "{:?}",
+            validate_text("good", good)
+        );
+
+        for (name, bad) in [
+            (
+                "missed checkpoint",
+                good.replace("\"warm_hits\": 70", "\"warm_hits\": 69"),
+            ),
+            (
+                "below the 3x floor",
+                good.replace("\"speedup_warm\": 6.0", "\"speedup_warm\": 2.0")
+                    .replace("\"warm_wall_s\": 6.0", "\"warm_wall_s\": 18.0"),
+            ),
+            (
+                "inconsistent",
+                good.replace("\"speedup_warm\": 6.0", "\"speedup_warm\": 20.0"),
+            ),
+            ("missing cut", good.replace("\"warm_cut\": 4000000,", "")),
+        ] {
+            assert!(validate_text(name, &bad).is_err(), "{name} accepted");
+        }
+
+        // Quick smoke files only need the pipeline to win at all.
+        let quick = good
+            .replace("\"quick\": false", "\"quick\": true")
+            .replace("\"speedup_warm\": 6.0", "\"speedup_warm\": 1.5")
+            .replace("\"warm_wall_s\": 6.0", "\"warm_wall_s\": 24.0");
+        assert!(
+            validate_text("quick", &quick).is_ok(),
+            "{:?}",
+            validate_text("quick", &quick)
+        );
     }
 
     #[test]

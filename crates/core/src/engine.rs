@@ -607,6 +607,87 @@ impl BorderControl {
     }
 }
 
+/// Snapshot codec: everything an engine holds is exact state — registers,
+/// BCC contents, use counts, port calendar, counters, and any recorded
+/// border-crossing stream.
+mod snap_impls {
+    use bc_sim::snapshot::{Snap, SnapError, SnapReader, SnapWriter};
+
+    use super::{BorderControl, BorderControlConfig, FlushPolicy};
+
+    impl Snap for FlushPolicy {
+        fn save(&self, w: &mut SnapWriter) {
+            w.u8(match self {
+                FlushPolicy::FullFlush => 0,
+                FlushPolicy::Selective => 1,
+            });
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            match r.u8()? {
+                0 => Ok(FlushPolicy::FullFlush),
+                1 => Ok(FlushPolicy::Selective),
+                _ => Err(SnapError::BadValue("flush policy")),
+            }
+        }
+    }
+
+    impl Snap for BorderControlConfig {
+        fn save(&self, w: &mut SnapWriter) {
+            w.snap(&self.bcc);
+            w.bool(self.parallel_read_check);
+            w.snap(&self.flush_policy);
+            w.u64(self.check_occupancy);
+            w.bool(self.record_stream);
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(BorderControlConfig {
+                bcc: r.snap()?,
+                parallel_read_check: r.bool()?,
+                flush_policy: r.snap()?,
+                check_occupancy: r.u64()?,
+                record_stream: r.bool()?,
+            })
+        }
+    }
+
+    impl Snap for BorderControl {
+        fn save(&self, w: &mut SnapWriter) {
+            w.section(*b"BCTL");
+            w.u32(self.accel_id);
+            w.snap(&self.config);
+            w.snap(&self.table);
+            w.u64(self.table_pages);
+            w.snap(&self.bcc);
+            w.snap(&self.attached);
+            w.snap(&self.check_port);
+            w.snap(&self.checks);
+            w.snap(&self.violations);
+            w.snap(&self.pt_reads);
+            w.snap(&self.pt_writes);
+            w.snap(&self.insertions);
+            w.snap(&self.stream);
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            r.section(*b"BCTL")?;
+            Ok(BorderControl {
+                accel_id: r.u32()?,
+                config: r.snap()?,
+                table: r.snap()?,
+                table_pages: r.u64()?,
+                bcc: r.snap()?,
+                attached: r.snap()?,
+                check_port: r.snap()?,
+                checks: r.snap()?,
+                violations: r.snap()?,
+                pt_reads: r.snap()?,
+                pt_writes: r.snap()?,
+                insertions: r.snap()?,
+                stream: r.snap()?,
+            })
+        }
+    }
+}
+
 // bc-lint: allow(float) — assertions on summary ratios only.
 #[cfg(test)]
 #[allow(clippy::indexing_slicing)] // tests may index asserted-nonempty results

@@ -30,7 +30,7 @@ use rules::{RuleId, Tier};
 /// runs inside simulated time and must never consult wall clocks,
 /// OS entropy, iteration-order-unstable containers, or (unannotated)
 /// floating point.
-pub const DETERMINISTIC_CRATES: [&str; 10] = [
+pub const DETERMINISTIC_CRATES: [&str; 11] = [
     "sim",
     "core",
     "mem",
@@ -41,6 +41,7 @@ pub const DETERMINISTIC_CRATES: [&str; 10] = [
     "system",
     "workloads",
     "experiments",
+    "trace",
 ];
 
 /// Protocol crates: the subset whose integer widths encode protocol

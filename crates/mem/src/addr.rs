@@ -304,6 +304,57 @@ impl fmt::Display for PageSize {
     }
 }
 
+/// Snapshot codecs for the address newtypes ([`bc_sim::snapshot::Snap`]):
+/// raw varints for the `u64`-backed types, one byte for [`PageSize`].
+mod snap_impls {
+    use bc_sim::snapshot::{Snap, SnapError, SnapReader, SnapWriter};
+
+    use super::{Asid, PageSize, PhysAddr, Ppn, VirtAddr, Vpn};
+
+    macro_rules! snap_u64_newtype {
+        ($ty:ident) => {
+            impl Snap for $ty {
+                fn save(&self, w: &mut SnapWriter) {
+                    w.u64(self.as_u64());
+                }
+                fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+                    Ok($ty::new(r.u64()?))
+                }
+            }
+        };
+    }
+
+    snap_u64_newtype!(PhysAddr);
+    snap_u64_newtype!(VirtAddr);
+    snap_u64_newtype!(Ppn);
+    snap_u64_newtype!(Vpn);
+
+    impl Snap for Asid {
+        fn save(&self, w: &mut SnapWriter) {
+            w.u16(self.as_u16());
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(Asid::new(r.u16()?))
+        }
+    }
+
+    impl Snap for PageSize {
+        fn save(&self, w: &mut SnapWriter) {
+            w.u8(match self {
+                PageSize::Base4K => 0,
+                PageSize::Huge2M => 1,
+            });
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            match r.u8()? {
+                0 => Ok(PageSize::Base4K),
+                1 => Ok(PageSize::Huge2M),
+                _ => Err(SnapError::BadValue("page size")),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -255,6 +255,73 @@ impl Dram {
     }
 }
 
+/// Snapshot codecs: the device's exact state is its channel calendars
+/// plus two counters; the config rides along so a restored device can be
+/// built without threading configuration through the snapshot caller.
+mod snap_impls {
+    use bc_sim::resource::Channels;
+    use bc_sim::snapshot::{Snap, SnapError, SnapReader, SnapWriter};
+
+    use super::{Dram, DramConfig, MemBackend};
+
+    impl Snap for MemBackend {
+        fn save(&self, w: &mut SnapWriter) {
+            w.u8(match self {
+                MemBackend::LocalDram => 0,
+                MemBackend::CxlPool => 1,
+            });
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            match r.u8()? {
+                0 => Ok(MemBackend::LocalDram),
+                1 => Ok(MemBackend::CxlPool),
+                _ => Err(SnapError::BadValue("memory backend")),
+            }
+        }
+    }
+
+    impl Snap for DramConfig {
+        fn save(&self, w: &mut SnapWriter) {
+            w.u64(self.access_latency);
+            w.u64(self.service_per_block);
+            w.usize(self.channels);
+            w.snap(&self.backend);
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(DramConfig {
+                access_latency: r.u64()?,
+                service_per_block: r.u64()?,
+                channels: r.usize()?,
+                backend: r.snap()?,
+            })
+        }
+    }
+
+    impl Snap for Dram {
+        fn save(&self, w: &mut SnapWriter) {
+            w.section(*b"DRAM");
+            w.snap(&self.config);
+            w.snap(&self.channels);
+            w.snap(&self.reads);
+            w.snap(&self.writes);
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            r.section(*b"DRAM")?;
+            let config: DramConfig = r.snap()?;
+            let channels: Channels = r.snap()?;
+            if channels.ports().len() != config.channels {
+                return Err(SnapError::BadValue("DRAM channel count"));
+            }
+            Ok(Dram {
+                config,
+                channels,
+                reads: r.snap()?,
+                writes: r.snap()?,
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 // bc-lint: allow(float) — assertions on summary ratios only.
 mod tests {

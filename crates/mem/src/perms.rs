@@ -180,6 +180,28 @@ impl fmt::Display for PagePerms {
     }
 }
 
+/// Snapshot codec: the three permission bits packed into one byte.
+mod snap_impls {
+    use bc_sim::snapshot::{Snap, SnapError, SnapReader, SnapWriter};
+
+    use super::PagePerms;
+
+    impl Snap for PagePerms {
+        fn save(&self, w: &mut SnapWriter) {
+            w.u8(u8::from(self.readable())
+                | (u8::from(self.writable()) << 1)
+                | (u8::from(self.executable()) << 2));
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            let bits = r.u8()?;
+            if bits > 0b111 {
+                return Err(SnapError::BadValue("page permission bits"));
+            }
+            Ok(PagePerms::new(bits & 1 != 0, bits & 2 != 0, bits & 4 != 0))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

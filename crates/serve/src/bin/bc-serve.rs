@@ -2,10 +2,17 @@
 //!
 //! ```text
 //! bc-serve [--addr 127.0.0.1:7171] [--cache-dir .bc-cache] [--jobs N]
+//!          [--cas-max-bytes N] [--trace-dir PATH]
 //! bc-serve --smoke [--size tiny]
 //! ```
 //!
 //! Serves the `/v1` job API (see `bc_serve::gateway`) until killed.
+//! `--cas-max-bytes` caps the result store: after every write the oldest
+//! objects are evicted until the store fits (eviction counters appear on
+//! `/v1/stats`); an evicted result just re-simulates on its next request.
+//! `--trace-dir` makes every simulated cell replay compiled access
+//! traces from (and persist new ones into) the given directory — cells
+//! sharing a workload coordinate then share one trace across all jobs.
 //! `--smoke` instead runs the self-check CI uses: bind an ephemeral port
 //! with a fresh cache, submit the figure-4 sweep twice over real HTTP,
 //! and require the second (warm) submission to be served entirely from
@@ -15,7 +22,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
-use bc_serve::{client, Gateway, Server};
+use bc_serve::{client, Cas, Gateway, Server};
 
 fn arg_value(args: &[String], name: &str) -> Option<String> {
     args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone())
@@ -39,13 +46,34 @@ fn main() -> ExitCode {
         return smoke(&size, jobs);
     }
 
-    let gateway = match Gateway::new(&cache_dir, jobs) {
-        Ok(g) => g,
+    let cas_max_bytes = match arg_value(&args, "--cas-max-bytes") {
+        None => None,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("bc-serve: invalid --cas-max-bytes '{raw}'");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let cas = match Cas::open_bounded(&cache_dir, cas_max_bytes) {
+        Ok(c) => c,
         Err(e) => {
             eprintln!("bc-serve: cannot open cache dir '{cache_dir}': {e}");
             return ExitCode::FAILURE;
         }
     };
+    let runner = match arg_value(&args, "--trace-dir") {
+        None => Gateway::default_runner(),
+        Some(path) => match bc_trace::TraceDir::open(&path) {
+            Ok(dir) => Gateway::replay_runner(Arc::new(dir)),
+            Err(e) => {
+                eprintln!("bc-serve: cannot open trace dir '{path}': {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let gateway = Gateway::with_cas(cas, jobs, runner);
     let handler = Arc::new(move |req: &bc_serve::Request| gateway.handle(req));
     let server = match Server::start(&addr, handler) {
         Ok(s) => s,

@@ -21,6 +21,16 @@
 //! **miss** — counted separately, never served, and overwritten by the
 //! re-run's `put`. Writes go through a temp file + rename so a concurrent
 //! reader sees either the old object or the new one, never a torn write.
+//!
+//! A store opened with [`Cas::open_bounded`] enforces a byte budget:
+//! after every `put` the oldest objects — ordered by (modification time,
+//! object name), the name tiebreak making eviction deterministic when a
+//! burst of puts lands inside the filesystem's timestamp granularity —
+//! are deleted until the store fits, never touching the object just
+//! written (so a single oversize object is stored, not thrashed).
+//! Eviction only ever costs a future *miss*: every object is a pure
+//! function of its key, so the next client that wants an evicted result
+//! re-simulates and re-files it.
 
 use std::fs;
 use std::io;
@@ -47,29 +57,53 @@ pub struct CasStats {
     pub corrupt: u64,
     /// Objects written.
     pub puts: u64,
+    /// Objects deleted to keep the store under its byte budget.
+    pub evictions: u64,
+    /// Total payload-file bytes those evictions reclaimed.
+    pub evicted_bytes: u64,
 }
 
 /// A directory of content-addressed result objects.
 pub struct Cas {
     dir: PathBuf,
+    max_bytes: Option<u64>,
     hits: AtomicU64,
     misses: AtomicU64,
     corrupt: AtomicU64,
     puts: AtomicU64,
+    evictions: AtomicU64,
+    evicted_bytes: AtomicU64,
 }
 
 impl Cas {
-    /// Opens (creating if needed) the store rooted at `dir`.
+    /// Opens (creating if needed) the store rooted at `dir`, unbounded.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Cas> {
+        Cas::open_bounded(dir, None)
+    }
+
+    /// Opens the store with an optional byte budget: `Some(n)` caps the
+    /// sum of object file sizes at `n`, evicting oldest-first after each
+    /// `put` (see the module docs for the exact order). `None` is
+    /// [`Cas::open`].
+    pub fn open_bounded(dir: impl Into<PathBuf>, max_bytes: Option<u64>) -> io::Result<Cas> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
         Ok(Cas {
             dir,
+            max_bytes,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             corrupt: AtomicU64::new(0),
             puts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            evicted_bytes: AtomicU64::new(0),
         })
+    }
+
+    /// The byte budget, if any.
+    #[must_use]
+    pub fn max_bytes(&self) -> Option<u64> {
+        self.max_bytes
     }
 
     /// The store's root directory.
@@ -136,7 +170,51 @@ impl Cas {
         fs::write(&tmp, object)?;
         fs::rename(&tmp, self.object_path(key))?;
         self.puts.fetch_add(1, Ordering::Relaxed);
+        self.enforce_bound(key);
         Ok(())
+    }
+
+    /// Deletes oldest objects (by modification time, then name) until the
+    /// store fits its budget, sparing `fresh_key` — the object the caller
+    /// just wrote. Enumeration failures degrade to an unenforced bound;
+    /// the store keeps serving either way.
+    fn enforce_bound(&self, fresh_key: &str) {
+        let Some(max) = self.max_bytes else { return };
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return;
+        };
+        let mut objects: Vec<(std::time::SystemTime, String, u64)> = Vec::new();
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            // Temp files are in-flight writes, not store contents.
+            if name.starts_with('.') {
+                continue;
+            }
+            let Ok(meta) = entry.metadata() else { continue };
+            if !meta.is_file() {
+                continue;
+            }
+            let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+            objects.push((mtime, name, meta.len()));
+        }
+        let mut total: u64 = objects.iter().map(|(_, _, len)| len).sum();
+        objects.sort(); // oldest mtime first, name breaks ties
+        for (_, name, len) in objects {
+            if total <= max {
+                break;
+            }
+            if name == fresh_key {
+                continue;
+            }
+            if fs::remove_file(self.dir.join(&name)).is_ok() {
+                // bc-lint: allow(saturating-counter) — local byte-total
+                // accumulator, not simulator state; clamping at zero only
+                // ends eviction early, the safe direction.
+                total = total.saturating_sub(len);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.evicted_bytes.fetch_add(len, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Counter snapshot.
@@ -147,6 +225,8 @@ impl Cas {
             misses: self.misses.load(Ordering::Relaxed),
             corrupt: self.corrupt.load(Ordering::Relaxed),
             puts: self.puts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            evicted_bytes: self.evicted_bytes.load(Ordering::Relaxed),
         }
     }
 }

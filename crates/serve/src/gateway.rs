@@ -21,7 +21,7 @@
 //! | `GET /v1/jobs/{id}/keys` | every cell's cache key |
 //! | `GET /v1/jobs/{id}/events?from=K` | progress lines from index K |
 //! | `POST /v1/jobs/{id}/cancel` | stop scheduling this job's cells |
-//! | `GET /v1/stats` | job count + CAS hit/miss/corrupt/put counters |
+//! | `GET /v1/stats` | job count + CAS hit/miss/corrupt/put/eviction counters |
 
 use std::collections::BTreeMap;
 use std::io;
@@ -119,22 +119,30 @@ pub struct Gateway {
 }
 
 impl Gateway {
-    /// Opens a gateway over the store at `cache_dir` with `workers`
-    /// concurrent cells, simulating via `runner`.
-    pub fn with_runner(
-        cache_dir: impl Into<PathBuf>,
-        workers: usize,
-        runner: Runner,
-    ) -> io::Result<Gateway> {
-        Ok(Gateway {
+    /// Wraps an already-opened store (possibly byte-bounded via
+    /// [`Cas::open_bounded`]) with `workers` concurrent cells, simulating
+    /// via `runner`.
+    #[must_use]
+    pub fn with_cas(cas: Cas, workers: usize, runner: Runner) -> Gateway {
+        Gateway {
             inner: Arc::new(Inner {
-                cas: Cas::open(cache_dir)?,
+                cas,
                 runner,
                 workers: workers.max(1),
                 next_id: AtomicU64::new(1),
                 jobs: Mutex::new(BTreeMap::new()),
             }),
-        })
+        }
+    }
+
+    /// Opens a gateway over an unbounded store at `cache_dir` with
+    /// `workers` concurrent cells, simulating via `runner`.
+    pub fn with_runner(
+        cache_dir: impl Into<PathBuf>,
+        workers: usize,
+        runner: Runner,
+    ) -> io::Result<Gateway> {
+        Ok(Gateway::with_cas(Cas::open(cache_dir)?, workers, runner))
     }
 
     /// Production gateway: cells run on [`Gateway::default_runner`].
@@ -148,6 +156,21 @@ impl Gateway {
     pub fn default_runner() -> Runner {
         Arc::new(|config: &SystemConfig| {
             System::build(config)
+                .map(|mut system| system.run())
+                .map_err(|e| format!("build failed: {e}"))
+        })
+    }
+
+    /// Like [`Gateway::default_runner`] but every cell draws its
+    /// wavefront access streams from `source` — typically a shared
+    /// [`bc_trace::TraceDir`], so one compiled trace serves every cell
+    /// (and every job) with the same content key. Replay is
+    /// byte-identical to live synthesis, so cached results keyed by
+    /// config alone stay valid.
+    #[must_use]
+    pub fn replay_runner(source: Arc<dyn bc_workloads::StreamSource>) -> Runner {
+        Arc::new(move |config: &SystemConfig| {
+            System::build_with_source(config, source.as_ref())
                 .map(|mut system| system.run())
                 .map_err(|e| format!("build failed: {e}"))
         })
@@ -296,8 +319,9 @@ impl Gateway {
                     200,
                     format!(
                         "{{\"jobs\": {jobs}, \"cas\": {{\"hits\": {}, \"misses\": {}, \
-                         \"corrupt\": {}, \"puts\": {}}}}}",
-                        s.hits, s.misses, s.corrupt, s.puts
+                         \"corrupt\": {}, \"puts\": {}, \"evictions\": {}, \
+                         \"evicted_bytes\": {}}}}}",
+                        s.hits, s.misses, s.corrupt, s.puts, s.evictions, s.evicted_bytes
                     ),
                 )
             }

@@ -220,6 +220,67 @@ fn every_config_field_moves_the_key_except_shards() {
     assert_eq!(Cas::key_for_rev(&base, schema::CODE_REV), base_key);
 }
 
+/// A byte-bounded store under churn: puts far past the budget must
+/// converge to a store that fits, evicting oldest objects first and
+/// accounting every deletion — while the freshest objects keep serving.
+#[test]
+fn bounded_store_converges_under_churn_evicting_oldest_first() {
+    let dir = temp_store("churn");
+    // Each object is a ~64-byte header line plus the payload.
+    let payload = "x".repeat(200);
+    let max: u64 = 900; // fits ~3 objects of ~266 bytes
+    let cas = Cas::open_bounded(&dir, Some(max)).unwrap();
+    assert_eq!(cas.max_bytes(), Some(max));
+
+    for i in 0..12 {
+        cas.put(&format!("object-{i:02}"), &payload).unwrap();
+        // Distinct mtimes make "oldest" unambiguous; the name tiebreak
+        // covers filesystems that would collapse these anyway.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let total: u64 = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.metadata().unwrap().len())
+            .sum();
+        assert!(total <= max, "store over budget after put {i}: {total}");
+    }
+
+    let stats = cas.stats();
+    assert_eq!(stats.puts, 12);
+    assert_eq!(stats.evictions, 9, "12 puts, 3 fit: 9 evicted");
+    assert!(stats.evicted_bytes > 0);
+
+    // The survivors are exactly the three newest objects.
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+    assert_eq!(names, ["object-09", "object-10", "object-11"]);
+    assert_eq!(cas.get("object-11").as_deref(), Some(payload.as_str()));
+    // Evicted objects are clean misses, ready to be re-filed.
+    assert_eq!(cas.get("object-00"), None);
+    cas.put("object-00", &payload).unwrap();
+    assert_eq!(cas.get("object-00").as_deref(), Some(payload.as_str()));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A single object bigger than the whole budget is stored (never
+/// self-evicted into a thrash loop) and displaces everything else.
+#[test]
+fn oversize_object_is_kept_not_thrashed() {
+    let dir = temp_store("oversize");
+    let cas = Cas::open_bounded(&dir, Some(300)).unwrap();
+    cas.put("small", "tiny payload").unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    cas.put("huge", &"y".repeat(2_000)).unwrap();
+    assert_eq!(cas.get("huge").as_deref(), Some("y".repeat(2_000).as_str()));
+    assert_eq!(cas.get("small"), None, "older object displaced");
+    assert_eq!(cas.stats().evictions, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn golden_keys_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/keys.json")
 }

@@ -137,6 +137,51 @@ fn submit_poll_fetch_lifecycle_matches_direct_runs() {
     assert_eq!(tail.lines().count(), 1);
 }
 
+/// A gateway over a byte-bounded store with a trace-replay runner:
+/// served bytes still match direct runs exactly (replay identity), and
+/// `/v1/stats` surfaces the eviction counters a churning store racks up.
+#[test]
+fn bounded_trace_replay_gateway_serves_identical_bytes_and_reports_evictions() {
+    let tag = format!("bounded-replay-{}", std::process::id());
+    let cache_dir = std::env::temp_dir().join(format!("bc-gateway-cache-{tag}"));
+    let trace_dir = std::env::temp_dir().join(format!("bc-gateway-traces-{tag}"));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let _ = std::fs::remove_dir_all(&trace_dir);
+
+    // Budget below one report's size: every put immediately churns, so
+    // eviction counters must be visible after a single job.
+    let cas = Cas::open_bounded(&cache_dir, Some(64)).unwrap();
+    let source = Arc::new(bc_trace::TraceDir::open(&trace_dir).unwrap());
+    let gateway = Gateway::with_cas(cas, 2, Gateway::replay_runner(source));
+    let handler = Arc::new(move |req: &Request| gateway.handle(req));
+    let server = Server::start("127.0.0.1:0", handler).unwrap();
+    let addr = server.addr();
+
+    let job = submit(addr, "{\"matrix\": \"attacks\", \"size\": \"tiny\"}");
+    let status = client::wait_for_job(addr, job).unwrap();
+    assert!(status.contains("\"state\": \"done\""), "{status}");
+
+    for (i, (label, config)) in attacks_cells().iter().enumerate() {
+        assert_eq!(
+            cell_body(addr, job, i),
+            direct_report(config),
+            "cell {i} ({label}) drifted under trace replay"
+        );
+    }
+
+    let (code, stats) = client::get(addr, "/v1/stats").unwrap();
+    assert_eq!(code, 200);
+    assert!(stats.contains("\"evictions\": "), "{stats}");
+    assert!(stats.contains("\"evicted_bytes\": "), "{stats}");
+    assert!(
+        !stats.contains("\"evictions\": 0,"),
+        "a 64-byte budget must have evicted: {stats}"
+    );
+
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let _ = std::fs::remove_dir_all(&trace_dir);
+}
+
 #[test]
 fn warm_resubmission_serves_identical_bytes_from_cache() {
     let ts = TestServer::start("warm", 4, None);

@@ -47,7 +47,9 @@ mod event;
 pub mod fxmap;
 pub mod resource;
 pub mod rng;
+pub mod sha256;
 pub mod shard;
+pub mod snapshot;
 pub mod stats;
 pub mod trace;
 

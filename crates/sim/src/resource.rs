@@ -241,6 +241,43 @@ impl Port {
     }
 }
 
+impl crate::snapshot::Snap for Port {
+    fn save(&self, w: &mut crate::snapshot::SnapWriter) {
+        // Only the live calendar is behavioral: every booking decision
+        // reads `live()` and the dead prefix exists solely to amortize
+        // pruning. Serializing the live slice with `head = 0` restores a
+        // port whose every future booking (and every stat) is identical.
+        w.snap(&self.live().to_vec());
+        w.u64(self.max_arrival);
+        w.snap(&self.served);
+        w.u64(self.busy_cycles);
+        w.snap(&self.queue_delay);
+    }
+    fn load(r: &mut crate::snapshot::SnapReader<'_>) -> Result<Self, crate::snapshot::SnapError> {
+        Ok(Port {
+            busy: r.snap()?,
+            head: 0,
+            max_arrival: r.u64()?,
+            served: r.snap()?,
+            busy_cycles: r.u64()?,
+            queue_delay: r.snap()?,
+        })
+    }
+}
+
+impl crate::snapshot::Snap for Channels {
+    fn save(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.snap(&self.ports);
+    }
+    fn load(r: &mut crate::snapshot::SnapReader<'_>) -> Result<Self, crate::snapshot::SnapError> {
+        let ports: Vec<Port> = r.snap()?;
+        if ports.is_empty() {
+            return Err(crate::snapshot::SnapError::BadValue("zero channels"));
+        }
+        Ok(Channels { ports })
+    }
+}
+
 /// A bank of identical ports; each request is dispatched to the port that
 /// can start it earliest. Models multi-channel DRAM or multiple parallel
 /// page-table walkers.

@@ -159,6 +159,23 @@ struct Keyed<E> {
     ev: E,
 }
 
+/// A pending event extracted from the engine at a warm-start cut: the
+/// owning component, firing instant, and the `(src, seq)` dispatch key
+/// it was issued with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingEvent<E> {
+    /// Component whose queue held the event.
+    pub comp: CompId,
+    /// Instant the event fires at.
+    pub at: Cycle,
+    /// Issuing component (dispatch-order tie-break, major).
+    pub src: u32,
+    /// Issue sequence within `src` (dispatch-order tie-break, minor).
+    pub seq: u64,
+    /// The event payload.
+    pub ev: E,
+}
+
 /// A cross-shard event in flight.
 struct Wire<E> {
     to: CompId,
@@ -451,6 +468,67 @@ impl<E: Send> ShardEngine<E> {
         }
     }
 
+    /// Drains every pending event, keys included, in the exact order
+    /// each component's queue would have popped them. Re-inserting the
+    /// result through [`ShardEngine::restore_pending`] (into a fresh
+    /// engine with the same spec) reproduces the identical schedule —
+    /// push order per component equals pop order, so same-cycle FIFO is
+    /// preserved. Used by the snapshot layer at a warm-start cut.
+    pub fn drain_pending(&mut self) -> Vec<PendingEvent<E>> {
+        let mut out = Vec::new();
+        for (comp, c) in self.comps.iter_mut().enumerate() {
+            while let Some((at, k)) = c.queue.pop() {
+                out.push(PendingEvent {
+                    comp,
+                    at,
+                    src: k.src,
+                    seq: k.seq,
+                    ev: k.ev,
+                });
+            }
+        }
+        out
+    }
+
+    /// Re-inserts events captured by [`ShardEngine::drain_pending`],
+    /// preserving their original dispatch keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event names a component outside the spec.
+    pub fn restore_pending(&mut self, events: Vec<PendingEvent<E>>) {
+        for p in events {
+            self.comps[p.comp].queue.push(
+                p.at,
+                Keyed {
+                    src: p.src,
+                    seq: p.seq,
+                    ev: p.ev,
+                },
+            );
+        }
+    }
+
+    /// Per-component outgoing sequence counters. Together with the
+    /// pending events these pin the `(src, seq)` tie-break order, so a
+    /// restored engine issues exactly the keys the original would have.
+    #[must_use]
+    pub fn out_seqs(&self) -> Vec<u64> {
+        self.comps.iter().map(|c| c.out_seq).collect()
+    }
+
+    /// Restores the per-component sequence counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seqs.len()` does not match the spec's component count.
+    pub fn set_out_seqs(&mut self, seqs: &[u64]) {
+        assert_eq!(seqs.len(), self.comps.len(), "one counter per component");
+        for (c, &s) in self.comps.iter_mut().zip(seqs) {
+            c.out_seq = s;
+        }
+    }
+
     /// Runs the schedule to completion. `handlers[s]` serves shard `s`;
     /// shard 0 runs on the calling thread, the rest on scoped threads.
     ///
@@ -459,6 +537,29 @@ impl<E: Send> ShardEngine<E> {
     /// Panics if `handlers.len() != spec.shards`, or if any handler
     /// panics (the panic is propagated after poisoning the barrier).
     pub fn run<H: ShardHandler<E>>(&mut self, handlers: &mut [H]) -> ShardRun {
+        self.run_bounded(handlers, u64::MAX)
+    }
+
+    /// Runs the schedule until every pending event sits at or beyond
+    /// `until`, then stops, leaving those events queued.
+    ///
+    /// Every event strictly below `until` is dispatched in exactly the
+    /// order [`ShardEngine::run`] would have dispatched it (each round's
+    /// horizon is additionally capped at `until`, which only splits
+    /// rounds, never reorders dispatches), so state at the cut is
+    /// byte-identical to the same instant of an unbounded run — the
+    /// property the snapshot/warm-start layer is built on. The engine
+    /// remains runnable: a follow-up `run`/`run_until` call continues the
+    /// schedule.
+    ///
+    /// # Panics
+    ///
+    /// As for [`ShardEngine::run`].
+    pub fn run_until<H: ShardHandler<E>>(&mut self, handlers: &mut [H], until: Cycle) -> ShardRun {
+        self.run_bounded(handlers, until.as_u64())
+    }
+
+    fn run_bounded<H: ShardHandler<E>>(&mut self, handlers: &mut [H], until: u64) -> ShardRun {
         assert_eq!(
             handlers.len(),
             self.spec.shards,
@@ -486,7 +587,7 @@ impl<E: Send> ShardEngine<E> {
         let mut stats: Vec<ShardStats> = Vec::with_capacity(spec.shards);
         if spec.shards == 1 {
             let (group, handler) = (&mut groups[0], &mut handlers[0]);
-            stats.push(run_shard(0, spec, group, handler, &shared));
+            stats.push(run_shard(0, spec, group, handler, &shared, until));
         } else {
             let shared_ref = &shared;
             std::thread::scope(|scope| {
@@ -494,10 +595,10 @@ impl<E: Send> ShardEngine<E> {
                 let (_, (group0, handler0)) = pairs.next().expect("shards >= 1");
                 let spawned: Vec<_> = pairs
                     .map(|(sid, (group, handler))| {
-                        scope.spawn(move || run_shard(sid, spec, group, handler, shared_ref))
+                        scope.spawn(move || run_shard(sid, spec, group, handler, shared_ref, until))
                     })
                     .collect();
-                stats.push(run_shard(0, spec, group0, handler0, shared_ref));
+                stats.push(run_shard(0, spec, group0, handler0, shared_ref, until));
                 for handle in spawned {
                     match handle.join() {
                         Ok(s) => stats.push(s),
@@ -532,13 +633,16 @@ impl<E: Send> ShardEngine<E> {
     }
 }
 
-/// One shard's synchronized round loop.
+/// One shard's synchronized round loop. `until` caps the dispatch
+/// horizon: events at or beyond it stay queued and the loop exits once
+/// the global minimum reaches it (`u64::MAX` = run to completion).
 fn run_shard<E, H: ShardHandler<E>>(
     sid: usize,
     spec: &ShardSpec,
     group: &mut [(CompId, CompState<E>)],
     handler: &mut H,
     shared: &Shared<E>,
+    until: u64,
 ) -> ShardStats {
     let _poison = PoisonOnPanic(&shared.barrier);
     let mut remote: Vec<Wire<E>> = Vec::new();
@@ -584,11 +688,11 @@ fn run_shard<E, H: ShardHandler<E>>(
             .map(|m| m.load(Ordering::Acquire))
             .min()
             .unwrap_or(u64::MAX);
-        if global_min == u64::MAX {
+        if global_min == u64::MAX || global_min >= until {
             break;
         }
         rounds += 1;
-        let horizon = global_min.saturating_add(spec.lookahead);
+        let horizon = global_min.saturating_add(spec.lookahead).min(until);
         loop {
             // Earliest pending (cycle, component) on this shard; component
             // order breaks cycle ties (group is sorted by id).
@@ -810,6 +914,68 @@ mod tests {
         engine.seed(1, Cycle::new(7), 3);
         let again = engine.run(&mut [Sink(0)]);
         assert_eq!(again.dispatched, 1);
+    }
+
+    #[test]
+    fn run_until_then_continue_matches_straight_run() {
+        let assignment = vec![0, 1, 0, 1];
+        let spec = ShardSpec {
+            components: 4,
+            shards: 2,
+            assignment,
+            lookahead: 4,
+        };
+        let seed = |engine: &mut ShardEngine<u32>| {
+            for c in 0..4 {
+                engine.seed(c, Cycle::new(c as u64), 20 + c as u32);
+            }
+        };
+        let handlers = || -> Vec<Hopper> {
+            (0..2)
+                .map(|_| Hopper {
+                    trace: Vec::new(),
+                    components: 4,
+                })
+                .collect()
+        };
+        let collect = |hs: Vec<Hopper>| -> Vec<(CompId, u64, u32)> {
+            let mut all: Vec<_> = hs.into_iter().flat_map(|h| h.trace).collect();
+            all.sort_by_key(|&(c, t, h)| (t, c, h));
+            all
+        };
+
+        // Straight run.
+        let mut straight = ShardEngine::new(spec.clone());
+        seed(&mut straight);
+        let mut hs = handlers();
+        let straight_run = straight.run(&mut hs);
+        let straight_trace = collect(hs);
+
+        // Cut at 40, extract, restore into a fresh engine, continue.
+        let mut warm = ShardEngine::new(spec.clone());
+        seed(&mut warm);
+        let mut hs1 = handlers();
+        let first = warm.run_until(&mut hs1, Cycle::new(40));
+        let pending = warm.drain_pending();
+        let seqs = warm.out_seqs();
+        assert!(
+            pending.iter().all(|p| p.at >= Cycle::new(40)),
+            "everything below the cut was dispatched"
+        );
+        let mut resumed = ShardEngine::new(spec);
+        resumed.restore_pending(pending);
+        resumed.set_out_seqs(&seqs);
+        let mut hs2 = handlers();
+        let second = resumed.run(&mut hs2);
+        let mut warm_trace = collect(hs1);
+        warm_trace.extend(collect(hs2));
+        warm_trace.sort_by_key(|&(c, t, h)| (t, c, h));
+
+        assert_eq!(straight_trace, warm_trace);
+        assert_eq!(
+            straight_run.dispatched,
+            first.dispatched + second.dispatched
+        );
     }
 
     #[test]

@@ -304,6 +304,53 @@ impl fmt::Display for Histogram {
     }
 }
 
+impl crate::snapshot::Snap for Counter {
+    fn save(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.u64(self.0);
+    }
+    fn load(r: &mut crate::snapshot::SnapReader<'_>) -> Result<Self, crate::snapshot::SnapError> {
+        Ok(Counter(r.u64()?))
+    }
+}
+
+impl crate::snapshot::Snap for HitMiss {
+    fn save(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.u64(self.hits);
+        w.u64(self.misses);
+    }
+    fn load(r: &mut crate::snapshot::SnapReader<'_>) -> Result<Self, crate::snapshot::SnapError> {
+        Ok(HitMiss {
+            hits: r.u64()?,
+            misses: r.u64()?,
+        })
+    }
+}
+
+impl crate::snapshot::Snap for Histogram {
+    fn save(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.snap(&self.buckets);
+        w.u64(self.count);
+        w.u64(self.sum);
+        // `min` uses u64::MAX as the "empty" sentinel; store it verbatim
+        // so a restored empty histogram is field-identical.
+        w.u64(self.min);
+        w.u64(self.max);
+    }
+    fn load(r: &mut crate::snapshot::SnapReader<'_>) -> Result<Self, crate::snapshot::SnapError> {
+        let buckets: Vec<u64> = r.snap()?;
+        if buckets.len() != 64 {
+            return Err(crate::snapshot::SnapError::BadValue("histogram buckets"));
+        }
+        Ok(Histogram {
+            buckets,
+            count: r.u64()?,
+            sum: r.u64()?,
+            min: r.u64()?,
+            max: r.u64()?,
+        })
+    }
+}
+
 /// A two-column table of named statistics, used by the experiment harness
 /// to print paper-style reports.
 ///

@@ -56,6 +56,24 @@ impl fmt::Display for AbortReason {
     }
 }
 
+impl bc_sim::snapshot::Snap for AbortReason {
+    fn save(&self, w: &mut bc_sim::snapshot::SnapWriter) {
+        w.u8(match self {
+            AbortReason::ViolationKill => 0,
+            AbortReason::CycleLimit => 1,
+            AbortReason::FatalOsError => 2,
+        });
+    }
+    fn load(r: &mut bc_sim::snapshot::SnapReader<'_>) -> Result<Self, bc_sim::snapshot::SnapError> {
+        match r.u8()? {
+            0 => Ok(AbortReason::ViolationKill),
+            1 => Ok(AbortReason::CycleLimit),
+            2 => Ok(AbortReason::FatalOsError),
+            _ => Err(bc_sim::snapshot::SnapError::BadValue("abort reason")),
+        }
+    }
+}
+
 /// Hot-path profile from a run, populated only when the `hotprof`
 /// feature is compiled in (the struct itself is always present so the
 /// report's shape does not depend on features).

@@ -1,0 +1,195 @@
+//! `bc-trace` — compile, import, inspect and verify workload traces.
+//!
+//! ```text
+//! bc-trace compile --dir DIR [--workload NAME|all] [--size tiny|small|reference]
+//!                  [--seed U64] [--wavefronts N] [--verify]
+//! bc-trace import <in.txt> <out.bctr>
+//! bc-trace info <file.bctr>
+//! bc-trace verify <file.bctr>
+//! ```
+//!
+//! `compile` populates a content-addressed trace directory (the same
+//! layout `--trace-dir` sweeps read); `import` converts the documented
+//! external text format (see `bc_trace::import`) into the container;
+//! `verify` re-runs the live generator for a compiled file's coordinate
+//! and checks op-for-op identity.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bc_trace::{import, verify, Trace, TraceDir};
+use bc_workloads::{by_name, rodinia_suite, Workload, WorkloadSize};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("compile") => cmd_compile(&args[1..]),
+        Some("import") => cmd_import(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("--help" | "-h") | None => {
+            eprint!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("bc-trace: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  bc-trace compile --dir DIR [--workload NAME|all] [--size tiny|small|reference]
+                   [--seed U64] [--wavefronts N] [--verify]
+  bc-trace import <in.txt> <out.bctr>
+  bc-trace info <file.bctr>
+  bc-trace verify <file.bctr>
+";
+
+fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+    *i += 1;
+    args.get(*i)
+        .cloned()
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    let mut dir: Option<PathBuf> = None;
+    let mut workload = "all".to_string();
+    let mut size = WorkloadSize::Tiny;
+    let mut seed = 42u64;
+    let mut wavefronts = 64u32;
+    let mut check = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dir" => dir = Some(PathBuf::from(take_value(args, &mut i, "--dir")?)),
+            "--workload" => workload = take_value(args, &mut i, "--workload")?,
+            "--size" => {
+                let v = take_value(args, &mut i, "--size")?;
+                size = WorkloadSize::from_label(&v).ok_or_else(|| format!("unknown size {v:?}"))?;
+            }
+            "--seed" => {
+                seed = take_value(args, &mut i, "--seed")?
+                    .parse()
+                    .map_err(|_| "unparseable --seed".to_string())?;
+            }
+            "--wavefronts" => {
+                wavefronts = take_value(args, &mut i, "--wavefronts")?
+                    .parse()
+                    .map_err(|_| "unparseable --wavefronts".to_string())?;
+            }
+            "--verify" => check = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+    let dir = dir.ok_or("--dir is required")?;
+    let store = TraceDir::open(&dir).map_err(|e| format!("open {}: {e}", dir.display()))?;
+    let workloads: Vec<Box<dyn Workload>> = if workload == "all" {
+        rodinia_suite(size)
+    } else {
+        vec![by_name(&workload, size).ok_or_else(|| format!("unknown workload {workload:?}"))?]
+    };
+    // bc-lint: allow-file(wall-clock) — progress output of the offline
+    // compiler binary; elapsed times are printed for the human running
+    // it and never feed simulation state.
+    // bc-lint: allow-file(float) — same progress output: seconds and
+    // megabytes are display-only conversions of integer counters.
+    for w in workloads {
+        let started = std::time::Instant::now();
+        let trace = store
+            .get_or_compile(w.as_ref(), wavefronts, seed)
+            .map_err(|e| format!("compile {}: {e}", w.name()))?;
+        let secs = started.elapsed().as_secs_f64();
+        let path = store.file_for(w.name(), w.footprint_bytes(), wavefronts, seed);
+        eprintln!(
+            "compiled {:>10} size={} wfs={} seed={}: {} ops, {:.2} MiB in {:.2}s -> {}",
+            w.name(),
+            size.label(),
+            wavefronts,
+            seed,
+            trace.total_ops(),
+            trace.size_bytes() as f64 / (1 << 20) as f64,
+            secs,
+            path.display()
+        );
+        if check {
+            let ops =
+                verify(&trace, w.as_ref()).map_err(|e| format!("verify {}: {e}", w.name()))?;
+            eprintln!(
+                "verified {:>10}: {} ops identical to live generator",
+                w.name(),
+                ops
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_import(args: &[String]) -> Result<(), String> {
+    let [input, output] = args else {
+        return Err("import needs <in.txt> <out.bctr>".to_string());
+    };
+    let text = std::fs::read_to_string(input).map_err(|e| format!("read {input}: {e}"))?;
+    let bytes = import(&text).map_err(|e| format!("import {input}: {e}"))?;
+    let trace = Trace::parse(bytes.clone()).map_err(|e| format!("self-check: {e}"))?;
+    std::fs::write(output, &bytes).map_err(|e| format!("write {output}: {e}"))?;
+    eprintln!(
+        "imported {}: workload={} wfs={} ops={} -> {}",
+        input,
+        trace.meta().workload,
+        trace.meta().total_wfs,
+        trace.total_ops(),
+        output
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("info needs <file.bctr>".to_string());
+    };
+    let trace = Trace::open(path.as_ref()).map_err(|e| format!("{path}: {e}"))?;
+    let m = trace.meta();
+    println!("workload:   {}", m.workload);
+    println!("footprint:  {} bytes", m.footprint_bytes);
+    println!("seed:       {}", m.seed);
+    println!("wavefronts: {}", m.total_wfs);
+    println!("source:     {}", m.source);
+    println!("ops:        {}", trace.total_ops());
+    println!("bytes:      {}", trace.size_bytes());
+    Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("verify needs <file.bctr>".to_string());
+    };
+    let trace = Trace::open(path.as_ref()).map_err(|e| format!("{path}: {e}"))?;
+    let m = trace.meta().clone();
+    // Resolve the generator from the recorded coordinate: the name picks
+    // the workload, the footprint picks the size.
+    let workload = [
+        WorkloadSize::Tiny,
+        WorkloadSize::Small,
+        WorkloadSize::Reference,
+    ]
+    .into_iter()
+    .filter_map(|s| by_name(&m.workload, s))
+    .find(|w| w.footprint_bytes() == m.footprint_bytes)
+    .ok_or_else(|| {
+        format!(
+            "no suite generator matches workload={:?} footprint={} (imported trace?)",
+            m.workload, m.footprint_bytes
+        )
+    })?;
+    let ops = verify(&trace, workload.as_ref()).map_err(|e| e.to_string())?;
+    println!("ok: {ops} ops identical to live generator");
+    Ok(())
+}

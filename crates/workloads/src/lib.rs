@@ -237,6 +237,50 @@ pub trait Workload {
     fn make_stream(&self, wf: u32, total_wfs: u32, seed: u64) -> Box<dyn AccessStream>;
 }
 
+/// Where a simulated system obtains its per-wavefront access streams.
+///
+/// The default, [`LiveSynthesis`], calls [`Workload::make_stream`] inline
+/// — the generator runs during simulation. `bc-trace` supplies an
+/// alternative source that replays a compiled trace file instead, and the
+/// snapshot restore path re-opens streams through the same source so a
+/// warm-started run consumes ops from exactly the stream a
+/// straight-through run would have used. Implementations must be
+/// deterministic: the same `(workload.name(), wf, total_wfs, seed)`
+/// coordinate must always yield a stream producing the same op sequence.
+pub trait StreamSource: Send + Sync {
+    /// Opens the stream for wavefront `wf` of `total_wfs`, seeded with the
+    /// run's workload seed.
+    fn open_stream(
+        &self,
+        workload: &dyn Workload,
+        wf: u32,
+        total_wfs: u32,
+        seed: u64,
+    ) -> Box<dyn AccessStream>;
+
+    /// Stable label for reports and diagnostics (`"live"`, `"trace"`).
+    fn label(&self) -> &'static str {
+        "live"
+    }
+}
+
+/// The default [`StreamSource`]: inline generator synthesis via
+/// [`Workload::make_stream`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LiveSynthesis;
+
+impl StreamSource for LiveSynthesis {
+    fn open_stream(
+        &self,
+        workload: &dyn Workload,
+        wf: u32,
+        total_wfs: u32,
+        seed: u64,
+    ) -> Box<dyn AccessStream> {
+        workload.make_stream(wf, total_wfs, seed)
+    }
+}
+
 /// The base virtual address used by every workload (re-exported for
 /// callers that don't name a concrete workload type).
 pub const BASE_VA: u64 = 0x1000_0000;
@@ -305,6 +349,60 @@ pub fn rodinia_suite(size: WorkloadSize) -> Vec<Box<dyn Workload>> {
 #[must_use]
 pub fn by_name(name: &str, size: WorkloadSize) -> Option<Box<dyn Workload>> {
     rodinia_suite(size).into_iter().find(|w| w.name() == name)
+}
+
+/// Snapshot codecs for the op types, so an in-flight [`WarpOp`] parked in
+/// a wavefront context can ride along in a simulator snapshot.
+mod snap_impls {
+    use bc_sim::snapshot::{Snap, SnapError, SnapReader, SnapWriter};
+
+    use super::{BlockAccess, BlockList, WarpOp};
+
+    impl Snap for BlockAccess {
+        fn save(&self, w: &mut SnapWriter) {
+            w.snap(&self.va);
+            w.bool(self.write);
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(BlockAccess {
+                va: r.snap()?,
+                write: r.bool()?,
+            })
+        }
+    }
+
+    impl Snap for BlockList {
+        fn save(&self, w: &mut SnapWriter) {
+            w.u8(self.len);
+            for access in self.as_slice() {
+                w.snap(access);
+            }
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            let len = r.u8()?;
+            if len as usize > BlockList::CAPACITY {
+                return Err(SnapError::BadValue("block list length"));
+            }
+            let mut list = BlockList::new();
+            for _ in 0..len {
+                list.push(r.snap()?);
+            }
+            Ok(list)
+        }
+    }
+
+    impl Snap for WarpOp {
+        fn save(&self, w: &mut SnapWriter) {
+            w.u64(self.think);
+            w.snap(&self.blocks);
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(WarpOp {
+                think: r.u64()?,
+                blocks: r.snap()?,
+            })
+        }
+    }
 }
 
 #[cfg(test)]

@@ -93,6 +93,32 @@ fn tiny_run_reports_match_goldens() {
     }
 }
 
+/// The same ten configurations, run through the snapshot/warm-start path
+/// — simulate to a mid-run cut, serialize, restore from the bytes, finish
+/// — must reproduce the committed goldens byte-for-byte. This pins the
+/// warm-start acceptance criterion directly against the canonical
+/// reports rather than against a second straight run.
+#[test]
+fn tiny_run_reports_match_goldens_through_warm_start() {
+    if std::env::var_os("BLESS").is_some() {
+        return; // goldens may be mid-rewrite under the straight-run test
+    }
+    const REV: &str = "goldens-warm-start";
+    for safety in SafetyModel::ALL {
+        for workload in ["nn", "bfs"] {
+            let config = tiny(safety, workload);
+            let bytes = System::build(&config)
+                .expect("tiny config builds")
+                .snapshot_to(bc_sim::Cycle::new(2_500), REV);
+            let report = System::restore(&config, &bytes, REV, &bc_workloads::LiveSynthesis)
+                .expect("snapshot restores")
+                .run();
+            let name = format!("tiny_{}_{}.json", slug(safety.label()), workload);
+            check(&name, &report.to_json());
+        }
+    }
+}
+
 /// The goldens themselves stay well-formed JSON (brace balance and
 /// required keys) — catches hand edits that would break downstream
 /// tooling before a diff review does.
